@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Each benchmark module regenerates one table or figure of the paper.  The
+simulation-heavy benchmarks (Figures 9, 10, 11 and Table V) default to a
+reduced workload count and trace length so the whole suite finishes in
+minutes; set ``REPRO_SCALE=full`` for paper-style runs (much slower).
+
+Benchmarks print a short report of the regenerated table/figure so the run's
+output doubles as the reproduction record.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentScale
+
+#: Scale used by the simulation-heavy benchmarks unless REPRO_SCALE overrides.
+BENCH_SIM_SCALE = ExperimentScale(
+    name="bench",
+    instructions=100_000,
+    warmup_fraction=0.5,
+    server_workloads=4,
+    client_workloads=2,
+    cvp_workloads=3,
+    x86_workloads=2,
+)

@@ -1,0 +1,17 @@
+"""Benchmark for the BTB-X way-sizing ablation (extension beyond the paper)."""
+
+from conftest import BENCH_SIM_SCALE
+
+from repro.experiments import ablation_ways
+from repro.experiments.config import current_scale
+
+
+def test_bench_ablation_ways(benchmark):
+    scale = current_scale(BENCH_SIM_SCALE)
+    result = benchmark.pedantic(ablation_ways.run, args=(scale,), rounds=1, iterations=1)
+    print("\n" + ablation_ways.format_report(result))
+    variants = result["variants"]
+    # Key Insight 2: uniform 25-bit offset fields waste storage, so the
+    # uniform variant tracks fewer branches than the skewed-width variants.
+    assert variants["uniform25"]["entries"] < variants["paper"]["entries"]
+    assert variants["uniform25"]["entries"] < variants["calibrated"]["entries"]

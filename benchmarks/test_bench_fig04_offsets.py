@@ -1,0 +1,17 @@
+"""Benchmark/reproduction target for Figure 4 (target offset distribution)."""
+
+from repro.experiments import fig04_offsets
+from repro.experiments.config import QUICK_SCALE, current_scale
+
+
+def test_bench_fig04_offsets(benchmark):
+    scale = current_scale(QUICK_SCALE)
+    result = benchmark.pedantic(fig04_offsets.run, args=(scale,), rounds=1, iterations=1)
+    print("\n" + fig04_offsets.format_report(result))
+    bands = result["bands"]
+    cdf = result["cdf"]
+    # Shape checks: short offsets dominate, the long tail is tiny, CDF monotone.
+    assert cdf == sorted(cdf)
+    assert 0.35 <= bands["le_6_bits"] <= 0.90
+    assert bands["gt_25_bits"] <= 0.03
+    assert result["bands"]["11_to_25_bits"] > 0.02

@@ -1,0 +1,19 @@
+"""Benchmark/reproduction target for Figure 9 (BTB MPKI at 14.5 KB)."""
+
+from conftest import BENCH_SIM_SCALE
+
+from repro.experiments import fig09_mpki
+from repro.experiments.config import current_scale
+
+
+def test_bench_fig09_mpki(benchmark):
+    scale = current_scale(BENCH_SIM_SCALE)
+    result = benchmark.pedantic(fig09_mpki.run, args=(scale,), rounds=1, iterations=1)
+    print("\n" + fig09_mpki.format_report(result))
+    averages = result["averages"]
+    # Shape: servers stress the BTB far more than clients, and the conventional
+    # BTB (fewest entries per KB) misses the most on servers.
+    assert averages["server"]["Conv-BTB"] > averages["client"]["Conv-BTB"]
+    assert averages["server"]["Conv-BTB"] >= averages["server"]["BTB-X"]
+    assert averages["server"]["Conv-BTB"] >= averages["server"]["PDede"]
+    assert averages["server"]["Conv-BTB"] > 1.0

@@ -1,0 +1,19 @@
+"""Benchmark/reproduction target for Figure 10 (speedups with/without FDIP)."""
+
+from conftest import BENCH_SIM_SCALE
+
+from repro.experiments import fig10_performance
+from repro.experiments.config import current_scale
+
+
+def test_bench_fig10_performance(benchmark):
+    scale = current_scale(BENCH_SIM_SCALE)
+    result = benchmark.pedantic(fig10_performance.run, args=(scale,), rounds=1, iterations=1)
+    print("\n" + fig10_performance.format_report(result))
+    server = result["summary"]["server"]
+    # Shape: every organization gains from FDIP, BTB-X gains at least as much
+    # as the conventional BTB, and gains on servers exceed 1.0 (the baseline).
+    for style in ("Conv-BTB", "PDede", "BTB-X"):
+        assert server[style]["gain_with_fdip"] >= server[style]["gain_without_fdip"] - 1e-6
+    assert server["BTB-X"]["gain_with_fdip"] >= server["Conv-BTB"]["gain_with_fdip"] - 0.02
+    assert server["BTB-X"]["gain_without_fdip"] >= 0.95

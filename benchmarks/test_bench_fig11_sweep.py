@@ -1,0 +1,31 @@
+"""Benchmark/reproduction target for Figure 11 (performance vs storage budget)."""
+
+from conftest import BENCH_SIM_SCALE
+
+from repro.experiments import fig11_sweep
+from repro.experiments.config import BUDGETS_KIB, current_scale
+
+
+def test_bench_fig11_sweep(benchmark):
+    scale = current_scale(BENCH_SIM_SCALE)
+    result = benchmark.pedantic(
+        fig11_sweep.run, args=(scale, BUDGETS_KIB), rounds=1, iterations=1
+    )
+    print("\n" + fig11_sweep.format_report(result))
+    server = result["curves"]["server"]
+    client = result["curves"]["client"]
+    budgets = result["budgets_kib"]
+    # Shape 1: performance never degrades substantially as the budget grows.
+    for style, series in server.items():
+        assert series[-1] >= series[0] - 0.02, style
+    # Shape 2: at every shared budget BTB-X is at least as fast as Conv-BTB.
+    for btbx_val, conv_val in zip(server["BTB-X"], server["Conv-BTB"]):
+        assert btbx_val >= conv_val - 0.03
+    # Shape 3 (headline): BTB-X with half the budget matches Conv-BTB; compare
+    # BTB-X at budget[i] with Conv-BTB at budget[i+1] (which is 2x larger).
+    for i in range(len(budgets) - 1):
+        assert server["BTB-X"][i] >= server["Conv-BTB"][i + 1] - 0.05
+    # Shape 4: client curves level off earlier (smaller spread across budgets).
+    client_spread = max(client["Conv-BTB"]) - min(client["Conv-BTB"])
+    server_spread = max(server["Conv-BTB"]) - min(server["Conv-BTB"])
+    assert client_spread <= server_spread + 0.05

@@ -1,0 +1,14 @@
+"""Benchmark/reproduction target for Figure 12 (CVP-1 offset distribution)."""
+
+from repro.experiments import fig12_cvp
+from repro.experiments.config import QUICK_SCALE, current_scale
+
+
+def test_bench_fig12_cvp(benchmark):
+    scale = current_scale(QUICK_SCALE)
+    result = benchmark.pedantic(fig12_cvp.run, args=(scale,), rounds=1, iterations=1)
+    print("\n" + fig12_cvp.format_report(result))
+    # The CVP-1-like suite must show essentially the same distribution as the
+    # IPC-1-like suite (the paper's point: the shape is a software property).
+    assert result["max_cdf_gap"] <= 0.25
+    assert result["cvp1_cdf"] == sorted(result["cvp1_cdf"])

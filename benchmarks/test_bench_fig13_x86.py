@@ -1,0 +1,21 @@
+"""Benchmark/reproduction target for Figure 13 / Section VI-G (x86 study)."""
+
+import pytest
+
+from repro.experiments import fig13_x86
+from repro.experiments.config import QUICK_SCALE, current_scale
+
+
+def test_bench_fig13_x86(benchmark):
+    scale = current_scale(QUICK_SCALE)
+    result = benchmark.pedantic(fig13_x86.run, args=(scale,), rounds=1, iterations=1)
+    print("\n" + fig13_x86.format_report(result))
+    # x86 needs a few more offset bits per set and loses a little capacity.
+    assert result["x86_set_bits"] == 230
+    assert result["arm64_set_bits"] == 224
+    ratios = result["capacity_ratio_vs_conventional"]
+    assert ratios["arm64"] == pytest.approx(2.24, abs=0.02)
+    assert ratios["x86"] == pytest.approx(2.18, abs=0.02)
+    # At equal coverage the x86 CDF never exceeds the Arm64 CDF by much.
+    for arm_val, x86_val in zip(result["arm64_cdf"], result["x86_cdf"]):
+        assert x86_val <= arm_val + 0.12

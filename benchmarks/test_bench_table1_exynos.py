@@ -1,0 +1,9 @@
+"""Benchmark/reproduction target for Table I (Exynos BTB storage trend)."""
+
+from repro.experiments import table1_exynos
+
+
+def test_bench_table1_exynos(benchmark):
+    result = benchmark(table1_exynos.run)
+    print("\n" + table1_exynos.format_report(result))
+    assert result["growth_factor_m1_to_m6"] > 5.0

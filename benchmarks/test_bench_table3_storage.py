@@ -1,0 +1,13 @@
+"""Benchmark/reproduction target for Table III (BTB-X storage requirements)."""
+
+import pytest
+
+from repro.experiments import table3_storage
+
+
+def test_bench_table3_storage(benchmark):
+    result = benchmark(table3_storage.run)
+    print("\n" + table3_storage.format_report(result))
+    for row in result["rows"]:
+        assert row["storage_kib"] == pytest.approx(row["paper_storage_kib"], rel=0.02)
+        assert row["set_bits"] == 224

@@ -1,0 +1,18 @@
+"""Benchmark/reproduction target for Table IV (branch capacity per budget)."""
+
+import pytest
+
+from repro.experiments import table4_capacity
+
+
+def test_bench_table4_capacity(benchmark):
+    result = benchmark(table4_capacity.run)
+    print("\n" + table4_capacity.format_report(result))
+    summary = result["summary"]
+    # Headline claims: ~2.24x more branches than Conv-BTB, 1.24-1.34x over PDede.
+    assert summary["btbx_over_conventional_min"] == pytest.approx(2.24, abs=0.02)
+    assert summary["btbx_over_pdede_min"] == pytest.approx(1.24, abs=0.04)
+    assert summary["btbx_over_pdede_max"] == pytest.approx(1.34, abs=0.04)
+    for row in result["rows"]:
+        assert abs(row["pdede"] - row["paper_pdede"]) <= 4
+        assert row["conventional"] == row["paper_conventional"]

@@ -1,0 +1,28 @@
+"""Benchmark/reproduction target for Table V (energy) and the latency analysis."""
+
+import pytest
+
+from conftest import BENCH_SIM_SCALE
+
+from repro.experiments import table5_energy
+from repro.experiments.config import current_scale
+
+
+def test_bench_table5_energy(benchmark):
+    scale = current_scale(BENCH_SIM_SCALE)
+    result = benchmark.pedantic(table5_energy.run, args=(scale,), rounds=1, iterations=1)
+    print("\n" + table5_energy.format_report(result))
+    designs = result["designs"]
+    conv = designs["Conv-BTB"]
+    pdede = designs["PDede"]
+    btbx = designs["BTB-X"]
+    # Per-access energies reproduce the CACTI calibration points.
+    assert conv["per_access"]["main"]["read_pj"] == pytest.approx(13.2, abs=0.4)
+    assert btbx["per_access"]["main"]["read_pj"] == pytest.approx(8.5, abs=0.4)
+    # Total energy ordering of Table V: Conv-BTB >> PDede >= BTB-X.
+    assert conv["total_energy_uj"] > pdede["total_energy_uj"]
+    assert conv["total_energy_uj"] > btbx["total_energy_uj"]
+    # Latency analysis (Section VI-E): PDede's serial lookup is the slowest,
+    # BTB-X is at least as fast as the conventional BTB.
+    assert pdede["lookup_latency_ns"] > conv["lookup_latency_ns"]
+    assert btbx["lookup_latency_ns"] <= conv["lookup_latency_ns"] + 0.01

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Offset-distribution study (the analysis behind Figures 4, 12 and 13).
+
+Generates small client, server and x86-server workloads, computes the
+cumulative distribution of stored target-offset bits for each, and shows how
+the paper's 12.5 %-per-way methodology would size the eight BTB-X ways for
+each suite.
+
+Run with::
+
+    python examples/offset_study.py
+"""
+
+from repro.analysis.offset_analysis import combined_distribution, distribution_table
+from repro.workloads.suites import build_suite
+
+INSTRUCTIONS = 60_000
+
+
+def main() -> None:
+    suites = {
+        "client (Arm64)": build_suite("ipc1_client", INSTRUCTIONS, limit=2),
+        "server (Arm64)": build_suite("ipc1_server", INSTRUCTIONS, limit=3),
+        "server (x86)": build_suite("x86_server", INSTRUCTIONS, limit=2),
+    }
+    distributions = []
+    for label, suite in suites.items():
+        dist = combined_distribution(list(suite), name=label)
+        distributions.append(dist)
+
+    print("Cumulative fraction of dynamic branches per stored offset width:")
+    for row in distribution_table(distributions):
+        printable = {k: v for k, v in row.items()}
+        print(f"  {printable}")
+    print()
+
+    print("BTB-X way sizing derived from each suite (12.5% of branches per way):")
+    for dist in distributions:
+        print(f"  {dist.name:<16} -> {dist.way_sizing(8)}")
+    print()
+    print("Paper's way sizing: Arm64 (0, 4, 5, 7, 9, 11, 19, 25), x86 (0, 5, 6, 7, 9, 12, 20, 27)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The build environment used for this reproduction has no ``wheel`` package
+available offline, so modern PEP-517 editable installs (which build an
+editable wheel) fail.  Keeping a classic ``setup.py`` alongside
+``pyproject.toml`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which works without ``wheel``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""Reproduction of "A Storage-Effective BTB Organization for Servers" (BTB-X).
+
+The package is organised bottom-up:
+
+* :mod:`repro.common`      -- bit utilities, configuration, statistics, LRU state;
+* :mod:`repro.isa`         -- branch classes and the retired-instruction record;
+* :mod:`repro.traces`      -- trace containers, binary/text formats, slicing;
+* :mod:`repro.workloads`   -- synthetic server/client workload generation;
+* :mod:`repro.btb`         -- BTB organizations (Conv, R-BTB, PDede, BTB-X + BTB-XC)
+  and the storage accounting behind Tables III/IV;
+* :mod:`repro.predictor`   -- direction predictors and the return address stack;
+* :mod:`repro.memory`      -- the L1-I/L2/LLC cache hierarchy;
+* :mod:`repro.frontend`    -- branch prediction unit, FTQ and FDIP;
+* :mod:`repro.core`        -- the trace-driven front-end simulator and timing model;
+* :mod:`repro.energy`      -- the calibrated SRAM energy/latency model (Table V);
+* :mod:`repro.analysis`    -- offset-distribution and aggregation helpers;
+* :mod:`repro.experiments` -- one driver per table/figure of the evaluation.
+
+Quickstart::
+
+    from repro import BTBStyle, build_workload, simulate_trace
+
+    trace = build_workload("server_030", 100_000)
+    result = simulate_trace(trace, btb_style=BTBStyle.BTBX, btb_entries=4096)
+    print(result.btb_mpki, result.ipc)
+"""
+
+from repro.common.config import (
+    BTBConfig,
+    BTBStyle,
+    ISAStyle,
+    MachineConfig,
+    SimulationConfig,
+    default_machine_config,
+)
+from repro.core.metrics import SimulationResult
+from repro.core.simulator import FrontEndSimulator, simulate_trace
+from repro.btb import (
+    BTBX,
+    BTBXC,
+    ConventionalBTB,
+    IdealBTB,
+    PDedeBTB,
+    ReducedBTB,
+    make_btb,
+)
+from repro.btb.storage import make_btb_for_budget
+from repro.traces.trace import Trace
+from repro.workloads.suites import build_suite, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BTBConfig",
+    "BTBStyle",
+    "ISAStyle",
+    "MachineConfig",
+    "SimulationConfig",
+    "default_machine_config",
+    "SimulationResult",
+    "FrontEndSimulator",
+    "simulate_trace",
+    "BTBX",
+    "BTBXC",
+    "ConventionalBTB",
+    "IdealBTB",
+    "PDedeBTB",
+    "ReducedBTB",
+    "make_btb",
+    "make_btb_for_budget",
+    "Trace",
+    "build_suite",
+    "build_workload",
+    "__version__",
+]

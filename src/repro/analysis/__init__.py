@@ -1,0 +1,12 @@
+"""Analysis helpers: offset distributions, MPKI aggregation, speedup summaries."""
+
+from repro.analysis.offset_analysis import OffsetDistribution, offset_distribution, combined_distribution
+from repro.analysis.aggregate import geometric_mean, summarize_results
+
+__all__ = [
+    "OffsetDistribution",
+    "offset_distribution",
+    "combined_distribution",
+    "geometric_mean",
+    "summarize_results",
+]

@@ -1,0 +1,174 @@
+"""Common interface and machinery shared by all BTB organizations.
+
+Every organization implements the same three operations the front end needs:
+
+* :meth:`BTBBase.lookup` -- probe the BTB with a PC during prediction;
+* :meth:`BTBBase.update` -- insert/refresh an entry when a taken branch
+  commits (the paper updates the BTB at commit, for taken branches only);
+* :meth:`BTBBase.storage_bits` -- report the SRAM bits the organization needs,
+  used by the storage analysis and the energy model.
+
+The lookup result distinguishes three cases the branch-prediction unit treats
+differently: a miss, a hit whose target is supplied by the BTB, and a hit on a
+return whose target must be read from the return address stack.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.common.bitutils import fold_xor
+from repro.common.stats import StatGroup, Stats
+from repro.isa.branch import BranchType
+from repro.isa.instruction import Instruction
+
+
+@dataclass(frozen=True)
+class BTBLookupResult:
+    """Outcome of probing a BTB with a PC."""
+
+    hit: bool
+    branch_type: BranchType | None = None
+    target: int | None = None
+    target_from_ras: bool = False
+    #: Number of cycles the lookup occupies the BTB port (PDede's
+    #: different-page lookups take two cycles, everything else one).
+    latency_cycles: int = 1
+    #: Name of the structure/partition that produced the hit (for energy
+    #: accounting and debugging); empty on a miss.
+    structure: str = ""
+
+    @staticmethod
+    def miss() -> "BTBLookupResult":
+        """The canonical (shared) miss result."""
+        return _MISS_RESULT
+
+
+#: Shared immutable miss result, avoiding one allocation per missing lookup.
+_MISS_RESULT = BTBLookupResult(hit=False)
+
+
+class BTBBase(abc.ABC):
+    """Abstract base class of every BTB organization."""
+
+    #: Short machine-readable name ("conventional", "pdede", "btbx", ...).
+    name: str = "btb"
+
+    def __init__(self, stats: Stats | None = None) -> None:
+        self._stats_registry = stats if stats is not None else Stats()
+        self.stats: StatGroup = self._stats_registry.group(f"btb.{self.name}")
+        # Hot-path access counters are plain integers (the per-instruction
+        # lookup path is the simulator's inner loop); they are folded into the
+        # Stats registry lazily by :meth:`access_counts`.
+        self.reads: dict[str, int] = {}
+        self.writes: dict[str, int] = {}
+        self.searches: dict[str, int] = {}
+
+    # -- mandatory interface ----------------------------------------------
+
+    @abc.abstractmethod
+    def lookup(self, pc: int) -> BTBLookupResult:
+        """Probe the BTB with ``pc``; counts a read access."""
+
+    @abc.abstractmethod
+    def update(self, instruction: Instruction) -> None:
+        """Insert or refresh the entry for a committed taken branch."""
+
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """Total SRAM bits of the organization (all partitions)."""
+
+    @abc.abstractmethod
+    def capacity_entries(self) -> int:
+        """Number of branches the organization can track simultaneously."""
+
+    # -- shared helpers ----------------------------------------------------
+
+    def storage_kib(self) -> float:
+        """Storage requirement in KiB."""
+        return self.storage_bits() / 8.0 / 1024.0
+
+    def record_read(self, structure: str = "main") -> None:
+        """Count one read access of ``structure`` (used by the energy model)."""
+        self.reads[structure] = self.reads.get(structure, 0) + 1
+
+    def record_write(self, structure: str = "main") -> None:
+        """Count one write access of ``structure``."""
+        self.writes[structure] = self.writes.get(structure, 0) + 1
+
+    def record_search(self, structure: str) -> None:
+        """Count one associative search of ``structure`` (PDede page lookups)."""
+        self.searches[structure] = self.searches.get(structure, 0) + 1
+
+    def access_counts(self) -> dict[str, float]:
+        """Read/write/search counters plus event counters (flat dict)."""
+        prefix = self.stats.prefix + "."
+        counts: dict[str, float] = {
+            key[len(prefix):]: value
+            for key, value in self._stats_registry.counters().items()
+            if key.startswith(prefix)
+        }
+        for structure, count in self.reads.items():
+            counts[f"reads.{structure}"] = counts.get(f"reads.{structure}", 0.0) + count
+        counts["reads.total"] = float(sum(self.reads.values()))
+        for structure, count in self.writes.items():
+            counts[f"writes.{structure}"] = counts.get(f"writes.{structure}", 0.0) + count
+        counts["writes.total"] = float(sum(self.writes.values()))
+        for structure, count in self.searches.items():
+            counts[f"searches.{structure}"] = counts.get(f"searches.{structure}", 0.0) + count
+        return counts
+
+    def reset_stats(self) -> None:
+        """Zero all access counters (used between warmup and measurement)."""
+        prefix = self.stats.prefix + "."
+        for key in list(self._stats_registry.counters()):
+            if key.startswith(prefix):
+                self._stats_registry.set(key, 0.0)
+        self.reads.clear()
+        self.writes.clear()
+        self.searches.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(entries={self.capacity_entries()}, "
+            f"storage={self.storage_kib():.2f}KiB)"
+        )
+
+
+def partial_tag(pc: int, index_bits_consumed: int, tag_bits: int, alignment_bits: int) -> int:
+    """Hash the PC down to a partial tag.
+
+    The full PC above the alignment bits is XOR-folded to ``tag_bits``, as
+    real BTBs do to keep tag storage small with minimal aliasing.  The index
+    bits are deliberately *included* in the hash: organizations sized to match
+    an exact storage budget can have non-power-of-two set counts (e.g. a
+    1856-entry conventional BTB) whose modulo indexing would otherwise let two
+    PCs that differ only in low-order bits share both a set and a tag,
+    creating systematic false hits.  ``index_bits_consumed`` is accepted for
+    interface stability but no longer skipped.
+    """
+    del index_bits_consumed  # see docstring: always fold the full PC
+    high = pc >> alignment_bits
+    return fold_xor(high, tag_bits) if high else 0
+
+
+def set_index(pc: int, num_sets: int, alignment_bits: int) -> int:
+    """Set index for a PC: low-order PC bits above the alignment bits.
+
+    Non-power-of-two set counts (which arise when matching a storage budget
+    exactly, e.g. a 1856-entry conventional BTB) use modulo indexing.
+    """
+    if num_sets <= 0:
+        raise ValueError("a BTB needs at least one set")
+    shifted = pc >> alignment_bits
+    if num_sets & (num_sets - 1) == 0:
+        return shifted & (num_sets - 1)
+    return shifted % num_sets
+
+
+def index_bits_of(num_sets: int) -> int:
+    """Number of PC bits consumed by the set index (ceil(log2(sets)))."""
+    if num_sets <= 1:
+        return 0
+    return (num_sets - 1).bit_length()

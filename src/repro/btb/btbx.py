@@ -1,0 +1,353 @@
+"""BTB-X: the paper's storage-effective BTB organization (Section V).
+
+BTB-X is an 8-way set-associative BTB whose ways store *target offsets* of
+different maximum widths instead of full target addresses.  The per-way widths
+are sized from the offset distribution of Figure 4 so that each way covers
+roughly 12.5 % of dynamic branches:
+
+* Arm64: 0, 4, 5, 7, 9, 11, 19 and 25 bits,
+* x86:   0, 5, 6, 7, 9, 12, 20 and 27 bits (Section VI-G).
+
+Way 0 has no offset storage at all: it holds return instructions, whose target
+comes from the return address stack.  Branches whose offsets exceed the widest
+way are handled by **BTB-XC**, a small direct-mapped companion BTB that stores
+full targets and has 64x fewer entries than BTB-X.
+
+Replacement is a *constrained LRU*: on allocation, only the ways whose offset
+field can hold the incoming branch's offset compete, and the least recently
+used of those is evicted; recency updates are otherwise identical to plain
+LRU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.common.config import ISAStyle
+from repro.common.errors import ConfigurationError
+from repro.common.lru import LRUState
+from repro.common.stats import Stats
+from repro.isa.branch import BranchType
+from repro.isa.instruction import Instruction
+from repro.btb.base import BTBBase, BTBLookupResult, index_bits_of, partial_tag, set_index
+from repro.btb.offsets import stored_offset_bits
+
+#: Per-way offset widths for Arm64 (Figure 8) and x86 (Section VI-G).
+BTBX_WAY_OFFSET_BITS_ARM64: Tuple[int, ...] = (0, 4, 5, 7, 9, 11, 19, 25)
+BTBX_WAY_OFFSET_BITS_X86: Tuple[int, ...] = (0, 5, 6, 7, 9, 12, 20, 27)
+
+#: Metadata bits per BTB-X entry: valid(1) + tag(12) + type(2) + rep_policy(3).
+VALID_BITS = 1
+TAG_BITS = 12
+TYPE_BITS = 2
+REPL_BITS = 3
+METADATA_BITS = VALID_BITS + TAG_BITS + TYPE_BITS + REPL_BITS
+
+#: A BTB-XC entry stores a full target, like a conventional entry: 64 bits.
+BTBXC_ENTRY_BITS = 64
+
+
+def default_way_offsets(isa: ISAStyle) -> Tuple[int, ...]:
+    """The paper's per-way offset widths for the given ISA."""
+    if isa is ISAStyle.ARM64:
+        return BTBX_WAY_OFFSET_BITS_ARM64
+    return BTBX_WAY_OFFSET_BITS_X86
+
+
+@dataclass
+class _Entry:
+    valid: bool = False
+    tag: int = 0
+    branch_type: BranchType = BranchType.CONDITIONAL
+    offset_payload: int = 0
+    offset_width: int = 0  # stored-bit width actually used (<= way width)
+
+
+@dataclass
+class _CompanionEntry:
+    valid: bool = False
+    tag: int = 0
+    branch_type: BranchType = BranchType.CONDITIONAL
+    target: int = 0
+
+
+class BTBXC(BTBBase):
+    """The small direct-mapped companion BTB holding full targets.
+
+    It captures the <1 % of branches whose offsets do not fit even the widest
+    BTB-X way; the paper sizes it at 1/64th of the BTB-X entry count (one
+    eighth of the number of BTB-X sets).
+    """
+
+    name = "btbxc"
+
+    def __init__(
+        self,
+        entries: int,
+        tag_bits: int = TAG_BITS,
+        isa: ISAStyle = ISAStyle.ARM64,
+        stats: Stats | None = None,
+    ) -> None:
+        super().__init__(stats)
+        if entries <= 0:
+            raise ConfigurationError("BTB-XC needs at least one entry")
+        self.isa = isa
+        self.tag_bits = tag_bits
+        self.num_entries = entries
+        self._index_bits = index_bits_of(entries)
+        self._entries = [_CompanionEntry() for _ in range(entries)]
+
+    def _locate(self, pc: int) -> tuple[int, int]:
+        index = set_index(pc, self.num_entries, self.isa.alignment_bits)
+        tag = partial_tag(pc, self._index_bits, self.tag_bits, self.isa.alignment_bits)
+        return index, tag
+
+    def lookup(self, pc: int) -> BTBLookupResult:
+        """Direct-mapped probe; accessed in parallel with BTB-X."""
+        self.record_read("companion")
+        index, tag = self._locate(pc)
+        entry = self._entries[index]
+        if entry.valid and entry.tag == tag:
+            self.stats.inc("hits")
+            return BTBLookupResult(
+                hit=True,
+                branch_type=entry.branch_type,
+                target=entry.target,
+                target_from_ras=entry.branch_type.target_from_ras,
+                structure="companion",
+            )
+        self.stats.inc("misses")
+        return BTBLookupResult.miss()
+
+    def update(self, instruction: Instruction) -> None:
+        """Insert/refresh; direct-mapped, so the indexed entry is overwritten."""
+        index, tag = self._locate(instruction.pc)
+        entry = self._entries[index]
+        if entry.valid and entry.tag != tag:
+            self.stats.inc("evictions")
+        entry.valid = True
+        entry.tag = tag
+        entry.branch_type = instruction.branch_type
+        entry.target = instruction.target
+        self.record_write("companion")
+
+    def storage_bits(self) -> int:
+        """Total storage of the companion."""
+        return self.num_entries * BTBXC_ENTRY_BITS
+
+    def capacity_entries(self) -> int:
+        """Number of companion entries."""
+        return self.num_entries
+
+
+class BTBX(BTBBase):
+    """BTB-X proper: skewed-width offset ways plus the BTB-XC companion."""
+
+    name = "btbx"
+
+    def __init__(
+        self,
+        entries: int,
+        way_offset_bits: Sequence[int] | None = None,
+        companion_divisor: int = 64,
+        tag_bits: int = TAG_BITS,
+        isa: ISAStyle = ISAStyle.ARM64,
+        stats: Stats | None = None,
+    ) -> None:
+        super().__init__(stats)
+        widths = tuple(way_offset_bits) if way_offset_bits is not None else default_way_offsets(isa)
+        if not widths:
+            raise ConfigurationError("BTB-X needs at least one way")
+        if sorted(widths) != list(widths):
+            raise ConfigurationError("BTB-X way offset widths must be non-decreasing")
+        associativity = len(widths)
+        if entries <= 0 or entries % associativity != 0:
+            raise ConfigurationError(
+                f"BTB-X entries ({entries}) must be a positive multiple of the way count ({associativity})"
+            )
+        self.isa = isa
+        self.tag_bits = tag_bits
+        self.way_offset_bits = widths
+        self.associativity = associativity
+        self.num_sets = entries // associativity
+        self._index_bits = index_bits_of(self.num_sets)
+        self._sets: List[List[_Entry]] = [
+            [_Entry() for _ in range(associativity)] for _ in range(self.num_sets)
+        ]
+        self._lru = [LRUState(associativity) for _ in range(self.num_sets)]
+        # Per-way hit/allocation counters (kept as plain lists for speed; they
+        # are exposed through way_hit_counts()/way_allocation_counts()).
+        self._way_hits = [0] * associativity
+        self._way_allocations = [0] * associativity
+        if companion_divisor and companion_divisor > 0:
+            companion_entries = max(entries // companion_divisor, 1)
+            self.companion: BTBXC | None = BTBXC(
+                companion_entries, tag_bits=tag_bits, isa=isa, stats=self._stats_registry
+            )
+        else:
+            self.companion = None
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def max_offset_bits(self) -> int:
+        """Width of the widest offset way."""
+        return self.way_offset_bits[-1]
+
+    def set_bits(self) -> int:
+        """Storage bits of one set: 8 entries' metadata plus all offset fields.
+
+        With the paper's Arm64 widths this is 8*18 + 80 = 224 bits (Table III).
+        """
+        return self.associativity * METADATA_BITS + sum(self.way_offset_bits)
+
+    def storage_bits(self) -> int:
+        """Total storage, including the BTB-XC companion when present."""
+        total = self.num_sets * self.set_bits()
+        if self.companion is not None:
+            total += self.companion.storage_bits()
+        return total
+
+    def capacity_entries(self) -> int:
+        """Branch capacity: BTB-X entries plus companion entries."""
+        companion = self.companion.capacity_entries() if self.companion is not None else 0
+        return self.num_sets * self.associativity + companion
+
+    # -- operations --------------------------------------------------------
+
+    def _locate(self, pc: int) -> tuple[int, int]:
+        index = set_index(pc, self.num_sets, self.isa.alignment_bits)
+        tag = partial_tag(pc, self._index_bits, self.tag_bits, self.isa.alignment_bits)
+        return index, tag
+
+    def _recover_target(self, pc: int, entry: _Entry) -> int:
+        """Concatenate the branch PC's high bits with the stored offset.
+
+        The number of PC bits replaced is the entry's recorded offset width
+        plus the ISA alignment bits; because that width covers every bit in
+        which PC and target differ, the concatenation reproduces the full
+        target exactly and needs no adder (Section V-B).
+        """
+        width = entry.offset_width + self.isa.alignment_bits
+        return ((pc >> width) << width) | (entry.offset_payload << self.isa.alignment_bits)
+
+    def lookup(self, pc: int) -> BTBLookupResult:
+        """Probe all ways (and BTB-XC) in parallel with the PC."""
+        self.record_read("main")
+        index, tag = self._locate(pc)
+        for way, entry in enumerate(self._sets[index]):
+            if entry.valid and entry.tag == tag:
+                self._lru[index].touch(way)
+                self.stats.inc("hits")
+                self._way_hits[way] += 1
+                if entry.branch_type.target_from_ras:
+                    return BTBLookupResult(
+                        hit=True,
+                        branch_type=entry.branch_type,
+                        target=None,
+                        target_from_ras=True,
+                        structure=f"way{way}",
+                    )
+                return BTBLookupResult(
+                    hit=True,
+                    branch_type=entry.branch_type,
+                    target=self._recover_target(pc, entry),
+                    structure=f"way{way}",
+                )
+        if self.companion is not None:
+            companion_result = self.companion.lookup(pc)
+            if companion_result.hit:
+                self.stats.inc("hits")
+                self.stats.inc("hits.companion")
+                return companion_result
+        self.stats.inc("misses")
+        return BTBLookupResult.miss()
+
+    def _eligible_ways(self, required_bits: int) -> List[int]:
+        """Ways whose offset field can hold ``required_bits`` stored bits."""
+        return [way for way, width in enumerate(self.way_offset_bits) if width >= required_bits]
+
+    def update(self, instruction: Instruction) -> None:
+        """Allocate or refresh the entry for a committed taken branch.
+
+        The branch's required stored-offset width determines the set of ways it
+        may occupy; returns (0 bits) fit everywhere, and branches wider than the
+        widest way go to BTB-XC instead.
+        """
+        if not instruction.is_branch:
+            return
+        required = stored_offset_bits(
+            instruction.pc, instruction.target, isa=self.isa, branch_type=instruction.branch_type
+        )
+        if required > self.max_offset_bits:
+            self.stats.inc("overflow_to_companion")
+            if self.companion is not None:
+                self.companion.update(instruction)
+            return
+
+        index, tag = self._locate(instruction.pc)
+        entries = self._sets[index]
+        payload = self._offset_payload(instruction, required)
+
+        # Refresh an existing entry if the branch is already present and its
+        # (possibly new, for indirect branches) offset still fits that way.
+        for way, entry in enumerate(entries):
+            if entry.valid and entry.tag == tag:
+                if self.way_offset_bits[way] >= required:
+                    changed = (
+                        entry.offset_payload != payload
+                        or entry.branch_type != instruction.branch_type
+                        or entry.offset_width != required
+                    )
+                    entry.branch_type = instruction.branch_type
+                    entry.offset_payload = payload
+                    entry.offset_width = required
+                    self._lru[index].touch(way)
+                    if changed:
+                        self.record_write("main")
+                    return
+                # The target moved out of this way's reach (indirect branch):
+                # drop the stale entry and re-allocate below.
+                entry.valid = False
+                self.stats.inc("reallocations")
+                break
+
+        eligible = self._eligible_ways(required)
+        victim = next((way for way in eligible if not entries[way].valid), None)
+        if victim is None:
+            victim = self._lru[index].victim(eligible)
+            self.stats.inc("evictions")
+        entry = entries[victim]
+        entry.valid = True
+        entry.tag = tag
+        entry.branch_type = instruction.branch_type
+        entry.offset_payload = payload
+        entry.offset_width = required
+        self._lru[index].touch(victim)
+        self.record_write("main")
+        self.stats.inc("allocations")
+        self._way_allocations[victim] += 1
+
+    def _offset_payload(self, instruction: Instruction, required_bits: int) -> int:
+        """The stored offset payload: low target bits above the alignment bits."""
+        if required_bits == 0:
+            return 0
+        return (instruction.target >> self.isa.alignment_bits) & ((1 << required_bits) - 1)
+
+    def way_hit_counts(self) -> List[int]:
+        """Per-way hit counts accumulated so far."""
+        return list(self._way_hits)
+
+    def way_allocation_counts(self) -> List[int]:
+        """Per-way allocation counts accumulated so far."""
+        return list(self._way_allocations)
+
+    def invalidate_all(self) -> None:
+        """Clear every entry, including the companion (tests/warmup control)."""
+        for entries in self._sets:
+            for entry in entries:
+                entry.valid = False
+        if self.companion is not None:
+            for entry in self.companion._entries:
+                entry.valid = False

@@ -1,0 +1,58 @@
+"""An ideal (infinite, fully-tagged) BTB.
+
+Baseline ChampSim effectively uses an ideal BTB because it detects branches
+from the trace itself (Section VI-A).  The ideal model is useful for upper
+bounds, for validating the front-end simulator (an ideal BTB must produce zero
+BTB misses after the first visit to each branch), and for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.common.stats import Stats
+from repro.isa.branch import BranchType
+from repro.isa.instruction import Instruction
+from repro.btb.base import BTBBase, BTBLookupResult
+
+
+class IdealBTB(BTBBase):
+    """Unbounded BTB that never evicts and never aliases."""
+
+    name = "ideal"
+
+    def __init__(self, stats: Stats | None = None) -> None:
+        super().__init__(stats)
+        self._entries: Dict[int, Tuple[BranchType, int]] = {}
+
+    def lookup(self, pc: int) -> BTBLookupResult:
+        """Hit whenever the branch has been seen (and committed taken) before."""
+        self.record_read("main")
+        entry = self._entries.get(pc)
+        if entry is None:
+            self.stats.inc("misses")
+            return BTBLookupResult.miss()
+        branch_type, target = entry
+        self.stats.inc("hits")
+        return BTBLookupResult(
+            hit=True,
+            branch_type=branch_type,
+            target=target,
+            target_from_ras=branch_type.target_from_ras,
+            structure="main",
+        )
+
+    def update(self, instruction: Instruction) -> None:
+        """Remember the branch forever."""
+        if not instruction.is_branch:
+            return
+        self.record_write("main")
+        self._entries[instruction.pc] = (instruction.branch_type, instruction.target)
+
+    def storage_bits(self) -> int:
+        """An ideal BTB has no meaningful storage bound; report current usage."""
+        return len(self._entries) * 64
+
+    def capacity_entries(self) -> int:
+        """Unbounded; report the number of entries currently stored."""
+        return len(self._entries)

@@ -1,0 +1,87 @@
+"""Command-line interface: run any experiment driver and print its report.
+
+Examples::
+
+    btbx-repro list
+    btbx-repro run fig09_mpki --scale quick
+    btbx-repro run table4_capacity
+    btbx-repro run fig11_sweep --scale full --json results/fig11.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+from typing import Dict
+
+from repro.experiments.config import FULL_SCALE, QUICK_SCALE, SMOKE_SCALE
+
+#: Experiment name -> module path (relative to repro.experiments).
+EXPERIMENTS: Dict[str, str] = {
+    "table1_exynos": "repro.experiments.table1_exynos",
+    "fig04_offsets": "repro.experiments.fig04_offsets",
+    "table3_storage": "repro.experiments.table3_storage",
+    "table4_capacity": "repro.experiments.table4_capacity",
+    "fig09_mpki": "repro.experiments.fig09_mpki",
+    "fig10_performance": "repro.experiments.fig10_performance",
+    "table5_energy": "repro.experiments.table5_energy",
+    "fig11_sweep": "repro.experiments.fig11_sweep",
+    "fig12_cvp": "repro.experiments.fig12_cvp",
+    "fig13_x86": "repro.experiments.fig13_x86",
+    "ablation_ways": "repro.experiments.ablation_ways",
+}
+
+_SCALES = {"smoke": SMOKE_SCALE, "quick": QUICK_SCALE, "full": FULL_SCALE}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="btbx-repro",
+        description="Reproduction harness for 'A Storage-Effective BTB Organization for Servers'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run one experiment and print its report")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment to run")
+    run_parser.add_argument(
+        "--scale", choices=sorted(_SCALES), default="quick", help="simulation scale preset"
+    )
+    run_parser.add_argument("--json", dest="json_path", help="also dump the raw result as JSON")
+    return parser
+
+
+def run_experiment(name: str, scale_name: str = "quick") -> Dict[str, object]:
+    """Run a named experiment at the requested scale and return its raw result."""
+    module = importlib.import_module(EXPERIMENTS[name])
+    return module.run(_SCALES[scale_name])
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            module = importlib.import_module(EXPERIMENTS[name])
+            summary = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<18} {summary}")
+        return 0
+
+    module = importlib.import_module(EXPERIMENTS[args.experiment])
+    result = module.run(_SCALES[args.scale])
+    print(module.format_report(result))
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, default=str)
+        print(f"\n(raw result written to {args.json_path})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Shared utilities used by every subsystem of the BTB-X reproduction.
+
+The :mod:`repro.common` package intentionally has no dependencies on the rest of
+the code base.  It provides:
+
+* :mod:`repro.common.bitutils` -- bit manipulation helpers (alignment, masking,
+  bit-length arithmetic) used by the BTB organizations and the offset analysis.
+* :mod:`repro.common.config` -- frozen dataclass configuration objects for the
+  core, caches, BTBs and simulations.
+* :mod:`repro.common.stats` -- a lightweight named-counter registry with
+  hierarchical grouping, used by every simulated structure.
+* :mod:`repro.common.lru` -- reusable LRU/pseudo-LRU replacement state shared by
+  the caches and the BTB organizations.
+* :mod:`repro.common.errors` -- exception hierarchy for the package.
+"""
+
+from repro.common.bitutils import (
+    align_down,
+    align_up,
+    bit_length,
+    bits_to_bytes,
+    bits_to_kib,
+    extract_bits,
+    fold_xor,
+    is_power_of_two,
+    log2_exact,
+    mask,
+)
+from repro.common.config import (
+    BTBStyle,
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    FDIPConfig,
+    MachineConfig,
+    SimulationConfig,
+    default_machine_config,
+)
+from repro.common.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    TraceFormatError,
+)
+from repro.common.lru import LRUState, TreePLRUState
+from repro.common.stats import StatGroup, Stats
+
+__all__ = [
+    "align_down",
+    "align_up",
+    "bit_length",
+    "bits_to_bytes",
+    "bits_to_kib",
+    "extract_bits",
+    "fold_xor",
+    "is_power_of_two",
+    "log2_exact",
+    "mask",
+    "BTBStyle",
+    "BranchPredictorConfig",
+    "CacheConfig",
+    "CoreConfig",
+    "FDIPConfig",
+    "MachineConfig",
+    "SimulationConfig",
+    "default_machine_config",
+    "ConfigurationError",
+    "ReproError",
+    "SimulationError",
+    "TraceFormatError",
+    "LRUState",
+    "TreePLRUState",
+    "StatGroup",
+    "Stats",
+]

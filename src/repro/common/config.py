@@ -1,0 +1,289 @@
+"""Configuration dataclasses for the modelled machine.
+
+The default values mirror Table II of the paper (a core resembling Intel Sunny
+Cove): 6-wide fetch with a 128-instruction FTQ, a hashed-perceptron direction
+predictor, a 64-entry return address stack, a 32 KB/8-way L1-I, a 48 KB/12-way
+L1-D, a 512 KB/8-way L2 and a 2 MB/16-way LLC.
+
+All configuration classes are frozen dataclasses: once a simulation is
+constructed its parameters cannot drift, which keeps experiment records
+trustworthy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.common.bitutils import is_power_of_two
+from repro.common.errors import ConfigurationError
+
+
+class BTBStyle(enum.Enum):
+    """Which BTB organization a simulation instantiates."""
+
+    CONVENTIONAL = "conventional"
+    REDUCED = "rbtb"
+    PDEDE = "pdede"
+    BTBX = "btbx"
+    IDEAL = "ideal"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class ISAStyle(enum.Enum):
+    """Instruction-set flavour of a workload.
+
+    Arm64 instructions are fixed 4-byte, so the two least significant bits of
+    every PC/target are zero and never stored.  x86 instructions are variable
+    length, so offsets are byte-granular and need 1-2 more bits on average
+    (Section VI-G).
+    """
+
+    ARM64 = "arm64"
+    X86 = "x86"
+
+    @property
+    def alignment_bits(self) -> int:
+        """Number of always-zero low-order address bits."""
+        return 2 if self is ISAStyle.ARM64 else 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of a single cache level."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_size: int = 64
+    hit_latency: int = 4
+    mshrs: int = 8
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0:
+            raise ConfigurationError(f"{self.name}: size and associativity must be positive")
+        if not is_power_of_two(self.line_size):
+            raise ConfigurationError(f"{self.name}: line size must be a power of two")
+        if self.size_bytes % (self.associativity * self.line_size) != 0:
+            raise ConfigurationError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"associativity*line_size ({self.associativity}*{self.line_size})"
+            )
+        if not is_power_of_two(self.num_sets):
+            raise ConfigurationError(f"{self.name}: set count {self.num_sets} must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the cache."""
+        return self.size_bytes // (self.associativity * self.line_size)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size_bytes // self.line_size
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """Direction predictor and return-address-stack parameters."""
+
+    kind: str = "hashed_perceptron"
+    ras_entries: int = 64
+    # Hashed perceptron parameters (ChampSim-like defaults).
+    perceptron_history_lengths: tuple[int, ...] = (3, 8, 14, 21, 31)
+    perceptron_table_bits: int = 12
+    perceptron_weight_bits: int = 8
+    # gshare / bimodal parameters.
+    gshare_table_bits: int = 14
+    gshare_history_bits: int = 14
+    bimodal_table_bits: int = 14
+
+    def __post_init__(self) -> None:
+        if self.ras_entries <= 0:
+            raise ConfigurationError("RAS must have at least one entry")
+        if self.kind not in {"hashed_perceptron", "gshare", "bimodal", "always_taken"}:
+            raise ConfigurationError(f"unknown direction predictor kind: {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class FDIPConfig:
+    """Fetch-directed instruction prefetcher parameters (Figure 2)."""
+
+    enabled: bool = True
+    ftq_instructions: int = 128
+    # Maximum number of distinct cache blocks the prefetch engine may have in
+    # flight; mirrors the L1-I MSHR count plus a small prefetch queue.
+    max_inflight_prefetches: int = 16
+    # Number of instructions of BPU run-ahead needed for a prefetch to fully
+    # hide an L2 hit; derived in the timing model from fetch width and L2
+    # latency, but can be pinned for experiments.
+    min_useful_lead_instructions: int = 24
+
+    def __post_init__(self) -> None:
+        if self.ftq_instructions <= 0:
+            raise ConfigurationError("FTQ must hold at least one instruction")
+        if self.max_inflight_prefetches <= 0:
+            raise ConfigurationError("prefetch engine needs at least one MSHR")
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Pipeline-width and penalty parameters of the modelled core (Table II)."""
+
+    fetch_width: int = 6
+    decode_width: int = 6
+    commit_width: int = 6
+    rob_entries: int = 352
+    scheduler_entries: int = 128
+    load_queue_entries: int = 128
+    store_queue_entries: int = 72
+    # Penalty (in cycles) of a pipeline flush detected at the execute stage:
+    # front-end refill depth of a Sunny-Cove-like pipeline.
+    execute_flush_penalty: int = 17
+    # Penalty of a resteer performed at the decode stage (Section VI-A's
+    # improved branch resolution for direct branches that miss in the BTB).
+    decode_resteer_penalty: int = 5
+    # Address-space width assumed by the paper for storage accounting.
+    virtual_address_bits: int = 48
+
+    def __post_init__(self) -> None:
+        if self.fetch_width <= 0:
+            raise ConfigurationError("fetch width must be positive")
+        if self.execute_flush_penalty < self.decode_resteer_penalty:
+            raise ConfigurationError(
+                "execute-stage flush cannot be cheaper than a decode-stage resteer"
+            )
+
+
+@dataclass(frozen=True)
+class BTBConfig:
+    """Parameters common to every BTB organization.
+
+    ``entries`` is the nominal number of branch entries.  Organization-specific
+    classes interpret it (e.g. BTB-X derives its set count from it, PDede
+    derives its Main-BTB size from the equivalent storage budget).
+    """
+
+    style: BTBStyle = BTBStyle.BTBX
+    entries: int = 4096
+    associativity: int = 8
+    tag_bits: int = 12
+    isa: ISAStyle = ISAStyle.ARM64
+    # BTB-X specific: per-way offset field widths.  ``None`` selects the
+    # paper's widths for the configured ISA.
+    btbx_way_offset_bits: tuple[int, ...] | None = None
+    # BTB-XC (companion) entries as a fraction of BTB-X entries (1/64 in the
+    # paper).  Zero disables the companion.
+    btbx_companion_divisor: int = 64
+    # PDede specific knobs.
+    pdede_page_btb_entries: int | None = None
+    pdede_region_btb_entries: int = 4
+    pdede_page_btb_assoc: int = 16
+    pdede_same_page_way_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ConfigurationError("BTB must have at least one entry")
+        if self.associativity <= 0:
+            raise ConfigurationError("BTB associativity must be positive")
+        if self.entries % self.associativity != 0:
+            raise ConfigurationError(
+                f"BTB entries ({self.entries}) must be divisible by associativity "
+                f"({self.associativity})"
+            )
+        if self.tag_bits <= 0:
+            raise ConfigurationError("BTB tag width must be positive")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets of the (main) BTB structure."""
+        return self.entries // self.associativity
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full machine description: core, predictor, FDIP, BTB, cache hierarchy."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    branch_predictor: BranchPredictorConfig = field(default_factory=BranchPredictorConfig)
+    fdip: FDIPConfig = field(default_factory=FDIPConfig)
+    btb: BTBConfig = field(default_factory=BTBConfig)
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1I", 32 * 1024, 8, hit_latency=4, mshrs=8)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1D", 48 * 1024, 12, hit_latency=5, mshrs=16)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L2", 512 * 1024, 8, hit_latency=14, mshrs=32)
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig("LLC", 2 * 1024 * 1024, 16, hit_latency=34, mshrs=64)
+    )
+    memory_latency: int = 200
+
+    def with_btb(self, **btb_overrides: object) -> "MachineConfig":
+        """Return a copy of this machine with BTB parameters replaced."""
+        return replace(self, btb=replace(self.btb, **btb_overrides))
+
+    def with_fdip(self, enabled: bool) -> "MachineConfig":
+        """Return a copy of this machine with FDIP enabled or disabled."""
+        return replace(self, fdip=replace(self.fdip, enabled=enabled))
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Run-length parameters of a single simulation."""
+
+    warmup_instructions: int = 0
+    simulation_instructions: int | None = None
+    seed: int = 0
+    collect_per_branch_stats: bool = False
+
+    def __post_init__(self) -> None:
+        if self.warmup_instructions < 0:
+            raise ConfigurationError("warmup length cannot be negative")
+        if self.simulation_instructions is not None and self.simulation_instructions <= 0:
+            raise ConfigurationError("simulation length must be positive when given")
+
+
+def default_machine_config(
+    btb_style: BTBStyle = BTBStyle.BTBX,
+    btb_entries: int = 4096,
+    fdip_enabled: bool = True,
+    isa: ISAStyle = ISAStyle.ARM64,
+) -> MachineConfig:
+    """Build the paper's Table II machine with the requested BTB organization.
+
+    ``btb_entries`` is interpreted as the branch capacity of the requested
+    organization; use :mod:`repro.btb.storage` to convert a storage budget into
+    per-organization entry counts.
+    """
+    associativity = 8 if btb_style is not BTBStyle.IDEAL else 1
+    btb = BTBConfig(style=btb_style, entries=btb_entries, associativity=associativity, isa=isa)
+    machine = MachineConfig(btb=btb)
+    return machine.with_fdip(fdip_enabled)
+
+
+def summarize_machine(config: MachineConfig) -> Mapping[str, str]:
+    """Return a human-readable flat summary of a machine configuration.
+
+    Useful for experiment logs and EXPERIMENTS.md generation.
+    """
+    return {
+        "fetch": f"{config.core.fetch_width}-wide, {config.fdip.ftq_instructions}-instruction FTQ",
+        "branch_predictor": config.branch_predictor.kind,
+        "ras": f"{config.branch_predictor.ras_entries} entries",
+        "btb": f"{config.btb.style.value}, {config.btb.entries} entries, {config.btb.associativity}-way",
+        "fdip": "enabled" if config.fdip.enabled else "disabled",
+        "l1i": f"{config.l1i.size_bytes // 1024}KB, {config.l1i.associativity}-way",
+        "l1d": f"{config.l1d.size_bytes // 1024}KB, {config.l1d.associativity}-way",
+        "l2": f"{config.l2.size_bytes // 1024}KB, {config.l2.associativity}-way",
+        "llc": f"{config.llc.size_bytes // 1024 // 1024}MB, {config.llc.associativity}-way",
+    }

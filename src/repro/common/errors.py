@@ -1,0 +1,41 @@
+"""Exception hierarchy for the BTB-X reproduction package.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError` so that callers can catch library-specific failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object is internally inconsistent.
+
+    Examples include a cache whose size is not divisible by its associativity,
+    a BTB with a non-power-of-two set count, or a storage budget that cannot
+    accommodate a single entry.
+    """
+
+
+class TraceFormatError(ReproError):
+    """Raised when a trace file or record stream is malformed."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulator reaches an impossible state.
+
+    This always indicates a bug in the model (for example, committing a branch
+    that was never fetched) rather than a problem with user input.
+    """
+
+
+class WorkloadError(ReproError):
+    """Raised when a synthetic workload cannot be generated as requested."""
+
+
+class EnergyModelError(ReproError):
+    """Raised when the SRAM energy/latency model receives invalid geometry."""

@@ -1,0 +1,131 @@
+"""Reusable replacement-policy state for set-associative structures.
+
+Two policies are provided:
+
+* :class:`LRUState` -- true least-recently-used ordering, used by the caches
+  and all BTB organizations.  BTB-X uses the *constrained* variant
+  (:meth:`LRUState.victim` with an ``eligible`` subset) described in Section V:
+  only the ways whose offset field can hold the incoming branch's offset
+  compete for replacement, but recency updates are shared across the whole set.
+* :class:`TreePLRUState` -- tree pseudo-LRU, provided for ablation studies of
+  replacement-policy sensitivity.
+
+Both classes manage a single set; callers keep one instance per set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class LRUState:
+    """True-LRU recency tracking for one set of ``num_ways`` ways."""
+
+    def __init__(self, num_ways: int) -> None:
+        if num_ways <= 0:
+            raise ValueError("a set needs at least one way")
+        self._num_ways = num_ways
+        # _stamps[i] is a monotonically increasing access timestamp; smaller
+        # means less recently used.  Start all ways equally old.
+        self._stamps = [0] * num_ways
+        self._clock = 0
+
+    @property
+    def num_ways(self) -> int:
+        """Number of ways tracked by this state."""
+        return self._num_ways
+
+    def touch(self, way: int) -> None:
+        """Mark ``way`` as most recently used."""
+        self._check_way(way)
+        self._clock += 1
+        self._stamps[way] = self._clock
+
+    def victim(self, eligible: Sequence[int] | None = None) -> int:
+        """Return the least recently used way among ``eligible`` ways.
+
+        ``eligible`` defaults to all ways.  This implements BTB-X's modified
+        LRU: "compare the LRU counters of only the entries that can accommodate
+        the target offset and replace the one that is least recently used among
+        them" (Section V-B).
+        """
+        ways = range(self._num_ways) if eligible is None else eligible
+        candidates = list(ways)
+        if not candidates:
+            raise ValueError("victim selection requires at least one eligible way")
+        for way in candidates:
+            self._check_way(way)
+        return min(candidates, key=lambda way: self._stamps[way])
+
+    def recency_order(self) -> list[int]:
+        """Return way indices ordered from least to most recently used."""
+        return sorted(range(self._num_ways), key=lambda way: self._stamps[way])
+
+    def _check_way(self, way: int) -> None:
+        if not 0 <= way < self._num_ways:
+            raise IndexError(f"way {way} out of range [0, {self._num_ways})")
+
+
+class TreePLRUState:
+    """Tree pseudo-LRU for one set; requires a power-of-two way count."""
+
+    def __init__(self, num_ways: int) -> None:
+        if num_ways <= 0 or num_ways & (num_ways - 1):
+            raise ValueError("tree PLRU requires a positive power-of-two way count")
+        self._num_ways = num_ways
+        self._bits = [False] * max(num_ways - 1, 1)
+
+    @property
+    def num_ways(self) -> int:
+        """Number of ways tracked by this state."""
+        return self._num_ways
+
+    def touch(self, way: int) -> None:
+        """Update the tree so that ``way`` becomes protected (recently used)."""
+        if not 0 <= way < self._num_ways:
+            raise IndexError(f"way {way} out of range")
+        if self._num_ways == 1:
+            return
+        node = 0
+        low, high = 0, self._num_ways
+        while high - low > 1:
+            mid = (low + high) // 2
+            went_right = way >= mid
+            # Point the bit away from the accessed side.
+            self._bits[node] = not went_right
+            if went_right:
+                node = 2 * node + 2
+                low = mid
+            else:
+                node = 2 * node + 1
+                high = mid
+
+    def victim(self, eligible: Iterable[int] | None = None) -> int:
+        """Return the pseudo-LRU victim.
+
+        When ``eligible`` is given, the tree walk is still followed but the
+        result is snapped to the eligible way with the smallest protection,
+        falling back to the first eligible way.  (Exact constrained PLRU is not
+        defined in the paper; this approximation is only used in ablations.)
+        """
+        if self._num_ways == 1:
+            return 0
+        node = 0
+        low, high = 0, self._num_ways
+        while high - low > 1:
+            mid = (low + high) // 2
+            if self._bits[node]:
+                node = 2 * node + 2
+                low = mid
+            else:
+                node = 2 * node + 1
+                high = mid
+        choice = low
+        if eligible is None:
+            return choice
+        eligible_list = list(eligible)
+        if not eligible_list:
+            raise ValueError("victim selection requires at least one eligible way")
+        if choice in eligible_list:
+            return choice
+        return eligible_list[0]

@@ -1,0 +1,18 @@
+"""The trace-driven front-end simulator and its timing model.
+
+* :class:`repro.core.simulator.FrontEndSimulator` walks a retired-instruction
+  trace and drives the BTB, direction predictor, RAS, FTQ/FDIP and L1-I,
+  producing the event counts behind every figure of the evaluation.
+* :class:`repro.core.timing.TimingModel` converts those events into cycles
+  using an interval model: base cycles from the fetch width plus additive
+  penalties for execute-stage flushes, decode-stage resteers, uncovered L1-I
+  miss latency and PDede's extra lookup cycles.
+* :class:`repro.core.metrics.SimulationResult` packages the outcome (IPC,
+  BTB MPKI, penalty breakdown) for the experiment drivers.
+"""
+
+from repro.core.metrics import SimulationResult
+from repro.core.simulator import FrontEndSimulator, simulate_trace
+from repro.core.timing import TimingModel
+
+__all__ = ["FrontEndSimulator", "simulate_trace", "SimulationResult", "TimingModel"]

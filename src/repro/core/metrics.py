@@ -1,0 +1,98 @@
+"""Result container and derived metrics for one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.common.stats import Stats
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one trace on one machine configuration."""
+
+    workload: str
+    btb_style: str
+    btb_storage_kib: float
+    fdip_enabled: bool
+    instructions: int
+    cycles: float
+    base_cycles: float
+    flush_cycles: float
+    resteer_cycles: float
+    icache_stall_cycles: float
+    btb_extra_cycles: float
+    btb_misses_taken: int
+    decode_resteers: int
+    execute_flushes: int
+    direction_mispredictions: int
+    target_mispredictions: int
+    taken_branches: int
+    branches: int
+    l1i_accesses: int
+    l1i_misses: int
+    l1i_misses_covered: int
+    stats: Stats = field(repr=False, default_factory=Stats)
+
+    # -- derived metrics -----------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def btb_mpki(self) -> float:
+        """BTB misses (taken branches only) per kilo-instruction (Figure 9)."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.btb_misses_taken / self.instructions
+
+    @property
+    def l1i_mpki(self) -> float:
+        """L1-I demand misses per kilo-instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.l1i_misses / self.instructions
+
+    @property
+    def flush_rate_pki(self) -> float:
+        """Execute-stage flushes per kilo-instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.execute_flushes / self.instructions
+
+    @property
+    def direction_mpki(self) -> float:
+        """Direction mispredictions per kilo-instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.direction_mispredictions / self.instructions
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """IPC ratio of this run over ``baseline`` (same workload expected)."""
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def to_dict(self) -> Dict[str, float]:
+        """Flatten the headline metrics for reporting."""
+        return {
+            "workload": self.workload,
+            "btb_style": self.btb_style,
+            "btb_storage_kib": self.btb_storage_kib,
+            "fdip": self.fdip_enabled,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "btb_mpki": self.btb_mpki,
+            "l1i_mpki": self.l1i_mpki,
+            "flush_pki": self.flush_rate_pki,
+            "direction_mpki": self.direction_mpki,
+        }

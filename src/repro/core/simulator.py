@@ -1,0 +1,212 @@
+"""The trace-driven front-end simulator.
+
+:class:`FrontEndSimulator` ties every substrate together: for each retired
+instruction of a trace it
+
+1. lets the :class:`~repro.frontend.bpu.BranchPredictionUnit` predict and
+   resolve the instruction (BTB lookup, direction prediction, RAS);
+2. models instruction fetch through the L1-I (one demand access per new cache
+   block on the correct path) with FDIP hiding part of the miss latency based
+   on the FTQ's run-ahead distance;
+3. charges the timing model with the appropriate penalty (execute flush,
+   decode resteer, residual L1-I stall, PDede extra lookup cycle);
+4. applies commit-time updates (direction predictor, RAS, BTB insertion for
+   taken branches) -- these happen inside the BPU.
+
+Warmup instructions exercise all structures but do not contribute to the
+reported event counts or cycles, mirroring the paper's 50 M warmup / 50 M
+measurement protocol (at a smaller scale).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import BTBStyle, MachineConfig, default_machine_config
+from repro.common.errors import SimulationError
+from repro.common.stats import Stats
+from repro.core.metrics import SimulationResult
+from repro.core.timing import TimingModel
+from repro.frontend.bpu import BranchPredictionUnit, PredictionOutcome
+from repro.frontend.fdip import FDIPPrefetcher
+from repro.frontend.ftq import FetchTargetQueue
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.btb.base import BTBBase
+from repro.btb.storage import make_btb
+from repro.traces.trace import Trace
+
+
+class FrontEndSimulator:
+    """Simulates the front end of the Table II core over a retired-instruction trace."""
+
+    def __init__(
+        self,
+        machine: MachineConfig | None = None,
+        btb: BTBBase | None = None,
+        stats: Stats | None = None,
+    ) -> None:
+        self.machine = machine if machine is not None else default_machine_config()
+        self.stats = stats if stats is not None else Stats()
+        self.btb = btb if btb is not None else make_btb(self.machine.btb, self.stats)
+        self.bpu = BranchPredictionUnit(self.btb, self.machine, self.stats)
+        self.hierarchy = MemoryHierarchy(self.machine, self.stats)
+        self.ftq = FetchTargetQueue(self.machine.fdip.ftq_instructions, self.stats)
+        self.fdip = FDIPPrefetcher(self.machine, self.ftq, self.hierarchy, self.stats)
+
+    # -- simulation --------------------------------------------------------------
+
+    def run(
+        self,
+        trace: Trace,
+        warmup_instructions: int = 0,
+        max_instructions: int | None = None,
+    ) -> SimulationResult:
+        """Simulate ``trace`` and return the measured-phase results.
+
+        ``warmup_instructions`` are simulated first with full structural state
+        updates but excluded from every reported metric;
+        ``max_instructions`` caps the measured phase (defaults to the rest of
+        the trace).
+        """
+        if warmup_instructions < 0:
+            raise SimulationError("warmup length cannot be negative")
+        timing = TimingModel(self.machine.core)
+        line_mask = ~(self.hierarchy.line_size() - 1)
+
+        measured = 0
+        btb_misses_taken = 0
+        decode_resteers = 0
+        execute_flushes = 0
+        direction_mispredictions = 0
+        target_mispredictions = 0
+        taken_branches = 0
+        branches = 0
+        l1i_accesses = 0
+        l1i_misses = 0
+        l1i_misses_covered = 0
+
+        previous_block = None
+        measuring = warmup_instructions == 0
+        measurement_limit = max_instructions
+
+        direction_mispred_before = self.bpu.stats.get("direction_mispredictions")
+        target_mispred_before = self.bpu.stats.get("target_mispredictions")
+
+        for position, instruction in enumerate(trace):
+            if not measuring and position >= warmup_instructions:
+                measuring = True
+                previous_block = None
+                self.btb.reset_stats()
+                direction_mispred_before = self.bpu.stats.get("direction_mispredictions")
+                target_mispred_before = self.bpu.stats.get("target_mispredictions")
+            if measuring and measurement_limit is not None and measured >= measurement_limit:
+                break
+
+            prediction = self.bpu.process(instruction)
+
+            # --- instruction fetch through the L1-I -----------------------------
+            block = instruction.pc & line_mask
+            new_block = block != previous_block
+            previous_block = block
+            stall_cycles = 0.0
+            miss = False
+            covered = False
+            if new_block:
+                fetch = self.hierarchy.fetch(instruction.pc)
+                miss = not fetch.l1i_hit
+                if miss:
+                    coverage = self.fdip.cover_demand_miss(fetch.latency)
+                    stall_cycles = coverage.residual_latency
+                    covered = coverage.coverage == "full"
+
+            # --- FTQ / FDIP run-ahead maintenance -------------------------------
+            self.fdip.observe_predicted_address(instruction.pc)
+            if prediction.stream_break:
+                self.fdip.on_stream_break()
+
+            # --- timing ----------------------------------------------------------
+            if measuring:
+                measured += 1
+                timing.retire_instructions(1)
+                timing.icache_stall(stall_cycles)
+                if prediction.extra_btb_cycles and self.ftq.occupancy < 2 * self.machine.core.fetch_width:
+                    # A multi-cycle BTB lookup (PDede different-page access)
+                    # only lengthens the critical path while the decoupled
+                    # front end has no run-ahead slack, i.e. just after a
+                    # flush or resteer.
+                    timing.btb_extra_cycle(prediction.extra_btb_cycles)
+                if prediction.outcome is PredictionOutcome.EXECUTE_FLUSH:
+                    timing.execute_flush()
+                    execute_flushes += 1
+                elif prediction.outcome is PredictionOutcome.DECODE_RESTEER:
+                    timing.decode_resteer()
+                    decode_resteers += 1
+                if prediction.btb_miss_taken_branch:
+                    btb_misses_taken += 1
+                if instruction.is_branch:
+                    branches += 1
+                    if instruction.taken:
+                        taken_branches += 1
+                if new_block:
+                    l1i_accesses += 1
+                    if miss:
+                        l1i_misses += 1
+                        if covered:
+                            l1i_misses_covered += 1
+
+        breakdown = timing.finalize()
+        direction_mispredictions = int(
+            self.bpu.stats.get("direction_mispredictions") - direction_mispred_before
+        )
+        target_mispredictions = int(
+            self.bpu.stats.get("target_mispredictions") - target_mispred_before
+        )
+
+        return SimulationResult(
+            workload=trace.name,
+            btb_style=self.btb.name,
+            btb_storage_kib=self.btb.storage_kib(),
+            fdip_enabled=self.machine.fdip.enabled,
+            instructions=measured,
+            cycles=breakdown.total,
+            base_cycles=breakdown.base_cycles,
+            flush_cycles=breakdown.flush_cycles,
+            resteer_cycles=breakdown.resteer_cycles,
+            icache_stall_cycles=breakdown.icache_stall_cycles,
+            btb_extra_cycles=breakdown.btb_extra_cycles,
+            btb_misses_taken=btb_misses_taken,
+            decode_resteers=decode_resteers,
+            execute_flushes=execute_flushes,
+            direction_mispredictions=direction_mispredictions,
+            target_mispredictions=target_mispredictions,
+            taken_branches=taken_branches,
+            branches=branches,
+            l1i_accesses=l1i_accesses,
+            l1i_misses=l1i_misses,
+            l1i_misses_covered=l1i_misses_covered,
+            stats=self.stats,
+        )
+
+
+def simulate_trace(
+    trace: Trace,
+    btb_style: BTBStyle = BTBStyle.BTBX,
+    btb_entries: int = 4096,
+    fdip_enabled: bool = True,
+    warmup_fraction: float = 0.2,
+    machine: MachineConfig | None = None,
+) -> SimulationResult:
+    """One-call convenience wrapper used by examples and quick experiments.
+
+    Builds the Table II machine with the requested BTB organization and FDIP
+    setting, warms up on the first ``warmup_fraction`` of the trace and
+    measures the rest.
+    """
+    if machine is None:
+        machine = default_machine_config(
+            btb_style=btb_style,
+            btb_entries=btb_entries,
+            fdip_enabled=fdip_enabled,
+            isa=trace.isa,
+        )
+    simulator = FrontEndSimulator(machine)
+    warmup = int(len(trace) * warmup_fraction)
+    return simulator.run(trace, warmup_instructions=warmup)

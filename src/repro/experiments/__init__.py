@@ -1,0 +1,45 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Every driver exposes a ``run(scale)`` function returning a plain dictionary of
+rows/summaries (so results are easy to log, test and serialize) and a
+``format_report(result)`` helper producing the text table printed by the CLI
+and the benchmarks.
+
+========================  ====================================================
+module                    reproduces
+========================  ====================================================
+``table1_exynos``         Table I   -- Samsung Exynos BTB storage trend
+``fig04_offsets``         Figure 4  -- target offset distribution (IPC-1-like)
+``table3_storage``        Table III -- BTB-X storage requirements
+``table4_capacity``       Table IV  -- branch capacity per storage budget
+``fig09_mpki``            Figure 9  -- BTB MPKI per workload at 14.5 KB
+``fig10_performance``     Figure 10 -- speedup with/without FDIP at 14.5 KB
+``table5_energy``         Table V   -- BTB energy, plus the latency analysis
+``fig11_sweep``           Figure 11 -- performance vs storage budget sweep
+``fig12_cvp``             Figure 12 -- offset distribution on CVP-1-like traces
+``fig13_x86``             Figure 13 -- x86 vs Arm64 offset distribution + sizing
+``ablation_ways``         (extension) BTB-X way-sizing ablation
+========================  ====================================================
+
+The amount of simulated work is controlled by :class:`ExperimentScale`
+(``QUICK_SCALE`` for benchmarks/CI, ``FULL_SCALE`` for paper-style runs; the
+``REPRO_SCALE`` environment variable selects between them).
+"""
+
+from repro.experiments.config import (
+    DEFAULT_BUDGET_KIB,
+    FULL_SCALE,
+    QUICK_SCALE,
+    SMOKE_SCALE,
+    ExperimentScale,
+    current_scale,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "QUICK_SCALE",
+    "FULL_SCALE",
+    "SMOKE_SCALE",
+    "DEFAULT_BUDGET_KIB",
+    "current_scale",
+]

@@ -1,0 +1,89 @@
+"""Ablation (extension beyond the paper): BTB-X way-sizing sensitivity.
+
+Key Insight 2 of the paper is that a *single* offset width cannot be
+storage-optimal because offsets are unevenly distributed.  This ablation
+quantifies that claim with three BTB-X variants at the same storage budget:
+
+* ``paper``      -- the paper's skewed widths (0, 4, 5, 7, 9, 11, 19, 25);
+* ``uniform25``  -- eight identical 25-bit ways (single-size offsets);
+* ``calibrated`` -- widths sized from the synthetic suite's own offset CDF
+  using the paper's 12.5 %-per-way methodology.
+
+Because a uniform-25-bit set costs more bits, the uniform variant is given
+fewer sets for the same budget -- exactly the trade-off the paper argues
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.aggregate import arithmetic_mean
+from repro.analysis.offset_analysis import combined_distribution
+from repro.common.config import default_machine_config, BTBStyle
+from repro.core.simulator import FrontEndSimulator
+from repro.btb.btbx import BTBX, BTBX_WAY_OFFSET_BITS_ARM64, METADATA_BITS, BTBXC_ENTRY_BITS
+from repro.common.bitutils import kib_to_bits
+from repro.experiments.config import DEFAULT_BUDGET_KIB, ExperimentScale, QUICK_SCALE
+from repro.experiments.runner import evaluation_traces
+
+
+def _entries_for_budget(way_bits: Sequence[int], budget_kib: float, companion_divisor: int = 64) -> int:
+    """Largest entry count whose storage fits the budget for given way widths."""
+    ways = len(way_bits)
+    set_bits = ways * METADATA_BITS + sum(way_bits)
+    budget_bits = kib_to_bits(budget_kib)
+    sets = 0
+    while True:
+        candidate = sets + 1
+        entries = candidate * ways
+        companion = max(entries // companion_divisor, 1)
+        if candidate * set_bits + companion * BTBXC_ENTRY_BITS > budget_bits:
+            break
+        sets = candidate
+    return max(sets, 1) * ways
+
+
+def run(scale: ExperimentScale = QUICK_SCALE, budget_kib: float = DEFAULT_BUDGET_KIB) -> Dict[str, object]:
+    """Compare way-sizing strategies at an equal storage budget."""
+    traces = evaluation_traces(scale, suites=("ipc1_server",))
+    suite_cdf = combined_distribution(traces, name="server_suite")
+    variants: Dict[str, List[int]] = {
+        "paper": list(BTBX_WAY_OFFSET_BITS_ARM64),
+        "uniform25": [25] * 8,
+        "calibrated": suite_cdf.way_sizing(8),
+    }
+    rows: Dict[str, Dict[str, float]] = {}
+    for label, widths in variants.items():
+        widths = sorted(widths)
+        entries = _entries_for_budget(widths, budget_kib)
+        mpkis = []
+        for trace in traces:
+            machine = default_machine_config(btb_style=BTBStyle.BTBX, fdip_enabled=True, isa=trace.isa)
+            btb = BTBX(entries, way_offset_bits=widths, companion_divisor=64, isa=trace.isa)
+            result = FrontEndSimulator(machine, btb=btb).run(
+                trace, warmup_instructions=scale.warmup_instructions
+            )
+            mpkis.append(result.btb_mpki)
+        rows[label] = {
+            "way_offset_bits": widths,
+            "entries": entries,
+            "avg_btb_mpki": arithmetic_mean(mpkis),
+        }
+    return {
+        "experiment": "ablation_ways",
+        "scale": scale.name,
+        "budget_kib": budget_kib,
+        "variants": rows,
+    }
+
+
+def format_report(result: Dict[str, object]) -> str:
+    """Text rendering of the way-sizing ablation."""
+    lines = [f"Ablation: BTB-X way sizing at {result['budget_kib']} KB", ""]
+    for label, row in result["variants"].items():
+        lines.append(
+            f"  {label:<11} ways={row['way_offset_bits']} entries={row['entries']} "
+            f"avg server MPKI={row['avg_btb_mpki']:.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Experiment scaling knobs.
+
+The paper simulates 43 traces for 100 M instructions each; a pure-Python model
+cannot do that in interactive time, so every experiment driver accepts an
+:class:`ExperimentScale` that controls trace length, warmup fraction and how
+many workloads of each suite are simulated.  Three presets are provided:
+
+* ``SMOKE_SCALE`` -- seconds; used by the unit/integration tests;
+* ``QUICK_SCALE`` -- minutes; used by the benchmark harness (default);
+* ``FULL_SCALE``  -- the full workload lists at the longest trace length this
+  model supports; intended for unattended runs.
+
+Set the environment variable ``REPRO_SCALE`` to ``smoke``, ``quick`` or
+``full`` to choose the preset picked up by :func:`current_scale`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: The paper's headline storage budget (Sections VI-C/D/E use 14.5 KB).
+DEFAULT_BUDGET_KIB = 14.5
+
+#: The seven storage budgets of Table III / Figure 11, in KiB.
+BUDGETS_KIB = (0.90625, 1.8125, 3.625, 7.25, 14.5, 29.0, 58.0)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How much work an experiment driver performs."""
+
+    name: str
+    instructions: int
+    warmup_fraction: float
+    server_workloads: int | None
+    client_workloads: int | None
+    cvp_workloads: int | None = 6
+    x86_workloads: int | None = None
+
+    @property
+    def warmup_instructions(self) -> int:
+        """Warmup length implied by the trace length and warmup fraction."""
+        return int(self.instructions * self.warmup_fraction)
+
+
+SMOKE_SCALE = ExperimentScale(
+    name="smoke",
+    instructions=20_000,
+    warmup_fraction=0.4,
+    server_workloads=2,
+    client_workloads=1,
+    cvp_workloads=2,
+    x86_workloads=2,
+)
+
+QUICK_SCALE = ExperimentScale(
+    name="quick",
+    instructions=160_000,
+    warmup_fraction=0.5,
+    server_workloads=6,
+    client_workloads=3,
+    cvp_workloads=4,
+    x86_workloads=3,
+)
+
+FULL_SCALE = ExperimentScale(
+    name="full",
+    instructions=300_000,
+    warmup_fraction=0.5,
+    server_workloads=None,
+    client_workloads=None,
+    cvp_workloads=None,
+    x86_workloads=None,
+)
+
+_PRESETS = {"smoke": SMOKE_SCALE, "quick": QUICK_SCALE, "full": FULL_SCALE}
+
+
+def current_scale(default: ExperimentScale = QUICK_SCALE) -> ExperimentScale:
+    """Return the preset selected by the ``REPRO_SCALE`` environment variable."""
+    name = os.environ.get("REPRO_SCALE", "").strip().lower()
+    return _PRESETS.get(name, default)

@@ -1,0 +1,75 @@
+"""Figure 9: BTB MPKI of Conv-BTB, PDede and BTB-X at the 14.5 KB budget.
+
+MPKI counts misses for *taken* branches only (misses for not-taken branches do
+not hurt performance).  The paper reports per-workload bars plus client and
+server averages; the shape to reproduce is: server MPKI >> client MPKI, and
+Conv-BTB > PDede >= BTB-X on servers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.aggregate import arithmetic_mean
+from repro.experiments.config import DEFAULT_BUDGET_KIB, ExperimentScale, QUICK_SCALE
+from repro.experiments.runner import (
+    EVALUATED_STYLES,
+    evaluation_traces,
+    is_server_workload,
+    simulate_grid,
+    style_label,
+)
+
+
+def run(scale: ExperimentScale = QUICK_SCALE, budget_kib: float = DEFAULT_BUDGET_KIB) -> Dict[str, object]:
+    """Simulate every workload with the three organizations and collect MPKI."""
+    traces = evaluation_traces(scale, suites=("ipc1_client", "ipc1_server"))
+    grid = simulate_grid(traces, EVALUATED_STYLES, budget_kib, fdip_enabled=True, scale=scale)
+
+    per_workload: Dict[str, Dict[str, float]] = {}
+    for trace in traces:
+        per_workload[trace.name] = {
+            style_label(style): grid[style][trace.name].btb_mpki for style in EVALUATED_STYLES
+        }
+
+    averages: Dict[str, Dict[str, float]] = {}
+    for group, selector in (("client", lambda n: not is_server_workload(n)),
+                            ("server", is_server_workload)):
+        averages[group] = {
+            style_label(style): arithmetic_mean(
+                grid[style][name].btb_mpki for name in per_workload if selector(name)
+            )
+            for style in EVALUATED_STYLES
+        }
+    return {
+        "experiment": "fig09_mpki",
+        "scale": scale.name,
+        "budget_kib": budget_kib,
+        "per_workload": per_workload,
+        "averages": averages,
+        "paper_server_averages": {"Conv-BTB": 25.0, "PDede": 13.7, "BTB-X": 9.5},
+    }
+
+
+def format_report(result: Dict[str, object]) -> str:
+    """Text rendering of the Figure 9 reproduction."""
+    lines = [
+        f"Figure 9: BTB MPKI at {result['budget_kib']} KB (taken-branch misses only)",
+        "",
+        "  workload          Conv-BTB   PDede    BTB-X",
+    ]
+    for workload, row in result["per_workload"].items():
+        lines.append(
+            f"  {workload:<16} {row['Conv-BTB']:8.2f} {row['PDede']:8.2f} {row['BTB-X']:8.2f}"
+        )
+    lines.append("")
+    for group in ("client", "server"):
+        row = result["averages"][group]
+        lines.append(
+            f"  {group + ' avg':<16} {row['Conv-BTB']:8.2f} {row['PDede']:8.2f} {row['BTB-X']:8.2f}"
+        )
+    paper = result["paper_server_averages"]
+    lines.append(
+        f"  paper server avg {paper['Conv-BTB']:8.2f} {paper['PDede']:8.2f} {paper['BTB-X']:8.2f}"
+    )
+    return "\n".join(lines)

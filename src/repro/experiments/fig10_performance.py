@@ -1,0 +1,92 @@
+"""Figure 10: speedups of Conv-BTB, PDede and BTB-X with and without FDIP.
+
+All results are normalized to the conventional BTB *without* instruction
+prefetching at the same (14.5 KB) storage budget.  For PDede and BTB-X the
+gain is split into the part obtained without FDIP (fewer pipeline flushes)
+and the additional part contributed by FDIP prefetching, mirroring the
+stacked bars of Figure 10.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.aggregate import geometric_mean
+from repro.common.config import BTBStyle
+from repro.experiments.config import DEFAULT_BUDGET_KIB, ExperimentScale, QUICK_SCALE
+from repro.experiments.runner import (
+    EVALUATED_STYLES,
+    evaluation_traces,
+    is_server_workload,
+    simulate_grid,
+    style_label,
+)
+
+
+def run(scale: ExperimentScale = QUICK_SCALE, budget_kib: float = DEFAULT_BUDGET_KIB) -> Dict[str, object]:
+    """Simulate the 3 organizations x {FDIP off, FDIP on} grid."""
+    traces = evaluation_traces(scale, suites=("ipc1_client", "ipc1_server"))
+    without_fdip = simulate_grid(traces, EVALUATED_STYLES, budget_kib, fdip_enabled=False, scale=scale)
+    with_fdip = simulate_grid(traces, EVALUATED_STYLES, budget_kib, fdip_enabled=True, scale=scale)
+    baseline = without_fdip[BTBStyle.CONVENTIONAL]
+
+    per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for trace in traces:
+        name = trace.name
+        base_ipc = baseline[name].ipc
+        per_workload[name] = {}
+        for style in EVALUATED_STYLES:
+            no_fdip_gain = without_fdip[style][name].ipc / base_ipc if base_ipc else 0.0
+            total_gain = with_fdip[style][name].ipc / base_ipc if base_ipc else 0.0
+            per_workload[name][style_label(style)] = {
+                "gain_without_fdip": no_fdip_gain,
+                "gain_with_fdip": total_gain,
+                "gain_from_prefetching": max(total_gain - no_fdip_gain, 0.0),
+            }
+
+    def gmean_over(selector, style, key):
+        return geometric_mean(
+            per_workload[name][style_label(style)][key]
+            for name in per_workload
+            if selector(name)
+        )
+
+    summary: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for group, selector in (("server", is_server_workload),
+                            ("client", lambda n: not is_server_workload(n))):
+        summary[group] = {
+            style_label(style): {
+                "gain_with_fdip": gmean_over(selector, style, "gain_with_fdip"),
+                "gain_without_fdip": gmean_over(selector, style, "gain_without_fdip"),
+            }
+            for style in EVALUATED_STYLES
+        }
+    return {
+        "experiment": "fig10_performance",
+        "scale": scale.name,
+        "budget_kib": budget_kib,
+        "per_workload": per_workload,
+        "summary": summary,
+        "paper_server_gmean_with_fdip": {"Conv-BTB": 1.24, "PDede": 1.33, "BTB-X": 1.39},
+        "paper_server_gmean_without_fdip": {"Conv-BTB": 1.00, "PDede": 1.08, "BTB-X": 1.13},
+    }
+
+
+def format_report(result: Dict[str, object]) -> str:
+    """Text rendering of the Figure 10 reproduction."""
+    lines = [
+        f"Figure 10: performance gain over Conv-BTB without FDIP ({result['budget_kib']} KB)",
+        "",
+        "  group    organization   no-FDIP gain   with-FDIP gain",
+    ]
+    for group in ("server", "client"):
+        for style, values in result["summary"][group].items():
+            lines.append(
+                f"  {group:<8} {style:<13} {values['gain_without_fdip']:10.3f}   {values['gain_with_fdip']:12.3f}"
+            )
+    lines.append("")
+    lines.append(
+        "  paper (server gmean, with FDIP): "
+        + ", ".join(f"{k}={v:.2f}" for k, v in result["paper_server_gmean_with_fdip"].items())
+    )
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Figure 11: performance versus BTB storage budget (0.9 KB to 58 KB).
+
+All three organizations are swept across the seven canonical budgets with
+FDIP enabled everywhere; results are normalized to the conventional BTB at
+the smallest (0.9 KB) budget, separately for server and client workloads.
+The headline shape: BTB-X at budget B matches or beats Conv-BTB at budget 2B,
+and the curves converge once branch working sets fit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.aggregate import geometric_mean
+from repro.common.config import BTBStyle
+from repro.experiments.config import BUDGETS_KIB, ExperimentScale, QUICK_SCALE
+from repro.experiments.runner import (
+    EVALUATED_STYLES,
+    evaluation_traces,
+    is_server_workload,
+    simulate_grid,
+    style_label,
+)
+
+
+def run(
+    scale: ExperimentScale = QUICK_SCALE,
+    budgets_kib: tuple[float, ...] = BUDGETS_KIB,
+) -> Dict[str, object]:
+    """Sweep the storage budgets for the three organizations."""
+    traces = evaluation_traces(scale, suites=("ipc1_client", "ipc1_server"))
+
+    # results[budget][style][workload] -> SimulationResult
+    results = {
+        budget: simulate_grid(traces, EVALUATED_STYLES, budget, fdip_enabled=True, scale=scale)
+        for budget in budgets_kib
+    }
+    baseline = results[budgets_kib[0]][BTBStyle.CONVENTIONAL]
+
+    curves: Dict[str, Dict[str, List[float]]] = {"server": {}, "client": {}}
+    for group, selector in (("server", is_server_workload),
+                            ("client", lambda n: not is_server_workload(n))):
+        for style in EVALUATED_STYLES:
+            series = []
+            for budget in budgets_kib:
+                speedups = [
+                    results[budget][style][t.name].ipc / baseline[t.name].ipc
+                    for t in traces
+                    if selector(t.name) and baseline[t.name].ipc > 0
+                ]
+                series.append(geometric_mean(speedups))
+            curves[group][style_label(style)] = series
+    return {
+        "experiment": "fig11_sweep",
+        "scale": scale.name,
+        "budgets_kib": list(budgets_kib),
+        "curves": curves,
+    }
+
+
+def format_report(result: Dict[str, object]) -> str:
+    """Text rendering of the Figure 11 reproduction."""
+    budgets = result["budgets_kib"]
+    lines = ["Figure 11: performance vs storage budget (normalized to 0.9 KB Conv-BTB)", ""]
+    header = "  group   organization  " + " ".join(f"{b:>7.2f}K" for b in budgets)
+    lines.append(header)
+    for group in ("server", "client"):
+        for style, series in result["curves"][group].items():
+            lines.append(
+                f"  {group:<7} {style:<13} " + " ".join(f"{value:8.3f}" for value in series)
+            )
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Figure 12: target offset distribution in the CVP-1-like server traces.
+
+The paper cross-checks the IPC-1 offset distribution (Figure 4) against 750+
+CVP-1 server traces and finds them nearly identical, confirming the
+distribution is a property of how server software is written.  Here the same
+comparison runs over the independently-seeded ``cvp1_server`` synthetic suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.offset_analysis import combined_distribution
+from repro.experiments.config import ExperimentScale, QUICK_SCALE
+from repro.experiments.runner import evaluation_traces
+
+
+def run(scale: ExperimentScale = QUICK_SCALE) -> Dict[str, object]:
+    """Compare the CVP-1-like offset CDF with the IPC-1-like one."""
+    ipc_traces = evaluation_traces(scale, suites=("ipc1_client", "ipc1_server"))
+    cvp_traces = evaluation_traces(scale, suites=("cvp1_server",))
+    ipc = combined_distribution(ipc_traces, name="ipc1_avg")
+    cvp = combined_distribution(cvp_traces, name="cvp1_avg")
+    points = list(range(0, 47, 2))
+    max_gap = max(abs(ipc.fraction_covered(b) - cvp.fraction_covered(b)) for b in range(0, 47))
+    return {
+        "experiment": "fig12_cvp",
+        "scale": scale.name,
+        "bits": points,
+        "ipc1_cdf": [ipc.fraction_covered(b) for b in points],
+        "cvp1_cdf": [cvp.fraction_covered(b) for b in points],
+        "max_cdf_gap": max_gap,
+    }
+
+
+def format_report(result: Dict[str, object]) -> str:
+    """Text rendering of the Figure 12 reproduction."""
+    lines = [
+        "Figure 12: offset distribution, CVP-1-like vs IPC-1-like traces",
+        "",
+        "  bits : " + " ".join(f"{b:>4d}" for b in result["bits"][:14]),
+        "  IPC-1: " + " ".join(f"{v:4.2f}" for v in result["ipc1_cdf"][:14]),
+        "  CVP-1: " + " ".join(f"{v:4.2f}" for v in result["cvp1_cdf"][:14]),
+        "",
+        f"  maximum CDF gap between the suites: {result['max_cdf_gap']:.3f}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Shared machinery for the experiment drivers.
+
+The drivers need the same two building blocks:
+
+* building the evaluation traces once (trace generation is seeded, so traces
+  are identical across drivers using the same scale), and
+* simulating a trace on a machine whose BTB organization is sized for a given
+  storage budget, with or without FDIP.
+
+Both are provided here so each figure/table driver stays small and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.common.config import BTBStyle, default_machine_config
+from repro.core.metrics import SimulationResult
+from repro.core.simulator import FrontEndSimulator
+from repro.btb.storage import make_btb_for_budget
+from repro.experiments.config import ExperimentScale
+from repro.traces.trace import Trace
+from repro.workloads.suites import build_suite
+
+#: The three organizations compared throughout the evaluation.
+EVALUATED_STYLES: tuple[BTBStyle, ...] = (
+    BTBStyle.CONVENTIONAL,
+    BTBStyle.PDEDE,
+    BTBStyle.BTBX,
+)
+
+_TRACE_CACHE: Dict[tuple, List[Trace]] = {}
+
+
+def style_label(style: BTBStyle) -> str:
+    """Human label used in reports ("Conv-BTB", "PDede", "BTB-X")."""
+    return {
+        BTBStyle.CONVENTIONAL: "Conv-BTB",
+        BTBStyle.PDEDE: "PDede",
+        BTBStyle.BTBX: "BTB-X",
+        BTBStyle.REDUCED: "R-BTB",
+        BTBStyle.IDEAL: "Ideal",
+    }[style]
+
+
+def evaluation_traces(
+    scale: ExperimentScale,
+    suites: Sequence[str] = ("ipc1_client", "ipc1_server"),
+) -> List[Trace]:
+    """Build (and cache) the traces of the requested suites at ``scale``."""
+    limits = {
+        "ipc1_client": scale.client_workloads,
+        "ipc1_server": scale.server_workloads,
+        "cvp1_server": scale.cvp_workloads,
+        "x86_server": scale.x86_workloads,
+    }
+    traces: List[Trace] = []
+    for suite in suites:
+        key = (suite, scale.instructions, limits.get(suite))
+        if key not in _TRACE_CACHE:
+            _TRACE_CACHE[key] = list(
+                build_suite(suite, scale.instructions, limit=limits.get(suite))
+            )
+        traces.extend(_TRACE_CACHE[key])
+    return traces
+
+
+def clear_trace_cache() -> None:
+    """Drop cached traces (tests use this to bound memory)."""
+    _TRACE_CACHE.clear()
+
+
+def simulate(
+    trace: Trace,
+    style: BTBStyle,
+    budget_kib: float,
+    fdip_enabled: bool,
+    scale: ExperimentScale,
+) -> SimulationResult:
+    """Simulate one trace with one BTB organization sized for ``budget_kib``."""
+    machine = default_machine_config(
+        btb_style=style, fdip_enabled=fdip_enabled, isa=trace.isa
+    )
+    btb = make_btb_for_budget(style, budget_kib, isa=trace.isa)
+    simulator = FrontEndSimulator(machine, btb=btb)
+    return simulator.run(trace, warmup_instructions=scale.warmup_instructions)
+
+
+def simulate_grid(
+    traces: Iterable[Trace],
+    styles: Sequence[BTBStyle],
+    budget_kib: float,
+    fdip_enabled: bool,
+    scale: ExperimentScale,
+) -> Dict[BTBStyle, Dict[str, SimulationResult]]:
+    """Simulate every (style, trace) pair; returns results[style][workload]."""
+    results: Dict[BTBStyle, Dict[str, SimulationResult]] = {style: {} for style in styles}
+    for trace in traces:
+        for style in styles:
+            results[style][trace.name] = simulate(trace, style, budget_kib, fdip_enabled, scale)
+    return results
+
+
+def is_server_workload(name: str) -> bool:
+    """True for server-class workload names (used to split suite averages)."""
+    return "server" in name or name in ("wordpress", "mediawiki", "drupal", "kafka", "finagle_http")

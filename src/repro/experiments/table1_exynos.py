@@ -1,0 +1,45 @@
+"""Table I: BTB storage cost in Samsung Exynos processors.
+
+This table is literature data (Grayson et al., ISCA 2020) that the paper
+reproduces verbatim to motivate the storage problem; it involves no
+simulation.  It is included so every table of the paper has a driver and so
+the growth-rate claim ("nearly six fold over about eight years") can be
+checked programmatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: (CPU generation, BTB storage in KB) as reported in Table I.
+EXYNOS_BTB_STORAGE_KB: tuple[tuple[str, float], ...] = (
+    ("M1/M2", 98.9),
+    ("M3", 175.8),
+    ("M4", 288.0),
+    ("M5", 310.8),
+    ("M6", 561.5),
+)
+
+
+def run(scale: object | None = None) -> Dict[str, object]:
+    """Return the Table I rows plus the derived growth factor."""
+    rows: List[Dict[str, object]] = [
+        {"cpu": cpu, "btb_storage_kb": storage} for cpu, storage in EXYNOS_BTB_STORAGE_KB
+    ]
+    first = EXYNOS_BTB_STORAGE_KB[0][1]
+    last = EXYNOS_BTB_STORAGE_KB[-1][1]
+    return {
+        "experiment": "table1_exynos",
+        "rows": rows,
+        "growth_factor_m1_to_m6": last / first,
+    }
+
+
+def format_report(result: Dict[str, object]) -> str:
+    """Text rendering of Table I."""
+    lines = ["Table I: BTB storage cost in Samsung Exynos processors", ""]
+    for row in result["rows"]:
+        lines.append(f"  {row['cpu']:<6} {row['btb_storage_kb']:8.1f} KB")
+    lines.append("")
+    lines.append(f"  M1->M6 growth: {result['growth_factor_m1_to_m6']:.2f}x")
+    return "\n".join(lines)

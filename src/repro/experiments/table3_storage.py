@@ -1,0 +1,45 @@
+"""Table III: BTB-X storage requirements for 256 to 16K entries."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.config import ISAStyle
+from repro.btb.storage import CANONICAL_BTBX_ENTRIES, BTBStorageModel
+
+#: Storage figures printed in Table III (KB), for checking the reproduction.
+PAPER_STORAGE_KIB = (0.9, 1.8, 3.6, 7.25, 14.5, 29.0, 58.0)
+
+
+def run(scale: object | None = None, isa: ISAStyle = ISAStyle.ARM64) -> Dict[str, object]:
+    """Compute BTB-X storage for each canonical entry count."""
+    model = BTBStorageModel(isa)
+    rows: List[Dict[str, object]] = []
+    for entries, paper_kib in zip(CANONICAL_BTBX_ENTRIES, PAPER_STORAGE_KIB):
+        row = model.btbx_storage_row(entries)
+        rows.append(
+            {
+                "btbx_entries": row.btbx_entries,
+                "companion_entries": row.companion_entries,
+                "sets": row.num_sets,
+                "set_bits": row.set_bits,
+                "storage_kib": row.storage_kib,
+                "paper_storage_kib": paper_kib,
+            }
+        )
+    return {"experiment": "table3_storage", "isa": isa.value, "rows": rows}
+
+
+def format_report(result: Dict[str, object]) -> str:
+    """Text rendering of Table III."""
+    lines = [
+        f"Table III: BTB-X storage requirements ({result['isa']})",
+        "",
+        "  entries(+XC)   sets   set-bits   storage      paper",
+    ]
+    for row in result["rows"]:
+        lines.append(
+            f"  {row['btbx_entries']:>6}(+{row['companion_entries']:<3}) {row['sets']:>6} "
+            f"{row['set_bits']:>9} {row['storage_kib']:>8.3f}KB {row['paper_storage_kib']:>8.2f}KB"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Table IV: branches trackable by BTB-X, PDede and Conv-BTB per storage budget."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.config import ISAStyle
+from repro.btb.storage import BTBStorageModel
+
+#: Branch capacities reported in Table IV, for reference in the report.
+PAPER_CAPACITIES = {
+    "btbx": (256 + 4, 512 + 8, 1024 + 16, 2048 + 32, 4096 + 64, 8192 + 128, 16384 + 256),
+    "pdede": (210, 415, 820, 1617, 3190, 6292, 12405),
+    "conventional": (116, 232, 464, 928, 1856, 3712, 7424),
+}
+
+
+def run(scale: object | None = None, isa: ISAStyle = ISAStyle.ARM64) -> Dict[str, object]:
+    """Compute the capacity table for the given ISA."""
+    model = BTBStorageModel(isa)
+    rows: List[Dict[str, object]] = []
+    for index, capacity in enumerate(model.capacity_table()):
+        rows.append(
+            {
+                "storage_kib": capacity.storage_kib,
+                "btbx": capacity.btbx_total_entries,
+                "pdede": capacity.pdede_entries,
+                "pdede_entry_bits": capacity.pdede_entry_bits,
+                "pdede_page_entries": capacity.pdede_page_entries,
+                "conventional": capacity.conventional_entries,
+                "btbx_over_conventional": capacity.btbx_over_conventional,
+                "btbx_over_pdede": capacity.btbx_over_pdede,
+                "paper_btbx": PAPER_CAPACITIES["btbx"][index],
+                "paper_pdede": PAPER_CAPACITIES["pdede"][index],
+                "paper_conventional": PAPER_CAPACITIES["conventional"][index],
+            }
+        )
+    summary = {
+        "btbx_over_conventional_min": min(r["btbx_over_conventional"] for r in rows),
+        "btbx_over_conventional_max": max(r["btbx_over_conventional"] for r in rows),
+        "btbx_over_pdede_min": min(r["btbx_over_pdede"] for r in rows),
+        "btbx_over_pdede_max": max(r["btbx_over_pdede"] for r in rows),
+    }
+    return {"experiment": "table4_capacity", "isa": isa.value, "rows": rows, "summary": summary}
+
+
+def format_report(result: Dict[str, object]) -> str:
+    """Text rendering of Table IV."""
+    lines = [
+        f"Table IV: branch capacity per storage budget ({result['isa']})",
+        "",
+        "  budget     BTB-X(paper)      PDede(paper)      Conv(paper)      X/Conv  X/PDede",
+    ]
+    for row in result["rows"]:
+        lines.append(
+            f"  {row['storage_kib']:6.2f}KB  {row['btbx']:>6} ({row['paper_btbx']:>6})  "
+            f"{row['pdede']:>6} ({row['paper_pdede']:>6})  "
+            f"{row['conventional']:>6} ({row['paper_conventional']:>6})   "
+            f"{row['btbx_over_conventional']:.2f}x   {row['btbx_over_pdede']:.2f}x"
+        )
+    summary = result["summary"]
+    lines.append("")
+    lines.append(
+        "  BTB-X capacity advantage: "
+        f"{summary['btbx_over_conventional_min']:.2f}-{summary['btbx_over_conventional_max']:.2f}x over Conv-BTB, "
+        f"{summary['btbx_over_pdede_min']:.2f}-{summary['btbx_over_pdede_max']:.2f}x over PDede"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,221 @@
+"""Branch prediction unit: BTB + direction predictor + return address stack.
+
+For every instruction address the BPU walks over it produces a
+:class:`FrontEndPrediction`: whether a branch was identified (BTB hit), the
+predicted direction and target, and -- once the architectural outcome is known
+-- how the prediction resolves (correct, resteerable at decode, or a full
+execute-stage flush).
+
+The resolution rules follow the improved branch handling of Section VI-A:
+
+* a taken branch that *misses* in the BTB is resolved at decode (cheap
+  resteer) when its target is encoded in the instruction -- unconditional
+  direct branches and calls always, conditional branches only if the direction
+  predictor predicted taken (the decode stage receives direction predictions
+  for all instructions);
+* a taken branch that misses in the BTB and cannot be resolved at decode
+  (returns, indirect branches, conditional branches predicted not-taken)
+  causes a full execute-stage flush;
+* a BTB miss for a not-taken conditional branch is harmless;
+* on a BTB hit, a wrong predicted direction or wrong predicted target causes a
+  full execute-stage flush.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.config import MachineConfig
+from repro.common.stats import Stats
+from repro.isa.branch import BranchType
+from repro.isa.instruction import Instruction
+from repro.btb.base import BTBBase, BTBLookupResult
+from repro.predictor.base import DirectionPredictor
+from repro.predictor.factory import make_direction_predictor
+from repro.predictor.ras import ReturnAddressStack
+
+
+class PredictionOutcome(enum.Enum):
+    """How the front end's handling of one instruction resolves."""
+
+    #: Correct next-PC prediction (or a non-branch instruction): no penalty.
+    CORRECT = "correct"
+    #: Taken branch missed in the BTB but was resteered at the decode stage.
+    DECODE_RESTEER = "decode_resteer"
+    #: Wrong path until the execute stage: full pipeline flush.
+    EXECUTE_FLUSH = "execute_flush"
+
+
+@dataclass(frozen=True)
+class FrontEndPrediction:
+    """Everything the front end decided about one instruction."""
+
+    pc: int
+    btb_hit: bool
+    identified_branch: bool
+    predicted_taken: bool
+    predicted_target: int | None
+    outcome: PredictionOutcome
+    #: True when the instruction is a taken branch that missed in the BTB
+    #: (the events counted by the paper's BTB MPKI metric).
+    btb_miss_taken_branch: bool
+    #: Extra BTB port cycles beyond the first (PDede different-page lookups).
+    extra_btb_cycles: int = 0
+    #: True when the prediction breaks the fetch stream (any wrong next-PC);
+    #: used by the FTQ/FDIP model to reset the run-ahead distance.
+    stream_break: bool = False
+
+
+class BranchPredictionUnit:
+    """Combines a BTB organization, a direction predictor and a RAS."""
+
+    def __init__(
+        self,
+        btb: BTBBase,
+        config: MachineConfig,
+        stats: Stats | None = None,
+        direction_predictor: DirectionPredictor | None = None,
+    ) -> None:
+        self._stats_registry = stats if stats is not None else Stats()
+        self.stats = self._stats_registry.group("bpu")
+        self.btb = btb
+        self.config = config
+        self.direction_predictor = direction_predictor or make_direction_predictor(
+            config.branch_predictor, self._stats_registry
+        )
+        self.ras = ReturnAddressStack(config.branch_predictor.ras_entries, self._stats_registry)
+
+    # -- prediction -----------------------------------------------------------
+
+    def process(self, instruction: Instruction) -> FrontEndPrediction:
+        """Predict the instruction's control flow and resolve it against truth.
+
+        The architectural outcome carried by ``instruction`` is only used to
+        classify the prediction (correct / decode resteer / execute flush) and
+        to train the predictors at commit -- the prediction itself relies
+        exclusively on the BTB, the direction predictor and the RAS.
+        """
+        lookup = self.btb.lookup(instruction.pc)
+        prediction = self._classify(instruction, lookup)
+        self._commit(instruction, prediction)
+        return prediction
+
+    def _classify(self, instruction: Instruction, lookup: BTBLookupResult) -> FrontEndPrediction:
+        pc = instruction.pc
+        is_branch = instruction.is_branch
+        actually_taken = instruction.taken
+
+        if not lookup.hit:
+            # The front end does not know this PC is a branch: it continues on
+            # the sequential path.  Conceptually the direction predictor still
+            # produces a prediction for every PC (Section VI-A); it is only
+            # consulted here when that prediction influences the outcome
+            # (a taken conditional branch that decode might resteer).
+            if not is_branch or not actually_taken:
+                outcome = PredictionOutcome.CORRECT
+                stream_break = False
+            else:
+                self.stats.inc("btb_miss_taken")
+                stream_break = True
+                if instruction.branch_type in (BranchType.UNCONDITIONAL, BranchType.CALL):
+                    outcome = PredictionOutcome.DECODE_RESTEER
+                elif (
+                    instruction.branch_type is BranchType.CONDITIONAL
+                    and self.direction_predictor.predict(pc)
+                ):
+                    outcome = PredictionOutcome.DECODE_RESTEER
+                else:
+                    outcome = PredictionOutcome.EXECUTE_FLUSH
+            return FrontEndPrediction(
+                pc=pc,
+                btb_hit=False,
+                identified_branch=False,
+                predicted_taken=False,
+                predicted_target=None,
+                outcome=outcome,
+                btb_miss_taken_branch=is_branch and actually_taken,
+                extra_btb_cycles=0,
+                stream_break=stream_break,
+            )
+
+        # BTB hit: the front end knows the branch type and (usually) its target.
+        identified_type = lookup.branch_type or instruction.branch_type
+        if identified_type.is_conditional:
+            predicted_taken = self.direction_predictor.predict(pc)
+        else:
+            predicted_taken = True
+
+        if lookup.target_from_ras or identified_type.target_from_ras:
+            predicted_target = self.ras.peek()
+        else:
+            predicted_target = lookup.target
+
+        extra_cycles = (lookup.latency_cycles - 1) if predicted_taken else 0
+
+        if not is_branch:
+            # A false BTB hit (partial-tag aliasing) on a non-branch: if it is
+            # predicted taken the fetch stream is broken until decode notices.
+            if predicted_taken:
+                self.stats.inc("false_hits")
+                outcome = PredictionOutcome.DECODE_RESTEER
+                stream_break = True
+            else:
+                outcome = PredictionOutcome.CORRECT
+                stream_break = False
+            return FrontEndPrediction(
+                pc=pc,
+                btb_hit=True,
+                identified_branch=True,
+                predicted_taken=predicted_taken,
+                predicted_target=predicted_target,
+                outcome=outcome,
+                btb_miss_taken_branch=False,
+                extra_btb_cycles=extra_cycles,
+                stream_break=stream_break,
+            )
+
+        if predicted_taken != actually_taken:
+            self.stats.inc("direction_mispredictions")
+            outcome = PredictionOutcome.EXECUTE_FLUSH
+            stream_break = True
+        elif actually_taken and predicted_target != instruction.target:
+            # Wrong target: stale indirect target, RAS mismatch or aliasing.
+            self.stats.inc("target_mispredictions")
+            outcome = PredictionOutcome.EXECUTE_FLUSH
+            stream_break = True
+        else:
+            outcome = PredictionOutcome.CORRECT
+            stream_break = False
+
+        return FrontEndPrediction(
+            pc=pc,
+            btb_hit=True,
+            identified_branch=True,
+            predicted_taken=predicted_taken,
+            predicted_target=predicted_target,
+            outcome=outcome,
+            btb_miss_taken_branch=False,
+            extra_btb_cycles=extra_cycles,
+            stream_break=stream_break,
+        )
+
+    # -- commit-time updates ------------------------------------------------------
+
+    def _commit(self, instruction: Instruction, prediction: FrontEndPrediction) -> None:
+        """Commit-time training: predictors, RAS and BTB updates."""
+        if not instruction.is_branch:
+            return
+        branch_type = instruction.branch_type
+        if branch_type.is_conditional:
+            predicted = prediction.predicted_taken if prediction.identified_branch else False
+            self.direction_predictor.record_outcome(predicted, instruction.taken)
+            self.direction_predictor.update(instruction.pc, instruction.taken)
+        # Architectural RAS maintenance: calls push, returns pop.
+        if branch_type.is_call:
+            self.ras.push(instruction.fall_through)
+        elif branch_type.is_return:
+            self.ras.pop()
+        # The BTB is updated at commit by taken branches only (Section VI-A).
+        if instruction.taken:
+            self.btb.update(instruction)

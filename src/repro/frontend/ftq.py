@@ -1,0 +1,70 @@
+"""Fetch target queue (FTQ).
+
+The FTQ decouples the branch prediction unit from the fetch engine (Figure 2).
+The BPU pushes predicted instruction addresses at its own pace; the fetch
+engine pops them.  Its occupancy therefore measures how far ahead of fetch the
+BPU is running, which is exactly the lead time available to FDIP for hiding
+L1-I miss latency.  A pipeline flush or resteer empties the queue: the BPU
+must start over on the corrected path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.stats import Stats
+
+
+class FetchTargetQueue:
+    """Bounded FIFO of predicted fetch addresses."""
+
+    def __init__(self, capacity: int = 128, stats: Stats | None = None) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("FTQ capacity must be positive")
+        self.capacity = capacity
+        registry = stats if stats is not None else Stats()
+        self.stats = registry.group("ftq")
+        self._entries: Deque[int] = deque()
+
+    def push(self, address: int) -> Optional[int]:
+        """Push a predicted instruction address.
+
+        When the queue is full the oldest address is returned (the fetch
+        engine is modelled as consuming it), keeping occupancy at capacity.
+        (This is the simulator's inner loop, so no per-push statistics are
+        recorded; flushes are counted because they are rare and meaningful.)
+        """
+        self._entries.append(address)
+        if len(self._entries) > self.capacity:
+            return self._entries.popleft()
+        return None
+
+    def pop(self) -> Optional[int]:
+        """Pop the oldest predicted address (fetch engine consumption)."""
+        if not self._entries:
+            return None
+        return self._entries.popleft()
+
+    def flush(self) -> int:
+        """Drop every queued address (pipeline flush / resteer); returns count."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        if dropped:
+            self.stats.inc("flushes")
+            self.stats.inc("flushed_entries", dropped)
+        return dropped
+
+    @property
+    def occupancy(self) -> int:
+        """Number of addresses currently queued (the BPU's run-ahead distance)."""
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        """True when the BPU cannot run further ahead."""
+        return len(self._entries) >= self.capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)

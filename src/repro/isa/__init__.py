@@ -1,0 +1,14 @@
+"""Instruction-set level abstractions: branch types and instruction records.
+
+The simulator is trace driven; the only ISA-level information it needs per
+instruction is whether it is a branch, which kind of branch, whether it was
+taken, and its target.  :class:`repro.isa.branch.BranchType` enumerates the
+branch classes the BTB's ``type`` field distinguishes, and
+:class:`repro.isa.instruction.Instruction` is the retired-instruction record
+shared by the trace readers, the workload generators and the simulator.
+"""
+
+from repro.isa.branch import BranchType
+from repro.isa.instruction import Instruction
+
+__all__ = ["BranchType", "Instruction"]

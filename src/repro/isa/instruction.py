@@ -1,0 +1,82 @@
+"""The retired-instruction record consumed by the trace-driven simulator.
+
+A trace is a sequence of :class:`Instruction` objects in retirement order.
+Each record carries the PC, instruction size, branch class, the resolved
+taken/not-taken outcome and the resolved target.  This is the same information
+a ChampSim trace record provides to the front end; micro-op and register
+information is not needed by any experiment in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.branch import BranchType
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One retired instruction.
+
+    Attributes:
+        pc: Virtual address of the instruction.
+        size: Instruction size in bytes (4 on Arm64, variable on x86).
+        branch_type: Branch class, ``BranchType.NOT_BRANCH`` for non-branches.
+        taken: Resolved direction; always ``True`` for unconditional classes
+            and always ``False`` for non-branches.
+        target: The branch's architectural target (where control goes when the
+            branch is taken), regardless of the resolved direction.  Zero for
+            non-branch instructions.  The architectural next PC is exposed by
+            :attr:`next_pc`.
+    """
+
+    pc: int
+    size: int = 4
+    branch_type: BranchType = BranchType.NOT_BRANCH
+    taken: bool = False
+    target: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pc < 0:
+            raise ValueError(f"instruction PC must be non-negative, got {self.pc}")
+        if self.size <= 0:
+            raise ValueError(f"instruction size must be positive, got {self.size}")
+        if not self.branch_type.is_branch and self.taken:
+            raise ValueError("a non-branch instruction cannot be taken")
+        if self.branch_type.is_always_taken and not self.taken:
+            raise ValueError(f"{self.branch_type} branches are always taken")
+
+    @property
+    def is_branch(self) -> bool:
+        """True when the instruction is any kind of branch."""
+        return self.branch_type.is_branch
+
+    @property
+    def fall_through(self) -> int:
+        """Address of the next sequential instruction."""
+        return self.pc + self.size
+
+    @property
+    def next_pc(self) -> int:
+        """Architectural next PC: target when taken, fall-through otherwise."""
+        return self.target if self.taken else self.fall_through
+
+    def cache_block(self, line_size: int = 64) -> int:
+        """Cache-block address (block-aligned) containing this instruction."""
+        return self.pc & ~(line_size - 1)
+
+    @staticmethod
+    def non_branch(pc: int, size: int = 4) -> "Instruction":
+        """Convenience constructor for a plain, non-branch instruction."""
+        return Instruction(pc=pc, size=size)
+
+    @staticmethod
+    def branch(
+        pc: int,
+        branch_type: BranchType,
+        taken: bool,
+        target: int,
+        size: int = 4,
+    ) -> "Instruction":
+        """Convenience constructor for a branch instruction."""
+        return Instruction(pc=pc, size=size, branch_type=branch_type, taken=taken, target=target)

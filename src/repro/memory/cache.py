@@ -1,0 +1,165 @@
+"""A single set-associative cache level with LRU replacement.
+
+The model is functional (hit/miss state plus access counters) with enough
+timing metadata (hit latency, MSHR count) for the interval timing model and
+the FDIP prefetch engine.  Writes are modelled as allocate-on-miss like reads;
+dirty state is tracked so write-back traffic can be reported, although the
+front-end experiments never generate dirty lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.config import CacheConfig
+from repro.common.lru import LRUState
+from repro.common.stats import Stats
+
+
+@dataclass(frozen=True)
+class CacheAccessResult:
+    """Outcome of an access to one cache level."""
+
+    hit: bool
+    evicted_block: Optional[int] = None
+
+
+@dataclass
+class _Line:
+    valid: bool = False
+    tag: int = 0
+    dirty: bool = False
+    prefetched: bool = False
+
+
+class Cache:
+    """One cache level: geometry from :class:`CacheConfig`, LRU replacement."""
+
+    def __init__(self, config: CacheConfig, stats: Stats | None = None) -> None:
+        self.config = config
+        registry = stats if stats is not None else Stats()
+        self.stats = registry.group(f"cache.{config.name.lower()}")
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self.line_size = config.line_size
+        self._offset_bits = config.line_size.bit_length() - 1
+        self._sets: List[List[_Line]] = [
+            [_Line() for _ in range(self.associativity)] for _ in range(self.num_sets)
+        ]
+        self._lru = [LRUState(self.associativity) for _ in range(self.num_sets)]
+        # MSHR occupancy is tracked as a set of outstanding miss block
+        # addresses; the functional model clears it when fills complete.
+        self._outstanding: Dict[int, int] = {}
+
+    # -- address helpers ----------------------------------------------------
+
+    def block_address(self, addr: int) -> int:
+        """Align ``addr`` down to its cache-block address."""
+        return addr >> self._offset_bits << self._offset_bits
+
+    def _index_tag(self, addr: int) -> tuple[int, int]:
+        block = addr >> self._offset_bits
+        return block & (self.num_sets - 1), block >> (self.num_sets.bit_length() - 1)
+
+    # -- state queries ------------------------------------------------------
+
+    def contains(self, addr: int) -> bool:
+        """True when the block holding ``addr`` is resident (no LRU update)."""
+        index, tag = self._index_tag(addr)
+        return any(line.valid and line.tag == tag for line in self._sets[index])
+
+    @property
+    def hit_latency(self) -> int:
+        """Hit latency of this level in cycles."""
+        return self.config.hit_latency
+
+    @property
+    def mshrs(self) -> int:
+        """Number of miss status holding registers."""
+        return self.config.mshrs
+
+    def outstanding_misses(self) -> int:
+        """Number of blocks currently tracked as outstanding misses."""
+        return len(self._outstanding)
+
+    # -- operations -----------------------------------------------------------
+
+    def access(self, addr: int, is_write: bool = False, is_prefetch: bool = False) -> CacheAccessResult:
+        """Access the block containing ``addr``; on a miss the line is *not* filled.
+
+        The caller (the hierarchy) decides whether and when to fill, which lets
+        prefetches and demand fetches share one code path.
+        """
+        index, tag = self._index_tag(addr)
+        kind = "prefetch" if is_prefetch else ("write" if is_write else "read")
+        self.stats.inc(f"accesses.{kind}")
+        for way, line in enumerate(self._sets[index]):
+            if line.valid and line.tag == tag:
+                self._lru[index].touch(way)
+                if is_write:
+                    line.dirty = True
+                if line.prefetched and not is_prefetch:
+                    self.stats.inc("useful_prefetches")
+                    line.prefetched = False
+                self.stats.inc(f"hits.{kind}")
+                return CacheAccessResult(hit=True)
+        self.stats.inc(f"misses.{kind}")
+        return CacheAccessResult(hit=False)
+
+    def fill(self, addr: int, dirty: bool = False, prefetched: bool = False) -> Optional[int]:
+        """Install the block containing ``addr``; returns the evicted block, if any."""
+        index, tag = self._index_tag(addr)
+        lines = self._sets[index]
+        for way, line in enumerate(lines):
+            if line.valid and line.tag == tag:
+                # Already present (e.g. demand fill racing a prefetch).
+                self._lru[index].touch(way)
+                line.dirty = line.dirty or dirty
+                return None
+        victim_way = next((w for w, line in enumerate(lines) if not line.valid), None)
+        evicted: Optional[int] = None
+        if victim_way is None:
+            victim_way = self._lru[index].victim()
+            victim = lines[victim_way]
+            evicted = self._reconstruct_address(index, victim.tag)
+            if victim.dirty:
+                self.stats.inc("writebacks")
+            self.stats.inc("evictions")
+        line = lines[victim_way]
+        line.valid = True
+        line.tag = tag
+        line.dirty = dirty
+        line.prefetched = prefetched
+        self._lru[index].touch(victim_way)
+        self.stats.inc("fills")
+        self._outstanding.pop(self.block_address(addr), None)
+        return evicted
+
+    def note_outstanding(self, addr: int) -> bool:
+        """Record an outstanding miss; returns False when all MSHRs are busy."""
+        block = self.block_address(addr)
+        if block in self._outstanding:
+            self.stats.inc("mshr_merges")
+            return True
+        if len(self._outstanding) >= self.config.mshrs:
+            self.stats.inc("mshr_full")
+            return False
+        self._outstanding[block] = 1
+        return True
+
+    def invalidate_all(self) -> None:
+        """Drop every line (used between experiments)."""
+        for lines in self._sets:
+            for line in lines:
+                line.valid = False
+                line.dirty = False
+        self._outstanding.clear()
+
+    def _reconstruct_address(self, index: int, tag: int) -> int:
+        set_bits = self.num_sets.bit_length() - 1
+        return ((tag << set_bits) | index) << self._offset_bits
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(1 for lines in self._sets for line in lines if line.valid)

@@ -1,0 +1,110 @@
+"""The instruction-side memory hierarchy: L1-I -> L2 -> LLC -> memory.
+
+Two operations are exposed:
+
+* :meth:`MemoryHierarchy.fetch` -- a demand instruction fetch.  Returns the
+  latency in cycles (the L1-I hit latency is considered pipelined and costs
+  nothing extra; misses cost the latency of the level that supplies the block)
+  and fills all levels on the way back (inclusive fill).
+* :meth:`MemoryHierarchy.prefetch` -- an FDIP prefetch for a block.  It probes
+  the L1-I without disturbing demand-path statistics and, on a miss, fills the
+  block into the L1-I (and below), returning the latency after which the block
+  becomes usable.
+
+The L1-D is constructed for completeness (data accesses can be replayed
+through :meth:`MemoryHierarchy.data_access`) but the paper's experiments only
+exercise the instruction side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MachineConfig
+from repro.common.stats import Stats
+from repro.memory.cache import Cache
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """Outcome of a demand fetch or prefetch."""
+
+    latency: int
+    level: str
+    l1i_hit: bool
+
+
+class MemoryHierarchy:
+    """L1-I/L1-D + unified L2 + LLC + fixed-latency memory."""
+
+    def __init__(self, config: MachineConfig, stats: Stats | None = None) -> None:
+        self.config = config
+        self._stats_registry = stats if stats is not None else Stats()
+        self.stats = self._stats_registry.group("memory")
+        self.l1i = Cache(config.l1i, self._stats_registry)
+        self.l1d = Cache(config.l1d, self._stats_registry)
+        self.l2 = Cache(config.l2, self._stats_registry)
+        self.llc = Cache(config.llc, self._stats_registry)
+        self.memory_latency = config.memory_latency
+
+    # -- instruction side -----------------------------------------------------
+
+    def _miss_latency(self, addr: int, is_prefetch: bool) -> tuple[int, str]:
+        """Latency and supplier level for a block missing in the L1-I."""
+        if self.l2.access(addr, is_prefetch=is_prefetch).hit:
+            return self.l2.hit_latency, "L2"
+        if self.llc.access(addr, is_prefetch=is_prefetch).hit:
+            self.l2.fill(addr, prefetched=is_prefetch)
+            return self.llc.hit_latency, "LLC"
+        # Miss everywhere: fetch from memory and fill the whole hierarchy.
+        self.llc.fill(addr, prefetched=is_prefetch)
+        self.l2.fill(addr, prefetched=is_prefetch)
+        return self.memory_latency, "DRAM"
+
+    def fetch(self, addr: int) -> FetchResult:
+        """Demand instruction fetch of the block containing ``addr``."""
+        self.stats.inc("ifetch.accesses")
+        if self.l1i.access(addr).hit:
+            return FetchResult(latency=0, level="L1I", l1i_hit=True)
+        self.stats.inc("ifetch.l1i_misses")
+        latency, level = self._miss_latency(addr, is_prefetch=False)
+        self.l1i.fill(addr)
+        self.stats.inc(f"ifetch.fills.{level.lower()}")
+        return FetchResult(latency=latency, level=level, l1i_hit=False)
+
+    def prefetch(self, addr: int) -> FetchResult:
+        """FDIP prefetch of the block containing ``addr`` into the L1-I."""
+        self.stats.inc("prefetch.issued")
+        if self.l1i.contains(addr):
+            self.stats.inc("prefetch.redundant")
+            return FetchResult(latency=0, level="L1I", l1i_hit=True)
+        if not self.l1i.note_outstanding(addr):
+            # All MSHRs busy: the prefetch is dropped.
+            self.stats.inc("prefetch.dropped")
+            return FetchResult(latency=0, level="dropped", l1i_hit=False)
+        latency, level = self._miss_latency(addr, is_prefetch=True)
+        self.l1i.fill(addr, prefetched=True)
+        self.stats.inc(f"prefetch.fills.{level.lower()}")
+        return FetchResult(latency=latency, level=level, l1i_hit=False)
+
+    # -- data side (provided for completeness) ---------------------------------
+
+    def data_access(self, addr: int, is_write: bool = False) -> FetchResult:
+        """Demand data access through L1-D -> L2 -> LLC -> memory."""
+        self.stats.inc("dfetch.accesses")
+        if self.l1d.access(addr, is_write=is_write).hit:
+            return FetchResult(latency=0, level="L1D", l1i_hit=False)
+        latency, level = self._miss_latency(addr, is_prefetch=False)
+        self.l1d.fill(addr, dirty=is_write)
+        return FetchResult(latency=latency, level=level, l1i_hit=False)
+
+    # -- maintenance -------------------------------------------------------------
+
+    def invalidate_all(self) -> None:
+        """Drop every cached block in every level."""
+        for cache in (self.l1i, self.l1d, self.l2, self.llc):
+            cache.invalidate_all()
+
+    def line_size(self) -> int:
+        """Instruction cache line size in bytes."""
+        return self.l1i.line_size

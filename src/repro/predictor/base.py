@@ -1,0 +1,63 @@
+"""Direction predictor interface and the trivial always-taken predictor."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.common.stats import StatGroup, Stats
+
+
+class DirectionPredictor(abc.ABC):
+    """Predicts taken/not-taken for conditional branches.
+
+    Predictors are consulted for every branch the BTB identifies as
+    conditional; unconditional branches bypass the predictor.  The front end
+    calls :meth:`predict` at prediction time and :meth:`update` with the
+    resolved outcome at commit time.
+    """
+
+    name = "predictor"
+
+    def __init__(self, stats: Stats | None = None) -> None:
+        registry = stats if stats is not None else Stats()
+        self.stats: StatGroup = registry.group(f"predictor.{self.name}")
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Return the predicted direction for the conditional branch at ``pc``."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the predictor with the resolved direction of the branch at ``pc``."""
+
+    def record_outcome(self, predicted: bool, taken: bool) -> None:
+        """Book-keeping helper used by the front end to track accuracy."""
+        self.stats.inc("predictions")
+        if predicted == taken:
+            self.stats.inc("correct")
+        else:
+            self.stats.inc("mispredictions")
+
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """Storage footprint of the predictor's tables."""
+
+
+class AlwaysTakenPredictor(DirectionPredictor):
+    """Static predictor that predicts every conditional branch taken.
+
+    Useful for tests (fully deterministic) and as a lower bound in ablations.
+    """
+
+    name = "always_taken"
+
+    def predict(self, pc: int) -> bool:
+        """Always predict taken."""
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Static predictor: nothing to train."""
+
+    def storage_bits(self) -> int:
+        """No storage at all."""
+        return 0

@@ -1,0 +1,45 @@
+"""Bimodal (per-PC 2-bit counter) direction predictor."""
+
+from __future__ import annotations
+
+from repro.common.bitutils import is_power_of_two
+from repro.common.errors import ConfigurationError
+from repro.common.stats import Stats
+from repro.predictor.base import DirectionPredictor
+
+
+class BimodalPredictor(DirectionPredictor):
+    """A table of saturating 2-bit counters indexed by the branch PC."""
+
+    name = "bimodal"
+
+    def __init__(self, table_bits: int = 14, stats: Stats | None = None) -> None:
+        super().__init__(stats)
+        if table_bits <= 0 or table_bits > 28:
+            raise ConfigurationError("bimodal table size must be between 2^1 and 2^28 entries")
+        self.table_bits = table_bits
+        self.table_size = 1 << table_bits
+        if not is_power_of_two(self.table_size):  # pragma: no cover - by construction
+            raise ConfigurationError("bimodal table size must be a power of two")
+        # Counters initialised to weakly taken (2): branches are taken-biased.
+        self._counters = [2] * self.table_size
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.table_size - 1)
+
+    def predict(self, pc: int) -> bool:
+        """Predict taken when the counter is in one of its two upper states."""
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Saturating increment/decrement of the counter."""
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(counter + 1, 3)
+        else:
+            self._counters[index] = max(counter - 1, 0)
+
+    def storage_bits(self) -> int:
+        """Two bits per counter."""
+        return 2 * self.table_size

@@ -1,0 +1,52 @@
+"""gshare direction predictor: global history XOR-ed with the PC."""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.common.stats import Stats
+from repro.predictor.base import DirectionPredictor
+
+
+class GSharePredictor(DirectionPredictor):
+    """Classic gshare: a 2-bit counter table indexed by PC xor global history."""
+
+    name = "gshare"
+
+    def __init__(
+        self,
+        table_bits: int = 14,
+        history_bits: int = 14,
+        stats: Stats | None = None,
+    ) -> None:
+        super().__init__(stats)
+        if table_bits <= 0 or history_bits < 0:
+            raise ConfigurationError("gshare needs a positive table and non-negative history")
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self.table_size = 1 << table_bits
+        self._counters = [2] * self.table_size
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        history = self._history & ((1 << self.history_bits) - 1)
+        return ((pc >> 2) ^ history) & (self.table_size - 1)
+
+    def predict(self, pc: int) -> bool:
+        """Predict from the counter selected by PC xor history."""
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the counter and shift the outcome into the global history."""
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(counter + 1, 3)
+        else:
+            self._counters[index] = max(counter - 1, 0)
+        self._history = ((self._history << 1) | (1 if taken else 0)) & (
+            (1 << self.history_bits) - 1
+        )
+
+    def storage_bits(self) -> int:
+        """Two bits per counter plus the history register."""
+        return 2 * self.table_size + self.history_bits

@@ -1,0 +1,96 @@
+"""Hashed perceptron direction predictor (the Table II default).
+
+This follows the structure of the hashed-perceptron predictor shipped with
+ChampSim: several weight tables, each indexed by a hash of the branch PC and a
+different length of global branch history, whose selected weights are summed;
+the sign of the sum is the prediction.  Training nudges the selected weights
+when the prediction was wrong or the sum's magnitude was below a threshold.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.stats import Stats
+from repro.predictor.base import DirectionPredictor
+
+
+class HashedPerceptronPredictor(DirectionPredictor):
+    """Multi-table hashed perceptron over geometric history lengths."""
+
+    name = "hashed_perceptron"
+
+    def __init__(
+        self,
+        history_lengths: Sequence[int] = (3, 8, 14, 21, 31),
+        table_bits: int = 12,
+        weight_bits: int = 8,
+        stats: Stats | None = None,
+    ) -> None:
+        super().__init__(stats)
+        if not history_lengths:
+            raise ConfigurationError("the perceptron needs at least one history length")
+        if table_bits <= 0 or weight_bits <= 1:
+            raise ConfigurationError("invalid perceptron geometry")
+        self.history_lengths = tuple(history_lengths)
+        self.table_bits = table_bits
+        self.table_size = 1 << table_bits
+        self.weight_bits = weight_bits
+        self.weight_max = (1 << (weight_bits - 1)) - 1
+        self.weight_min = -(1 << (weight_bits - 1))
+        # One weight table per history length plus a bias table (index 0 uses
+        # history length 0, i.e. PC only).
+        self._tables: List[List[int]] = [
+            [0] * self.table_size for _ in range(len(self.history_lengths) + 1)
+        ]
+        self._history = 0
+        self.max_history = max(self.history_lengths)
+        # Training threshold from the perceptron literature: ~1.93*h + 14.
+        self.threshold = int(1.93 * self.max_history + 14)
+
+    # -- hashing ------------------------------------------------------------
+
+    def _fold_history(self, length: int) -> int:
+        """Fold the newest ``length`` history bits down to the table index width."""
+        history = self._history & ((1 << length) - 1)
+        folded = 0
+        while history:
+            folded ^= history & (self.table_size - 1)
+            history >>= self.table_bits
+        return folded
+
+    def _indices(self, pc: int) -> List[int]:
+        base = (pc >> 2) & (self.table_size - 1)
+        indices = [base]
+        for length in self.history_lengths:
+            indices.append((base ^ self._fold_history(length)) & (self.table_size - 1))
+        return indices
+
+    def _sum(self, pc: int) -> int:
+        return sum(
+            table[index] for table, index in zip(self._tables, self._indices(pc))
+        )
+
+    # -- interface ------------------------------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        """Predict taken when the summed weights are non-negative."""
+        return self._sum(pc) >= 0
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Perceptron training rule with a magnitude threshold, then shift history."""
+        total = self._sum(pc)
+        predicted = total >= 0
+        if predicted != taken or abs(total) < self.threshold:
+            direction = 1 if taken else -1
+            for table, index in zip(self._tables, self._indices(pc)):
+                updated = table[index] + direction
+                table[index] = max(self.weight_min, min(self.weight_max, updated))
+        self._history = ((self._history << 1) | (1 if taken else 0)) & (
+            (1 << self.max_history) - 1
+        )
+
+    def storage_bits(self) -> int:
+        """Weight tables plus the global history register."""
+        return len(self._tables) * self.table_size * self.weight_bits + self.max_history

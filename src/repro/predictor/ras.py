@@ -1,0 +1,64 @@
+"""Return address stack (RAS).
+
+Calls push their return address (the instruction after the call); returns pop
+it.  The modelled RAS has a fixed number of entries (64 in Table II) and wraps
+on overflow, exactly like hardware circular RAS implementations: pushing onto
+a full stack overwrites the oldest entry, and popping an empty stack returns
+``None`` (the front end then has no predicted target for the return).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.stats import Stats
+
+
+class ReturnAddressStack:
+    """Fixed-capacity circular return address stack."""
+
+    def __init__(self, entries: int = 64, stats: Stats | None = None) -> None:
+        if entries <= 0:
+            raise ConfigurationError("RAS needs at least one entry")
+        self.entries = entries
+        registry = stats if stats is not None else Stats()
+        self.stats = registry.group("ras")
+        self._stack: List[int] = []
+
+    def push(self, return_address: int) -> None:
+        """Push a call's return address; overwrites the oldest on overflow."""
+        self.stats.inc("pushes")
+        self._stack.append(return_address)
+        if len(self._stack) > self.entries:
+            # Circular overwrite: the oldest entry is lost.
+            self._stack.pop(0)
+            self.stats.inc("overflows")
+
+    def pop(self) -> Optional[int]:
+        """Pop the predicted return target; ``None`` when the stack is empty."""
+        self.stats.inc("pops")
+        if not self._stack:
+            self.stats.inc("underflows")
+            return None
+        return self._stack.pop()
+
+    def peek(self) -> Optional[int]:
+        """Return the top of the stack without popping."""
+        return self._stack[-1] if self._stack else None
+
+    def clear(self) -> None:
+        """Empty the stack (used on context resets in tests)."""
+        self._stack.clear()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of return addresses held."""
+        return self.entries
+
+    def storage_bits(self, address_bits: int = 48) -> int:
+        """Storage footprint of the RAS."""
+        return self.entries * address_bits

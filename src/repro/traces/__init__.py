@@ -1,0 +1,30 @@
+"""Trace infrastructure: containers, binary/text formats, and slicing helpers.
+
+The paper evaluates on proprietary Qualcomm IPC-1/CVP-1 traces; this package
+provides the plumbing needed to store and replay the synthetic equivalents
+produced by :mod:`repro.workloads` (and any externally converted trace in the
+same record format).
+
+* :class:`repro.traces.trace.Trace` -- an in-memory, named sequence of
+  :class:`repro.isa.Instruction` records with summary statistics.
+* :mod:`repro.traces.binary_io` -- compact struct-packed on-disk format.
+* :mod:`repro.traces.text_io` -- human-readable one-record-per-line format.
+* :mod:`repro.traces.filters` -- warmup/measurement splitting and windowing.
+"""
+
+from repro.traces.binary_io import read_binary_trace, write_binary_trace
+from repro.traces.filters import branch_only, split_warmup, window
+from repro.traces.text_io import read_text_trace, write_text_trace
+from repro.traces.trace import Trace, TraceSummary
+
+__all__ = [
+    "Trace",
+    "TraceSummary",
+    "read_binary_trace",
+    "write_binary_trace",
+    "read_text_trace",
+    "write_text_trace",
+    "branch_only",
+    "split_warmup",
+    "window",
+]

@@ -1,0 +1,56 @@
+"""Trace slicing helpers: warmup splitting, windowing and branch-only views.
+
+The paper warms structures for 50 M instructions and measures over the next
+50 M.  These helpers implement that protocol generically so experiments can
+scale window sizes down for Python-speed runs without changing the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.traces.trace import Trace
+
+
+def split_warmup(trace: Trace, warmup_instructions: int) -> Tuple[Trace, Trace]:
+    """Split ``trace`` into a (warmup, measurement) pair.
+
+    The warmup part may be shorter than requested when the trace itself is
+    shorter; the measurement part is whatever remains.
+    """
+    if warmup_instructions < 0:
+        raise ValueError("warmup length cannot be negative")
+    cut = min(warmup_instructions, len(trace))
+    warmup = trace.slice(0, cut, name=f"{trace.name}.warmup")
+    measured = trace.slice(cut, None, name=f"{trace.name}.measured")
+    return warmup, measured
+
+
+def window(trace: Trace, start: int, length: int) -> Trace:
+    """Return an instruction window ``[start, start+length)`` of the trace."""
+    if start < 0 or length <= 0:
+        raise ValueError("window start must be >= 0 and length positive")
+    return trace.slice(start, start + length, name=f"{trace.name}.win{start}+{length}")
+
+
+def branch_only(trace: Trace) -> List[Instruction]:
+    """Materialize the branch instructions of a trace as a list.
+
+    The offset-distribution analyses (Figures 4, 12, 13) operate on dynamic
+    branches only, so extracting them once avoids repeated filtering.
+    """
+    return [inst for inst in trace if inst.is_branch]
+
+
+def taken_branches(trace: Trace) -> List[Instruction]:
+    """Materialize the taken branches of a trace (the BTB's update stream)."""
+    return [inst for inst in trace if inst.is_branch and inst.taken]
+
+
+def iter_windows(trace: Trace, length: int) -> Iterator[Trace]:
+    """Yield consecutive non-overlapping windows of ``length`` instructions."""
+    if length <= 0:
+        raise ValueError("window length must be positive")
+    for start in range(0, len(trace), length):
+        yield trace.slice(start, start + length, name=f"{trace.name}.win{start // length}")

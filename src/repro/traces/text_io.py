@@ -1,0 +1,92 @@
+"""Human-readable text trace format (one record per line).
+
+The text format exists for debugging, for documentation examples, and so that
+small traces can be committed as fixtures.  Each non-comment line is::
+
+    <pc-hex> <size> <branch-type> <taken:0|1> <target-hex>
+
+Comment lines start with ``#``.  A special header comment carries the trace
+name and ISA::
+
+    #! name=server_001 isa=arm64
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List
+
+from repro.common.config import ISAStyle
+from repro.common.errors import TraceFormatError
+from repro.isa.branch import BranchType
+from repro.isa.instruction import Instruction
+from repro.traces.trace import Trace
+
+_TYPE_NAMES = {bt.value: bt for bt in BranchType}
+
+
+def write_text_trace(trace: Trace, path: str | Path) -> None:
+    """Serialize ``trace`` to a text file at ``path``."""
+    lines: List[str] = [f"#! name={trace.name} isa={trace.isa.value}"]
+    for inst in trace:
+        lines.append(
+            f"{inst.pc:#x} {inst.size} {inst.branch_type.value} "
+            f"{1 if inst.taken else 0} {inst.target:#x}"
+        )
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def _parse_header(line: str) -> dict:
+    fields = {}
+    for token in line[2:].strip().split():
+        if "=" not in token:
+            raise TraceFormatError(f"malformed header token {token!r}")
+        key, value = token.split("=", 1)
+        fields[key] = value
+    return fields
+
+
+def parse_text_lines(lines: Iterable[str]) -> tuple[dict, List[Instruction]]:
+    """Parse text-format lines into a header dict and instruction list."""
+    header: dict = {}
+    instructions: List[Instruction] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#!"):
+            header.update(_parse_header(line))
+            continue
+        if line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 5:
+            raise TraceFormatError(f"line {lineno}: expected 5 fields, got {len(parts)}")
+        pc_text, size_text, type_text, taken_text, target_text = parts
+        if type_text not in _TYPE_NAMES:
+            raise TraceFormatError(f"line {lineno}: unknown branch type {type_text!r}")
+        try:
+            instructions.append(
+                Instruction(
+                    pc=int(pc_text, 16),
+                    size=int(size_text),
+                    branch_type=_TYPE_NAMES[type_text],
+                    taken=taken_text == "1",
+                    target=int(target_text, 16),
+                )
+            )
+        except ValueError as exc:
+            raise TraceFormatError(f"line {lineno}: {exc}") from exc
+    return header, instructions
+
+
+def read_text_trace(path: str | Path) -> Trace:
+    """Read a text trace file into an in-memory :class:`Trace`."""
+    text = Path(path).read_text(encoding="utf-8")
+    header, instructions = parse_text_lines(text.splitlines())
+    isa = ISAStyle(header.get("isa", ISAStyle.ARM64.value))
+    return Trace(
+        name=header.get("name", Path(path).stem),
+        instructions=instructions,
+        isa=isa,
+    )

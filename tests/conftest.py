@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite.
+
+Workload generation and simulation are the expensive parts of the tests, so
+the fixtures that build traces are session-scoped: the same small traces are
+reused by every test that needs one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ISAStyle
+from repro.isa.branch import BranchType
+from repro.isa.instruction import Instruction
+from repro.traces.trace import Trace
+from repro.workloads.execution import generate_trace
+from repro.workloads.spec import client_spec, server_spec
+
+
+@pytest.fixture(scope="session")
+def small_server_trace() -> Trace:
+    """A small server-class trace (deterministic, ~30k instructions)."""
+    spec = server_spec("test_server", seed=1234, footprint_scale=0.4)
+    return generate_trace(spec, 30_000)
+
+
+@pytest.fixture(scope="session")
+def small_client_trace() -> Trace:
+    """A small client-class trace (deterministic, ~20k instructions)."""
+    spec = client_spec("test_client", seed=99, footprint_scale=0.5)
+    return generate_trace(spec, 20_000)
+
+
+@pytest.fixture(scope="session")
+def small_x86_trace() -> Trace:
+    """A small x86-flavoured server trace."""
+    spec = server_spec("test_x86", seed=7, footprint_scale=0.3, isa=ISAStyle.X86)
+    return generate_trace(spec, 20_000)
+
+
+@pytest.fixture
+def handmade_branches() -> list[Instruction]:
+    """A handful of hand-written branches covering every branch class."""
+    return [
+        Instruction.branch(0x401000, BranchType.CONDITIONAL, True, 0x401040),
+        Instruction.branch(0x401100, BranchType.CONDITIONAL, False, 0x401180),
+        Instruction.branch(0x402000, BranchType.UNCONDITIONAL, True, 0x402800),
+        Instruction.branch(0x403000, BranchType.CALL, True, 0x7F00_0000_1000),
+        Instruction.branch(0x7F00_0000_1040, BranchType.RETURN, True, 0x403004),
+        Instruction.branch(0x404000, BranchType.INDIRECT, True, 0x480000),
+        Instruction.branch(0x405000, BranchType.INDIRECT_CALL, True, 0x440000),
+    ]

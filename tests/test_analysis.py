@@ -1,0 +1,107 @@
+"""Tests for the offset-distribution and aggregation helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.aggregate import (
+    arithmetic_mean,
+    format_table,
+    geometric_mean,
+    gmean_speedup,
+    speedups_over_baseline,
+    summarize_results,
+)
+from repro.analysis.offset_analysis import (
+    OffsetDistribution,
+    combined_distribution,
+    distribution_table,
+    offset_distribution,
+)
+from repro.common.config import ISAStyle
+from repro.core.metrics import SimulationResult
+
+
+def _result(workload: str, ipc: float, mpki: float) -> SimulationResult:
+    cycles = 1000.0 / ipc
+    return SimulationResult(
+        workload=workload, btb_style="btbx", btb_storage_kib=14.5, fdip_enabled=True,
+        instructions=1000, cycles=cycles, base_cycles=cycles, flush_cycles=0.0,
+        resteer_cycles=0.0, icache_stall_cycles=0.0, btb_extra_cycles=0.0,
+        btb_misses_taken=int(mpki), decode_resteers=0, execute_flushes=0,
+        direction_mispredictions=0, target_mispredictions=0, taken_branches=100,
+        branches=150, l1i_accesses=60, l1i_misses=5, l1i_misses_covered=1,
+    )
+
+
+class TestOffsetDistribution:
+    def test_monotone_cdf(self, small_server_trace):
+        dist = offset_distribution(small_server_trace)
+        cdf = dist.cdf(46)
+        assert cdf == sorted(cdf)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_quantile_and_way_sizing(self, small_server_trace):
+        dist = offset_distribution(small_server_trace)
+        ways = dist.way_sizing(8)
+        assert len(ways) == 8
+        assert ways == sorted(ways)
+        assert dist.fraction_covered(ways[-1]) >= 0.99
+
+    def test_combined_distribution_totals(self, small_server_trace, small_client_trace):
+        combined = combined_distribution([small_server_trace, small_client_trace])
+        total = (
+            offset_distribution(small_server_trace).total_branches
+            + offset_distribution(small_client_trace).total_branches
+        )
+        assert combined.total_branches == total
+
+    def test_combined_requires_traces(self):
+        with pytest.raises(ValueError):
+            combined_distribution([])
+
+    def test_distribution_table(self, small_client_trace):
+        rows = distribution_table([offset_distribution(small_client_trace)])
+        assert rows[0]["name"] == small_client_trace.name
+        assert rows[0]["<=46b"] == pytest.approx(1.0)
+
+    def test_quantile_rejects_bad_fraction(self):
+        dist = OffsetDistribution("x", ISAStyle.ARM64)
+        with pytest.raises(ValueError):
+            dist.quantile_bits(1.5)
+
+
+class TestAggregation:
+    def test_geometric_mean_basics(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10), min_size=1, max_size=20))
+    def test_gmean_bounded_by_min_max(self, values):
+        gmean = geometric_mean(values)
+        assert min(values) - 1e-9 <= gmean <= max(values) + 1e-9
+
+    def test_summarize_results(self):
+        results = [_result("a", 1.0, 10), _result("b", 2.0, 20)]
+        summary = summarize_results(results)
+        assert summary["workloads"] == 2
+        assert summary["avg_btb_mpki"] == pytest.approx(15.0)
+
+    def test_speedups_and_gmean(self):
+        baseline = {"a": _result("a", 1.0, 10), "b": _result("b", 1.0, 10)}
+        improved = {"a": _result("a", 1.2, 5), "b": _result("b", 1.5, 5)}
+        speedups = speedups_over_baseline(improved, baseline)
+        assert speedups["a"] == pytest.approx(1.2)
+        assert gmean_speedup(improved, baseline) == pytest.approx(geometric_mean([1.2, 1.5]))
+
+    def test_format_table(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.1}])
+        assert "a" in text and "2.500" in text
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no data)"

@@ -1,0 +1,104 @@
+"""Unit tests for the configuration dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import (
+    BTBConfig,
+    BTBStyle,
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    FDIPConfig,
+    ISAStyle,
+    MachineConfig,
+    SimulationConfig,
+    default_machine_config,
+    summarize_machine,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestCacheConfig:
+    def test_table2_l1i_geometry(self):
+        config = CacheConfig("L1I", 32 * 1024, 8)
+        assert config.num_sets == 64
+        assert config.num_lines == 512
+
+    def test_rejects_bad_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("bad", 1000, 3)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("bad", 32 * 1024, 8, line_size=48)
+
+
+class TestCoreAndPredictorConfig:
+    def test_defaults_match_table2(self):
+        core = CoreConfig()
+        assert core.fetch_width == 6
+        assert core.rob_entries == 352
+        predictor = BranchPredictorConfig()
+        assert predictor.kind == "hashed_perceptron"
+        assert predictor.ras_entries == 64
+
+    def test_flush_cheaper_than_resteer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(execute_flush_penalty=2, decode_resteer_penalty=5)
+
+    def test_unknown_predictor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BranchPredictorConfig(kind="tage_unimplemented")
+
+    def test_fdip_validation(self):
+        with pytest.raises(ConfigurationError):
+            FDIPConfig(ftq_instructions=0)
+
+
+class TestBTBConfig:
+    def test_num_sets(self):
+        config = BTBConfig(entries=4096, associativity=8)
+        assert config.num_sets == 512
+
+    def test_entries_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            BTBConfig(entries=100, associativity=8)
+
+
+class TestISAStyle:
+    def test_alignment_bits(self):
+        assert ISAStyle.ARM64.alignment_bits == 2
+        assert ISAStyle.X86.alignment_bits == 0
+
+
+class TestMachineConfig:
+    def test_default_machine_for_each_style(self):
+        for style in BTBStyle:
+            machine = default_machine_config(btb_style=style)
+            assert machine.btb.style is style
+
+    def test_with_btb_and_with_fdip_return_copies(self):
+        machine = MachineConfig()
+        other = machine.with_btb(entries=1024).with_fdip(False)
+        assert other.btb.entries == 1024
+        assert other.fdip.enabled is False
+        # The original is untouched (frozen dataclasses + replace).
+        assert machine.btb.entries != 1024 or machine.fdip.enabled
+
+    def test_summary_contains_key_parameters(self):
+        summary = summarize_machine(default_machine_config())
+        assert "6-wide" in summary["fetch"]
+        assert "hashed_perceptron" in summary["branch_predictor"]
+        assert "32KB" in summary["l1i"]
+
+
+class TestSimulationConfig:
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(warmup_instructions=-1)
+
+    def test_zero_measured_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(simulation_instructions=0)

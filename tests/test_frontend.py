@@ -1,0 +1,180 @@
+"""Tests for the FTQ, the FDIP prefetcher and the branch prediction unit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import BTBStyle, MachineConfig, default_machine_config
+from repro.common.errors import ConfigurationError
+from repro.common.stats import Stats
+from repro.isa.branch import BranchType
+from repro.isa.instruction import Instruction
+from repro.btb.conventional import ConventionalBTB
+from repro.btb.ideal import IdealBTB
+from repro.frontend.bpu import BranchPredictionUnit, PredictionOutcome
+from repro.frontend.fdip import FDIPPrefetcher
+from repro.frontend.ftq import FetchTargetQueue
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class TestFTQ:
+    def test_capacity_bounded(self):
+        ftq = FetchTargetQueue(capacity=4)
+        for i in range(10):
+            ftq.push(0x1000 + 4 * i)
+        assert ftq.occupancy == 4
+        assert ftq.is_full
+
+    def test_push_returns_displaced_oldest(self):
+        ftq = FetchTargetQueue(capacity=2)
+        assert ftq.push(0x1) is None
+        assert ftq.push(0x2) is None
+        assert ftq.push(0x3) == 0x1
+
+    def test_pop_order(self):
+        ftq = FetchTargetQueue(capacity=4)
+        ftq.push(0xA)
+        ftq.push(0xB)
+        assert ftq.pop() == 0xA
+        assert ftq.pop() == 0xB
+        assert ftq.pop() is None
+
+    def test_flush(self):
+        ftq = FetchTargetQueue(capacity=8)
+        for i in range(5):
+            ftq.push(i)
+        assert ftq.flush() == 5
+        assert ftq.occupancy == 0
+
+    def test_requires_positive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            FetchTargetQueue(capacity=0)
+
+
+class TestFDIP:
+    def _make(self, enabled=True):
+        machine = default_machine_config(fdip_enabled=enabled)
+        stats = Stats()
+        hierarchy = MemoryHierarchy(machine, stats)
+        ftq = FetchTargetQueue(machine.fdip.ftq_instructions, stats)
+        return FDIPPrefetcher(machine, ftq, hierarchy, stats), ftq
+
+    def test_lead_grows_with_run_ahead(self):
+        fdip, _ = self._make()
+        assert fdip.lead_cycles == 0
+        for i in range(60):
+            fdip.observe_predicted_address(0x400000 + 4 * i)
+        assert fdip.lead_cycles == 60 // 6
+
+    def test_lead_capped_by_ftq(self):
+        fdip, ftq = self._make()
+        for i in range(1000):
+            fdip.observe_predicted_address(0x400000 + 4 * i)
+        assert fdip.lead_cycles == ftq.capacity // 6
+
+    def test_stream_break_resets_lead(self):
+        fdip, _ = self._make()
+        for i in range(100):
+            fdip.observe_predicted_address(0x400000 + 4 * i)
+        fdip.on_stream_break()
+        assert fdip.lead_cycles == 0
+
+    def test_coverage_full_partial_none(self):
+        fdip, _ = self._make()
+        for i in range(200):
+            fdip.observe_predicted_address(0x400000 + 4 * i)
+        lead = fdip.lead_cycles
+        full = fdip.cover_demand_miss(lead - 1)
+        partial = fdip.cover_demand_miss(lead + 10)
+        assert full.coverage == "full" and full.residual_latency == 0
+        assert partial.coverage == "partial" and partial.residual_latency == 10
+
+    def test_disabled_fdip_hides_nothing(self):
+        fdip, _ = self._make(enabled=False)
+        for i in range(200):
+            fdip.observe_predicted_address(0x400000 + 4 * i)
+        coverage = fdip.cover_demand_miss(14)
+        assert coverage.coverage == "none"
+        assert coverage.residual_latency == 14
+
+
+def _bpu(btb=None, machine: MachineConfig | None = None) -> BranchPredictionUnit:
+    machine = machine or default_machine_config(btb_style=BTBStyle.CONVENTIONAL, btb_entries=512)
+    return BranchPredictionUnit(btb if btb is not None else ConventionalBTB(512), machine)
+
+
+class TestBPU:
+    def test_btb_miss_on_taken_direct_branch_is_decode_resteer(self):
+        bpu = _bpu()
+        jump = Instruction.branch(0x401000, BranchType.UNCONDITIONAL, True, 0x402000)
+        prediction = bpu.process(jump)
+        assert not prediction.btb_hit
+        assert prediction.btb_miss_taken_branch
+        assert prediction.outcome is PredictionOutcome.DECODE_RESTEER
+        assert prediction.stream_break
+
+    def test_btb_miss_on_not_taken_conditional_is_harmless(self):
+        bpu = _bpu()
+        branch = Instruction.branch(0x401000, BranchType.CONDITIONAL, False, 0x402000)
+        prediction = bpu.process(branch)
+        assert prediction.outcome is PredictionOutcome.CORRECT
+        assert not prediction.btb_miss_taken_branch
+
+    def test_btb_miss_on_indirect_branch_is_execute_flush(self):
+        bpu = _bpu()
+        indirect = Instruction.branch(0x401000, BranchType.INDIRECT, True, 0x480000)
+        prediction = bpu.process(indirect)
+        assert prediction.outcome is PredictionOutcome.EXECUTE_FLUSH
+
+    def test_second_visit_hits_and_is_correct(self):
+        bpu = _bpu()
+        jump = Instruction.branch(0x401000, BranchType.UNCONDITIONAL, True, 0x402000)
+        bpu.process(jump)
+        prediction = bpu.process(jump)
+        assert prediction.btb_hit
+        assert prediction.outcome is PredictionOutcome.CORRECT
+        assert prediction.predicted_target == jump.target
+
+    def test_returns_use_ras_target(self):
+        bpu = _bpu(btb=IdealBTB())
+        call = Instruction.branch(0x401000, BranchType.CALL, True, 0x500000)
+        ret = Instruction.branch(0x500040, BranchType.RETURN, True, call.fall_through)
+        # Visit once so both branches are in the (ideal) BTB, then replay.
+        bpu.process(call)
+        bpu.process(ret)
+        bpu.process(call)
+        prediction = bpu.process(ret)
+        assert prediction.btb_hit
+        assert prediction.predicted_target == call.fall_through
+        assert prediction.outcome is PredictionOutcome.CORRECT
+
+    def test_indirect_target_change_flushes(self):
+        bpu = _bpu(btb=IdealBTB())
+        first = Instruction.branch(0x401000, BranchType.INDIRECT, True, 0x480000)
+        second = Instruction.branch(0x401000, BranchType.INDIRECT, True, 0x490000)
+        bpu.process(first)
+        prediction = bpu.process(second)
+        assert prediction.btb_hit
+        assert prediction.outcome is PredictionOutcome.EXECUTE_FLUSH
+
+    def test_non_branches_are_correct_and_cheap(self):
+        bpu = _bpu()
+        prediction = bpu.process(Instruction.non_branch(0x401000))
+        assert prediction.outcome is PredictionOutcome.CORRECT
+        assert not prediction.stream_break
+
+    def test_conditional_training_reaches_predictor(self):
+        bpu = _bpu(btb=IdealBTB())
+        branch_taken = Instruction.branch(0x401000, BranchType.CONDITIONAL, True, 0x401100)
+        for _ in range(50):
+            bpu.process(branch_taken)
+        prediction = bpu.process(branch_taken)
+        assert prediction.predicted_taken
+        assert prediction.outcome is PredictionOutcome.CORRECT
+
+    def test_btb_updated_only_by_taken_branches(self):
+        btb = ConventionalBTB(512)
+        bpu = _bpu(btb=btb)
+        not_taken = Instruction.branch(0x401000, BranchType.CONDITIONAL, False, 0x401100)
+        bpu.process(not_taken)
+        assert not btb.lookup(0x401000).hit

@@ -1,0 +1,148 @@
+"""Tests for the cache model and the memory hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+def _small_cache(size=4096, assoc=4, line=64, mshrs=2) -> Cache:
+    return Cache(CacheConfig("T", size, assoc, line_size=line, hit_latency=3, mshrs=mshrs))
+
+
+class TestCache:
+    def test_miss_then_hit_after_fill(self):
+        cache = _small_cache()
+        addr = 0x1234
+        assert not cache.access(addr).hit
+        cache.fill(addr)
+        assert cache.access(addr).hit
+        assert cache.contains(addr)
+
+    def test_block_granularity(self):
+        cache = _small_cache()
+        cache.fill(0x1000)
+        assert cache.access(0x103F).hit  # same 64-byte block
+        assert not cache.access(0x1040).hit
+
+    def test_lru_eviction(self):
+        cache = _small_cache(size=4 * 64, assoc=4)  # a single set
+        blocks = [i * 64 for i in range(5)]
+        for block in blocks:
+            cache.access(block)
+            cache.fill(block)
+        assert not cache.contains(blocks[0])
+        assert cache.contains(blocks[4])
+
+    def test_eviction_returns_victim_address(self):
+        cache = _small_cache(size=4 * 64, assoc=4)
+        for i in range(4):
+            cache.fill(i * 64 * cache.num_sets)
+        evicted = cache.fill(4 * 64 * cache.num_sets)
+        assert evicted is not None
+
+    def test_fill_same_block_twice_no_eviction(self):
+        cache = _small_cache()
+        cache.fill(0x2000)
+        assert cache.fill(0x2000) is None
+        assert cache.occupancy() == 1
+
+    def test_dirty_writeback_counted(self):
+        cache = _small_cache(size=1 * 64, assoc=1)
+        cache.fill(0x0, dirty=True)
+        cache.fill(0x10000)
+        assert cache.stats.get("writebacks") == 1
+
+    def test_prefetched_line_marked_useful_on_demand_hit(self):
+        cache = _small_cache()
+        cache.fill(0x3000, prefetched=True)
+        cache.access(0x3000)
+        assert cache.stats.get("useful_prefetches") == 1
+
+    def test_mshr_limit(self):
+        cache = _small_cache(mshrs=2)
+        assert cache.note_outstanding(0x1000)
+        assert cache.note_outstanding(0x2000)
+        assert not cache.note_outstanding(0x3000)
+        assert cache.note_outstanding(0x1000)  # merge with existing entry
+        cache.fill(0x1000)
+        assert cache.note_outstanding(0x3000)
+
+    def test_invalidate_all(self):
+        cache = _small_cache()
+        cache.fill(0x4000)
+        cache.invalidate_all()
+        assert not cache.contains(0x4000)
+        assert cache.occupancy() == 0
+
+
+class TestHierarchy:
+    def test_first_fetch_misses_to_dram(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        result = hierarchy.fetch(0x400000)
+        assert not result.l1i_hit
+        assert result.level == "DRAM"
+        assert result.latency == hierarchy.memory_latency
+
+    def test_refetch_hits_l1i(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        hierarchy.fetch(0x400000)
+        result = hierarchy.fetch(0x400000)
+        assert result.l1i_hit
+        assert result.latency == 0
+
+    def test_l1i_eviction_falls_back_to_l2(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        target = 0x400000
+        hierarchy.fetch(target)
+        # Touch enough distinct blocks mapping to the same L1-I set to evict it.
+        sets = hierarchy.l1i.num_sets
+        for i in range(1, hierarchy.l1i.associativity + 2):
+            hierarchy.fetch(target + i * sets * 64)
+        result = hierarchy.fetch(target)
+        assert not result.l1i_hit
+        assert result.level == "L2"
+        assert result.latency == hierarchy.l2.hit_latency
+
+    def test_prefetch_fills_l1i(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        hierarchy.prefetch(0x500000)
+        result = hierarchy.fetch(0x500000)
+        assert result.l1i_hit
+
+    def test_redundant_prefetch_detected(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        hierarchy.fetch(0x600000)
+        result = hierarchy.prefetch(0x600000)
+        assert result.l1i_hit
+        assert hierarchy.stats.get("prefetch.redundant") == 1
+
+    def test_prefetch_dropped_when_mshrs_full(self):
+        machine = MachineConfig()
+        hierarchy = MemoryHierarchy(machine)
+        dropped = 0
+        for i in range(machine.l1i.mshrs + 4):
+            result = hierarchy.prefetch(0x700000 + i * 64)
+            if result.level == "dropped":
+                dropped += 1
+        assert dropped == 0 or hierarchy.stats.get("prefetch.dropped") == dropped
+
+    def test_data_access_path(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        first = hierarchy.data_access(0x800000)
+        second = hierarchy.data_access(0x800000)
+        assert first.latency > 0
+        assert second.latency == 0
+
+    def test_invalidate_all(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        hierarchy.fetch(0x900000)
+        hierarchy.invalidate_all()
+        assert not hierarchy.l1i.contains(0x900000)
+        assert not hierarchy.l2.contains(0x900000)
+
+    def test_line_size(self):
+        assert MemoryHierarchy(MachineConfig()).line_size() == 64

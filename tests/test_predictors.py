@@ -1,0 +1,177 @@
+"""Tests for the direction predictors and the return address stack."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import BranchPredictorConfig
+from repro.common.errors import ConfigurationError
+from repro.predictor.base import AlwaysTakenPredictor
+from repro.predictor.bimodal import BimodalPredictor
+from repro.predictor.factory import make_direction_predictor
+from repro.predictor.gshare import GSharePredictor
+from repro.predictor.perceptron import HashedPerceptronPredictor
+from repro.predictor.ras import ReturnAddressStack
+
+ALL_PREDICTORS = [
+    lambda: AlwaysTakenPredictor(),
+    lambda: BimodalPredictor(table_bits=10),
+    lambda: GSharePredictor(table_bits=10, history_bits=8),
+    lambda: HashedPerceptronPredictor(table_bits=8),
+]
+
+
+class TestPredictorLearning:
+    @pytest.mark.parametrize("factory", ALL_PREDICTORS[1:], ids=["bimodal", "gshare", "perceptron"])
+    def test_learns_always_taken_branch(self, factory):
+        predictor = factory()
+        pc = 0x401000
+        for _ in range(64):
+            predictor.update(pc, True)
+        assert predictor.predict(pc) is True
+
+    @pytest.mark.parametrize("factory", ALL_PREDICTORS[1:], ids=["bimodal", "gshare", "perceptron"])
+    def test_learns_never_taken_branch(self, factory):
+        predictor = factory()
+        pc = 0x402000
+        for _ in range(64):
+            predictor.update(pc, False)
+        assert predictor.predict(pc) is False
+
+    def test_gshare_learns_alternating_pattern(self):
+        predictor = GSharePredictor(table_bits=12, history_bits=8)
+        pc = 0x403000
+        outcome = True
+        correct = 0
+        total = 400
+        for i in range(total):
+            prediction = predictor.predict(pc)
+            if prediction == outcome:
+                correct += 1
+            predictor.update(pc, outcome)
+            outcome = not outcome
+        # After warmup the history-based predictor should track the alternation.
+        assert correct / total > 0.7
+
+    def test_perceptron_learns_correlated_branches(self):
+        predictor = HashedPerceptronPredictor(table_bits=10)
+        rng = random.Random(1)
+        lead, follower = 0x404000, 0x404100
+        correct = 0
+        total = 500
+        for i in range(total):
+            lead_outcome = rng.random() < 0.5
+            predictor.update(lead, lead_outcome)
+            prediction = predictor.predict(follower)
+            if prediction == lead_outcome:
+                correct += 1
+            predictor.update(follower, lead_outcome)
+        assert correct / total > 0.7
+
+    def test_biased_branch_accuracy_beats_coin_flip(self):
+        predictor = HashedPerceptronPredictor(table_bits=10)
+        rng = random.Random(7)
+        pc = 0x405000
+        correct = 0
+        total = 1000
+        for _ in range(total):
+            outcome = rng.random() < 0.95
+            if predictor.predict(pc) == outcome:
+                correct += 1
+            predictor.update(pc, outcome)
+        assert correct / total > 0.85
+
+    def test_always_taken(self):
+        predictor = AlwaysTakenPredictor()
+        assert predictor.predict(0x1000)
+        predictor.update(0x1000, False)
+        assert predictor.predict(0x1000)
+
+    @pytest.mark.parametrize("factory", ALL_PREDICTORS, ids=["always", "bimodal", "gshare", "perceptron"])
+    def test_storage_bits_non_negative(self, factory):
+        assert factory().storage_bits() >= 0
+
+    def test_record_outcome_counters(self):
+        predictor = BimodalPredictor(table_bits=8)
+        predictor.record_outcome(True, True)
+        predictor.record_outcome(True, False)
+        assert predictor.stats.get("predictions") == 2
+        assert predictor.stats.get("mispredictions") == 1
+
+
+class TestPredictorValidation:
+    def test_bimodal_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            BimodalPredictor(table_bits=0)
+
+    def test_gshare_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            GSharePredictor(table_bits=0)
+
+    def test_perceptron_rejects_empty_history(self):
+        with pytest.raises(ConfigurationError):
+            HashedPerceptronPredictor(history_lengths=())
+
+    def test_factory_builds_each_kind(self):
+        for kind, cls in [
+            ("hashed_perceptron", HashedPerceptronPredictor),
+            ("gshare", GSharePredictor),
+            ("bimodal", BimodalPredictor),
+            ("always_taken", AlwaysTakenPredictor),
+        ]:
+            predictor = make_direction_predictor(BranchPredictorConfig(kind=kind))
+            assert isinstance(predictor, cls)
+
+
+class TestReturnAddressStack:
+    def test_lifo_order(self):
+        ras = ReturnAddressStack(entries=8)
+        ras.push(0x1000)
+        ras.push(0x2000)
+        assert ras.pop() == 0x2000
+        assert ras.pop() == 0x1000
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack(entries=4)
+        assert ras.pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(entries=2)
+        for value in (0x1, 0x2, 0x3):
+            ras.push(value)
+        assert len(ras) == 2
+        assert ras.pop() == 0x3
+        assert ras.pop() == 0x2
+        assert ras.pop() is None
+
+    def test_peek_does_not_pop(self):
+        ras = ReturnAddressStack(entries=4)
+        ras.push(0xABC)
+        assert ras.peek() == 0xABC
+        assert len(ras) == 1
+
+    def test_clear(self):
+        ras = ReturnAddressStack(entries=4)
+        ras.push(0x1)
+        ras.clear()
+        assert ras.peek() is None
+
+    def test_requires_positive_entries(self):
+        with pytest.raises(ConfigurationError):
+            ReturnAddressStack(entries=0)
+
+    def test_storage_bits(self):
+        assert ReturnAddressStack(entries=64).storage_bits(48) == 64 * 48
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=1, max_size=40))
+    def test_balanced_push_pop_matches_list_semantics(self, addresses):
+        """Property: without overflow, the RAS behaves exactly like a stack."""
+        ras = ReturnAddressStack(entries=len(addresses))
+        for address in addresses:
+            ras.push(address)
+        for expected in reversed(addresses):
+            assert ras.pop() == expected

@@ -1,0 +1,144 @@
+"""Integration tests for the front-end simulator and timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import BTBStyle, CoreConfig, default_machine_config
+from repro.core.simulator import FrontEndSimulator, simulate_trace
+from repro.core.timing import TimingModel
+from repro.btb.ideal import IdealBTB
+from repro.btb.storage import make_btb_for_budget
+
+
+class TestTimingModel:
+    def test_base_cycles_from_fetch_width(self):
+        timing = TimingModel(CoreConfig(fetch_width=6))
+        timing.retire_instructions(600)
+        assert timing.finalize().base_cycles == 100
+
+    def test_penalties_accumulate(self):
+        core = CoreConfig()
+        timing = TimingModel(core)
+        timing.retire_instructions(60)
+        timing.execute_flush()
+        timing.decode_resteer()
+        timing.icache_stall(12)
+        timing.btb_extra_cycle()
+        breakdown = timing.finalize()
+        assert breakdown.flush_cycles == core.execute_flush_penalty
+        assert breakdown.resteer_cycles == core.decode_resteer_penalty
+        assert breakdown.icache_stall_cycles == 12
+        assert breakdown.btb_extra_cycles == 1
+        assert breakdown.total == pytest.approx(
+            10 + core.execute_flush_penalty + core.decode_resteer_penalty + 12 + 1
+        )
+
+    def test_negative_stall_ignored(self):
+        timing = TimingModel(CoreConfig())
+        timing.icache_stall(-5)
+        assert timing.finalize().icache_stall_cycles == 0
+
+
+class TestSimulatorBasics:
+    def test_result_accounting_consistency(self, small_server_trace):
+        result = simulate_trace(small_server_trace, btb_style=BTBStyle.BTBX, warmup_fraction=0.3)
+        assert result.instructions == len(small_server_trace) - int(0.3 * len(small_server_trace))
+        assert result.cycles == pytest.approx(
+            result.base_cycles
+            + result.flush_cycles
+            + result.resteer_cycles
+            + result.icache_stall_cycles
+            + result.btb_extra_cycles
+        )
+        assert 0 < result.ipc <= 6
+        assert result.taken_branches <= result.branches
+        assert result.l1i_misses <= result.l1i_accesses
+
+    def test_warmup_excluded_from_measurement(self, small_server_trace):
+        machine = default_machine_config(btb_style=BTBStyle.CONVENTIONAL, btb_entries=1024)
+        full = FrontEndSimulator(machine).run(small_server_trace, warmup_instructions=0)
+        warmed = FrontEndSimulator(machine).run(small_server_trace, warmup_instructions=10_000)
+        assert warmed.instructions == full.instructions - 10_000
+        # Warming must not increase the measured miss ratio.
+        assert warmed.btb_mpki <= full.btb_mpki + 1e-9
+
+    def test_max_instructions_cap(self, small_server_trace):
+        machine = default_machine_config()
+        result = FrontEndSimulator(machine).run(small_server_trace, max_instructions=5_000)
+        assert result.instructions == 5_000
+
+    def test_ideal_btb_has_no_capacity_misses(self, small_server_trace):
+        machine = default_machine_config(btb_style=BTBStyle.IDEAL)
+        simulator = FrontEndSimulator(machine, btb=IdealBTB())
+        simulator.run(small_server_trace)
+        # Replaying the same trace through the already-trained ideal BTB must
+        # produce zero BTB misses: every taken branch has been inserted once.
+        replay = simulator.run(small_server_trace)
+        assert replay.btb_misses_taken == 0
+
+    def test_results_deterministic(self, small_client_trace):
+        first = simulate_trace(small_client_trace, btb_style=BTBStyle.BTBX)
+        second = simulate_trace(small_client_trace, btb_style=BTBStyle.BTBX)
+        assert first.cycles == second.cycles
+        assert first.btb_misses_taken == second.btb_misses_taken
+
+    def test_to_dict_headline_metrics(self, small_client_trace):
+        result = simulate_trace(small_client_trace, btb_style=BTBStyle.CONVENTIONAL)
+        row = result.to_dict()
+        assert row["workload"] == small_client_trace.name
+        assert row["btb_mpki"] == pytest.approx(result.btb_mpki)
+
+
+class TestPaperShapes:
+    """Coarse end-to-end checks of the paper's qualitative results."""
+
+    @pytest.fixture(scope="class")
+    def server_results(self, small_server_trace):
+        results = {}
+        for style in (BTBStyle.CONVENTIONAL, BTBStyle.PDEDE, BTBStyle.BTBX):
+            machine = default_machine_config(btb_style=style, fdip_enabled=True)
+            btb = make_btb_for_budget(style, 1.8125)  # small budget stresses capacity
+            simulator = FrontEndSimulator(machine, btb=btb)
+            results[style] = simulator.run(small_server_trace, warmup_instructions=12_000)
+        return results
+
+    def test_btbx_tracks_more_branches_and_misses_less(self, server_results):
+        conv = server_results[BTBStyle.CONVENTIONAL]
+        btbx = server_results[BTBStyle.BTBX]
+        assert btbx.btb_mpki < conv.btb_mpki
+        assert conv.btb_mpki > 1.0
+
+    def test_btbx_at_least_matches_pdede_capacity_trend(self, server_results):
+        pdede = server_results[BTBStyle.PDEDE]
+        btbx = server_results[BTBStyle.BTBX]
+        # BTB-X holds ~1.3x more entries; allow a modest tolerance because the
+        # synthetic offset mix is longer-tailed than the paper's traces.
+        assert btbx.btb_mpki <= pdede.btb_mpki * 1.25
+
+    def test_server_worse_than_client(self, small_server_trace, small_client_trace):
+        machine = default_machine_config(btb_style=BTBStyle.CONVENTIONAL)
+        btb_server = make_btb_for_budget(BTBStyle.CONVENTIONAL, 1.8125)
+        btb_client = make_btb_for_budget(BTBStyle.CONVENTIONAL, 1.8125)
+        server = FrontEndSimulator(machine, btb=btb_server).run(
+            small_server_trace, warmup_instructions=10_000
+        )
+        client = FrontEndSimulator(machine, btb=btb_client).run(
+            small_client_trace, warmup_instructions=8_000
+        )
+        assert server.btb_mpki > client.btb_mpki
+
+    def test_fdip_does_not_hurt(self, small_server_trace):
+        base = simulate_trace(small_server_trace, btb_style=BTBStyle.BTBX, fdip_enabled=False)
+        fdip = simulate_trace(small_server_trace, btb_style=BTBStyle.BTBX, fdip_enabled=True)
+        assert fdip.cycles <= base.cycles + 1e-6
+
+    def test_larger_btb_never_increases_mpki(self, small_server_trace):
+        machine = default_machine_config(btb_style=BTBStyle.CONVENTIONAL)
+        small = FrontEndSimulator(
+            machine, btb=make_btb_for_budget(BTBStyle.CONVENTIONAL, 0.90625)
+        ).run(small_server_trace, warmup_instructions=10_000)
+        large = FrontEndSimulator(
+            machine, btb=make_btb_for_budget(BTBStyle.CONVENTIONAL, 29.0)
+        ).run(small_server_trace, warmup_instructions=10_000)
+        assert large.btb_mpki <= small.btb_mpki

@@ -1,0 +1,110 @@
+"""Unit tests for the statistics registry."""
+
+from __future__ import annotations
+
+from repro.common.stats import Distribution, Stats, merge_all
+
+
+class TestCounters:
+    def test_missing_counter_reads_zero(self):
+        assert Stats().get("nothing") == 0.0
+
+    def test_inc_and_add(self):
+        stats = Stats()
+        stats.inc("hits")
+        stats.inc("hits", 4)
+        stats.add("latency", 2.5)
+        assert stats.get("hits") == 5
+        assert stats.get("latency") == 2.5
+
+    def test_set_overwrites(self):
+        stats = Stats()
+        stats.inc("x", 10)
+        stats.set("x", 3)
+        assert stats.get("x") == 3
+
+    def test_ratio_and_per_kilo(self):
+        stats = Stats()
+        stats.inc("misses", 5)
+        stats.inc("instructions", 1000)
+        assert stats.ratio("misses", "instructions") == 0.005
+        assert stats.per_kilo("misses", "instructions") == 5.0
+
+    def test_ratio_zero_denominator(self):
+        assert Stats().ratio("a", "b") == 0.0
+
+    def test_merge(self):
+        a, b = Stats(), Stats()
+        a.inc("hits", 2)
+        b.inc("hits", 3)
+        b.inc("misses", 1)
+        a.merge(b)
+        assert a.get("hits") == 5
+        assert a.get("misses") == 1
+
+    def test_merge_all(self):
+        parts = []
+        for i in range(3):
+            s = Stats()
+            s.inc("n", i + 1)
+            parts.append(s)
+        assert merge_all(parts).get("n") == 6
+
+    def test_iteration_and_len(self):
+        stats = Stats()
+        stats.inc("b")
+        stats.inc("a")
+        assert len(stats) == 2
+        assert [name for name, _ in stats] == ["a", "b"]
+
+
+class TestGroups:
+    def test_group_prefixes_names(self):
+        stats = Stats()
+        group = stats.group("btb")
+        group.inc("hits")
+        assert stats.get("btb.hits") == 1
+        assert group.get("hits") == 1
+
+    def test_nested_groups(self):
+        stats = Stats()
+        sub = stats.group("core").subgroup("fetch")
+        sub.inc("stalls", 7)
+        assert stats.get("core.fetch.stalls") == 7
+
+
+class TestDistribution:
+    def test_observe_and_summary(self):
+        dist = Distribution()
+        for value in (1, 2, 2, 10):
+            dist.observe(value)
+        assert dist.count == 4
+        assert dist.minimum == 1
+        assert dist.maximum == 10
+        assert dist.mean == 3.75
+
+    def test_cumulative_fraction(self):
+        dist = Distribution()
+        for value in (1, 2, 3, 4):
+            dist.observe(value)
+        assert dist.cumulative_fraction(2) == 0.5
+        assert dist.cumulative_fraction(10) == 1.0
+
+    def test_empty_distribution(self):
+        dist = Distribution()
+        assert dist.mean == 0.0
+        assert dist.cumulative_fraction(5) == 0.0
+
+    def test_merge(self):
+        a, b = Distribution(), Distribution()
+        a.observe(1)
+        b.observe(5)
+        a.merge(b)
+        assert a.count == 2
+        assert a.maximum == 5
+
+    def test_stats_observe_creates_distribution(self):
+        stats = Stats()
+        stats.observe("offsets", 6)
+        stats.observe("offsets", 20)
+        assert stats.distribution("offsets").count == 2

@@ -1,0 +1,106 @@
+"""Tests for the storage model behind Tables III and IV."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import BTBConfig, BTBStyle, ISAStyle
+from repro.btb.btbx import BTBX
+from repro.btb.conventional import ConventionalBTB
+from repro.btb.ideal import IdealBTB
+from repro.btb.pdede import PDedeBTB
+from repro.btb.rbtb import ReducedBTB
+from repro.btb.storage import (
+    CANONICAL_BTBX_ENTRIES,
+    BTBStorageModel,
+    canonical_budgets_kib,
+    make_btb,
+    make_btb_for_budget,
+)
+
+PAPER_TABLE3_KIB = (0.90625, 1.8125, 3.625, 7.25, 14.5, 29.0, 58.0)
+PAPER_TABLE4_PDEDE = (210, 415, 820, 1617, 3190, 6292, 12405)
+PAPER_TABLE4_CONV = (116, 232, 464, 928, 1856, 3712, 7424)
+
+
+class TestTable3:
+    def test_set_bits(self):
+        assert BTBStorageModel(ISAStyle.ARM64).btbx_set_bits() == 224
+        assert BTBStorageModel(ISAStyle.X86).btbx_set_bits() == 230
+
+    @pytest.mark.parametrize("entries,expected_kib", zip(CANONICAL_BTBX_ENTRIES, PAPER_TABLE3_KIB))
+    def test_storage_rows_match_paper(self, entries, expected_kib):
+        row = BTBStorageModel().btbx_storage_row(entries)
+        assert row.storage_kib == pytest.approx(expected_kib)
+        assert row.companion_entries == max(entries // 64, 1)
+
+    def test_canonical_budgets(self):
+        assert canonical_budgets_kib() == pytest.approx(list(PAPER_TABLE3_KIB))
+
+
+class TestTable4:
+    def test_conventional_capacities_exact(self):
+        model = BTBStorageModel()
+        for budget, expected in zip(PAPER_TABLE3_KIB, PAPER_TABLE4_CONV):
+            assert model.conventional_capacity_for_budget(budget) == expected
+
+    def test_pdede_capacities_close_to_paper(self):
+        model = BTBStorageModel()
+        for budget, expected in zip(PAPER_TABLE3_KIB, PAPER_TABLE4_PDEDE):
+            entries, page_entries, avg_bits, _, _ = model.pdede_capacity_for_budget(budget)
+            assert abs(entries - expected) <= 4  # small rounding differences only
+            assert page_entries in (32, 64, 128, 256, 512, 1024, 2048)
+            assert 31.5 <= avg_bits <= 35.5
+
+    def test_headline_capacity_ratios(self):
+        rows = BTBStorageModel().capacity_table()
+        for row in rows:
+            assert row.btbx_over_conventional == pytest.approx(2.24, abs=0.02)
+        assert rows[0].btbx_over_pdede == pytest.approx(1.24, abs=0.03)
+        assert rows[-1].btbx_over_pdede == pytest.approx(1.34, abs=0.03)
+
+    def test_x86_ratio_slightly_lower(self):
+        arm = BTBStorageModel(ISAStyle.ARM64).capacity_table()[0].btbx_over_conventional
+        x86 = BTBStorageModel(ISAStyle.X86).capacity_table()[0].btbx_over_conventional
+        assert x86 < arm
+        assert x86 == pytest.approx(2.18, abs=0.02)
+
+    def test_btbx_capacity_for_budget_inverse_of_storage(self):
+        model = BTBStorageModel()
+        for entries in CANONICAL_BTBX_ENTRIES:
+            budget = model.btbx_budget_kib(entries)
+            recovered, companion = model.btbx_capacity_for_budget(budget)
+            assert recovered == entries
+            assert companion == max(entries // 64, 1)
+
+
+class TestFactories:
+    def test_make_btb_for_budget_types(self):
+        assert isinstance(make_btb_for_budget(BTBStyle.CONVENTIONAL, 14.5), ConventionalBTB)
+        assert isinstance(make_btb_for_budget(BTBStyle.PDEDE, 14.5), PDedeBTB)
+        assert isinstance(make_btb_for_budget(BTBStyle.BTBX, 14.5), BTBX)
+        assert isinstance(make_btb_for_budget(BTBStyle.REDUCED, 14.5), ReducedBTB)
+        assert isinstance(make_btb_for_budget(BTBStyle.IDEAL, 14.5), IdealBTB)
+
+    @pytest.mark.parametrize("style", [BTBStyle.CONVENTIONAL, BTBStyle.PDEDE, BTBStyle.BTBX])
+    def test_budget_respected(self, style):
+        for budget in (0.90625, 7.25, 14.5, 58.0):
+            btb = make_btb_for_budget(style, budget)
+            assert btb.storage_kib() <= budget * 1.01
+
+    def test_btbx_has_more_entries_than_others_at_same_budget(self):
+        conv = make_btb_for_budget(BTBStyle.CONVENTIONAL, 14.5)
+        pdede = make_btb_for_budget(BTBStyle.PDEDE, 14.5)
+        btbx = make_btb_for_budget(BTBStyle.BTBX, 14.5)
+        assert btbx.capacity_entries() > pdede.capacity_entries() > conv.capacity_entries()
+
+    def test_make_btb_from_config(self):
+        for style, cls in [
+            (BTBStyle.CONVENTIONAL, ConventionalBTB),
+            (BTBStyle.PDEDE, PDedeBTB),
+            (BTBStyle.BTBX, BTBX),
+            (BTBStyle.REDUCED, ReducedBTB),
+            (BTBStyle.IDEAL, IdealBTB),
+        ]:
+            btb = make_btb(BTBConfig(style=style, entries=512, associativity=8))
+            assert isinstance(btb, cls)
