@@ -1,0 +1,44 @@
+"""Benchmark of the experiment engine itself: pooled grid throughput.
+
+Times one fig09-style (style x trace) grid going through
+:class:`ExperimentEngine` so the orchestration overhead (job hashing, result
+round-tripping, pool dispatch) is tracked alongside the simulation kernels.
+Set ``REPRO_WORKERS`` to benchmark a worker pool instead of serial execution;
+the warm-cache assertion at the end pins the engine's memoization contract.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import BENCH_SIM_SCALE
+
+from repro.experiments.config import DEFAULT_BUDGET_KIB, current_scale
+from repro.experiments.engine import ExperimentEngine, grid_jobs
+from repro.experiments.runner import EVALUATED_STYLES, evaluation_traces
+
+
+def test_bench_engine_grid(benchmark):
+    scale = current_scale(BENCH_SIM_SCALE)
+    workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    traces = evaluation_traces(scale, suites=("ipc1_client", "ipc1_server"))
+    jobs = grid_jobs(
+        traces,
+        EVALUATED_STYLES,
+        (DEFAULT_BUDGET_KIB,),
+        (True,),
+        instructions=scale.instructions,
+        warmup_instructions=scale.warmup_instructions,
+    )
+    engine = ExperimentEngine(workers=workers)
+
+    outcomes = benchmark.pedantic(engine.run_jobs, args=(jobs,), rounds=1, iterations=1)
+
+    assert len(outcomes) == len(jobs)
+    assert engine.stats()["executed"] == len(jobs)
+    for outcome in outcomes:
+        assert outcome.result.instructions > 0
+
+    # Memoized resubmission is effectively free and runs nothing new.
+    engine.run_jobs(jobs)
+    assert engine.stats()["executed"] == len(jobs)

@@ -4,8 +4,12 @@ Examples::
 
     btbx-repro list
     btbx-repro run fig09_mpki --scale quick
-    btbx-repro run table4_capacity
-    btbx-repro run fig11_sweep --scale full --json results/fig11.json
+    btbx-repro run fig11_sweep --scale full --workers 8 --cache-dir results/cache
+    btbx-repro run-all --scale smoke --workers 4 --timings BENCH_run_all.json
+
+Scale resolution honors the ``REPRO_SCALE`` environment variable: when set
+(to ``smoke``, ``quick`` or ``full``) it overrides the ``--scale`` flag, so
+CI and batch jobs can redirect every invocation without editing commands.
 """
 
 from __future__ import annotations
@@ -14,9 +18,17 @@ import argparse
 import importlib
 import json
 import sys
+import time
 from typing import Dict
 
-from repro.experiments.config import FULL_SCALE, QUICK_SCALE, SMOKE_SCALE
+from repro.experiments.config import (
+    FULL_SCALE,
+    QUICK_SCALE,
+    SMOKE_SCALE,
+    ExperimentScale,
+    current_scale,
+)
+from repro.experiments.engine import ExperimentEngine, use_engine
 
 #: Experiment name -> module path (relative to repro.experiments).
 EXPERIMENTS: Dict[str, str] = {
@@ -36,6 +48,29 @@ EXPERIMENTS: Dict[str, str] = {
 _SCALES = {"smoke": SMOKE_SCALE, "quick": QUICK_SCALE, "full": FULL_SCALE}
 
 
+def _positive_int(value: str) -> int:
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
+    return count
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", choices=sorted(_SCALES), default="quick", help="simulation scale preset"
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="simulation worker processes (1 = serial, no pool)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="directory for the on-disk result cache (reruns skip finished jobs)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -48,17 +83,83 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="run one experiment and print its report")
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment to run")
-    run_parser.add_argument(
-        "--scale", choices=sorted(_SCALES), default="quick", help="simulation scale preset"
-    )
+    _add_engine_arguments(run_parser)
     run_parser.add_argument("--json", dest="json_path", help="also dump the raw result as JSON")
+
+    all_parser = sub.add_parser(
+        "run-all", help="run every experiment through one shared engine"
+    )
+    _add_engine_arguments(all_parser)
+    all_parser.add_argument(
+        "--timings",
+        dest="timings_path",
+        help="dump a JSON timing summary (per-experiment seconds + engine counters)",
+    )
     return parser
 
 
-def run_experiment(name: str, scale_name: str = "quick") -> Dict[str, object]:
+def resolve_scale(scale_name: str = "quick") -> ExperimentScale:
+    """Scale implied by ``scale_name``, unless ``REPRO_SCALE`` overrides it."""
+    return current_scale(default=_SCALES[scale_name])
+
+
+def make_engine(workers: int = 1, cache_dir: str | None = None) -> ExperimentEngine:
+    """Build an engine from CLI-level knobs."""
+    return ExperimentEngine(workers=workers, cache_dir=cache_dir)
+
+
+def run_experiment(
+    name: str,
+    scale_name: str = "quick",
+    engine: ExperimentEngine | None = None,
+) -> Dict[str, object]:
     """Run a named experiment at the requested scale and return its raw result."""
     module = importlib.import_module(EXPERIMENTS[name])
-    return module.run(_SCALES[scale_name])
+    scale = resolve_scale(scale_name)
+    if engine is None:
+        return module.run(scale)
+    with use_engine(engine):
+        return module.run(scale)
+
+
+def run_all(
+    scale_name: str = "quick",
+    engine: ExperimentEngine | None = None,
+) -> Dict[str, object]:
+    """Run every experiment in one pooled pass over a shared engine.
+
+    The engine's memo and cache are shared across drivers, so overlapping
+    grids (fig09/fig10/fig11/table5 reuse most cells) simulate only once.
+    Returns ``{"results": ..., "timings_s": ..., "engine": ...}``.
+    """
+    engine = engine or ExperimentEngine(workers=1)
+    results: Dict[str, Dict[str, object]] = {}
+    timings: Dict[str, float] = {}
+    with use_engine(engine):
+        for name in EXPERIMENTS:
+            started = time.perf_counter()
+            results[name] = run_experiment(name, scale_name, engine=engine)
+            timings[name] = time.perf_counter() - started
+    return {
+        "scale": resolve_scale(scale_name).name,
+        "results": results,
+        "timings_s": timings,
+        "total_s": sum(timings.values()),
+        "engine": engine.stats(),
+    }
+
+
+def _write_timings(path: str, summary: Dict[str, object], workers: int) -> None:
+    record = {
+        "benchmark": "run_all",
+        "scale": summary["scale"],
+        "workers": workers,
+        "timings_s": summary["timings_s"],
+        "total_s": summary["total_s"],
+        "engine": summary["engine"],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -73,8 +174,30 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:<18} {summary}")
         return 0
 
+    try:
+        engine = make_engine(workers=args.workers, cache_dir=args.cache_dir)
+    except OSError as exc:
+        parser.error(f"cannot use cache directory {args.cache_dir!r}: {exc}")
+
+    if args.command == "run-all":
+        summary = run_all(args.scale, engine=engine)
+        for name in EXPERIMENTS:
+            module = importlib.import_module(EXPERIMENTS[name])
+            print(module.format_report(summary["results"][name]))
+            print(f"[{name}: {summary['timings_s'][name]:.2f}s]\n")
+        counters = summary["engine"]
+        print(
+            f"run-all: {summary['total_s']:.2f}s at scale {summary['scale']} "
+            f"({counters['executed']} simulations, {counters['memo_hits']} memo hits, "
+            f"{counters['disk_hits']} cache hits)"
+        )
+        if args.timings_path:
+            _write_timings(args.timings_path, summary, args.workers)
+            print(f"(timing summary written to {args.timings_path})")
+        return 0
+
+    result = run_experiment(args.experiment, args.scale, engine=engine)
     module = importlib.import_module(EXPERIMENTS[args.experiment])
-    result = module.run(_SCALES[args.scale])
     print(module.format_report(result))
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as handle:

@@ -24,6 +24,11 @@ module                    reproduces
 The amount of simulated work is controlled by :class:`ExperimentScale`
 (``QUICK_SCALE`` for benchmarks/CI, ``FULL_SCALE`` for paper-style runs; the
 ``REPRO_SCALE`` environment variable selects between them).
+
+Simulation grids execute through :class:`ExperimentEngine`
+(:mod:`repro.experiments.engine`): drivers expand their grids into hashable
+:class:`SimJob` lists, the engine fans them out over a worker pool and
+memoizes each result in an on-disk cache keyed by the job's config hash.
 """
 
 from repro.experiments.config import (
@@ -34,6 +39,15 @@ from repro.experiments.config import (
     ExperimentScale,
     current_scale,
 )
+from repro.experiments.engine import (
+    ExperimentEngine,
+    JobOutcome,
+    ResultCache,
+    SimJob,
+    get_active_engine,
+    set_active_engine,
+    use_engine,
+)
 
 __all__ = [
     "ExperimentScale",
@@ -42,4 +56,11 @@ __all__ = [
     "SMOKE_SCALE",
     "DEFAULT_BUDGET_KIB",
     "current_scale",
+    "ExperimentEngine",
+    "SimJob",
+    "JobOutcome",
+    "ResultCache",
+    "get_active_engine",
+    "set_active_engine",
+    "use_engine",
 ]

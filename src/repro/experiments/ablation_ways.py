@@ -20,11 +20,11 @@ from typing import Dict, List, Sequence
 
 from repro.analysis.aggregate import arithmetic_mean
 from repro.analysis.offset_analysis import combined_distribution
-from repro.common.config import default_machine_config, BTBStyle
-from repro.core.simulator import FrontEndSimulator
-from repro.btb.btbx import BTBX, BTBX_WAY_OFFSET_BITS_ARM64, METADATA_BITS, BTBXC_ENTRY_BITS
+from repro.common.config import BTBStyle
+from repro.btb.btbx import BTBX_WAY_OFFSET_BITS_ARM64, METADATA_BITS, BTBXC_ENTRY_BITS
 from repro.common.bitutils import kib_to_bits
 from repro.experiments.config import DEFAULT_BUDGET_KIB, ExperimentScale, QUICK_SCALE
+from repro.experiments.engine import ExperimentEngine, SimJob, get_active_engine
 from repro.experiments.runner import evaluation_traces
 
 
@@ -44,8 +44,13 @@ def _entries_for_budget(way_bits: Sequence[int], budget_kib: float, companion_di
     return max(sets, 1) * ways
 
 
-def run(scale: ExperimentScale = QUICK_SCALE, budget_kib: float = DEFAULT_BUDGET_KIB) -> Dict[str, object]:
+def run(
+    scale: ExperimentScale = QUICK_SCALE,
+    budget_kib: float = DEFAULT_BUDGET_KIB,
+    engine: ExperimentEngine | None = None,
+) -> Dict[str, object]:
     """Compare way-sizing strategies at an equal storage budget."""
+    engine = engine or get_active_engine()
     traces = evaluation_traces(scale, suites=("ipc1_server",))
     suite_cdf = combined_distribution(traces, name="server_suite")
     variants: Dict[str, List[int]] = {
@@ -53,18 +58,29 @@ def run(scale: ExperimentScale = QUICK_SCALE, budget_kib: float = DEFAULT_BUDGET
         "uniform25": [25] * 8,
         "calibrated": suite_cdf.way_sizing(8),
     }
-    rows: Dict[str, Dict[str, float]] = {}
+    # All three variants go out as one job list so they share the pool.
+    jobs: List[SimJob] = []
+    sized: Dict[str, tuple[List[int], int]] = {}
     for label, widths in variants.items():
         widths = sorted(widths)
         entries = _entries_for_budget(widths, budget_kib)
-        mpkis = []
-        for trace in traces:
-            machine = default_machine_config(btb_style=BTBStyle.BTBX, fdip_enabled=True, isa=trace.isa)
-            btb = BTBX(entries, way_offset_bits=widths, companion_divisor=64, isa=trace.isa)
-            result = FrontEndSimulator(machine, btb=btb).run(
-                trace, warmup_instructions=scale.warmup_instructions
+        sized[label] = (widths, entries)
+        jobs.extend(
+            SimJob(
+                workload=trace.name,
+                instructions=scale.instructions,
+                warmup_instructions=scale.warmup_instructions,
+                style=BTBStyle.BTBX,
+                fdip_enabled=True,
+                btbx_entries=entries,
+                way_offset_bits=tuple(widths),
             )
-            mpkis.append(result.btb_mpki)
+            for trace in traces
+        )
+    outcomes = iter(engine.run_jobs(jobs, traces={t.name: t for t in traces}))
+    rows: Dict[str, Dict[str, float]] = {}
+    for label, (widths, entries) in sized.items():
+        mpkis = [next(outcomes).result.btb_mpki for _ in traces]
         rows[label] = {
             "way_offset_bits": widths,
             "entries": entries,

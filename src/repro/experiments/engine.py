@@ -1,0 +1,447 @@
+"""Parallel experiment execution engine with an on-disk result cache.
+
+The paper's evaluation is a grid — traces x organizations x budgets x FDIP —
+and every cell is an independent simulation.  :class:`ExperimentEngine` turns
+that observation into throughput:
+
+* each cell becomes a hashable :class:`SimJob` that fully describes one
+  simulation (workload, trace length, warmup, BTB construction, FDIP);
+* jobs run either inline (``workers=1``) or on a ``ProcessPoolExecutor``
+  (``workers>1``), with worker processes regenerating their traces locally
+  from the deterministic workload specs — nothing heavyweight is pickled;
+* every finished job is memoized in-process and, when a ``cache_dir`` is
+  given, persisted as JSON keyed by a content hash of the job config, so
+  reruns and overlapping figures (fig09/fig10/fig11/table5 share most of
+  their grid) skip completed work entirely.
+
+Results are bit-identical across worker counts and cache states: the engine
+always round-trips :class:`SimulationResult` through the same JSON payload,
+whether a job ran inline, in a worker, or was loaded from disk.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterator, List, Mapping, Sequence
+
+from repro.common.config import BTBStyle, default_machine_config
+from repro.common.errors import ConfigurationError
+from repro.common.stats import Stats
+from repro.core.metrics import SimulationResult
+from repro.core.simulator import FrontEndSimulator
+from repro.btb.btbx import BTBX
+from repro.btb.storage import make_btb_for_budget
+from repro.traces.store import TraceStore, default_store
+from repro.traces.trace import Trace
+
+#: Bump when the payload layout or simulation semantics change: stale disk
+#: cache entries from an older format then miss instead of corrupting runs.
+CACHE_FORMAT_VERSION = 1
+
+#: SimulationResult fields carried through the payload (everything but stats).
+_RESULT_FIELDS = (
+    "workload",
+    "btb_style",
+    "btb_storage_kib",
+    "fdip_enabled",
+    "instructions",
+    "cycles",
+    "base_cycles",
+    "flush_cycles",
+    "resteer_cycles",
+    "icache_stall_cycles",
+    "btb_extra_cycles",
+    "btb_misses_taken",
+    "decode_resteers",
+    "execute_flushes",
+    "direction_mispredictions",
+    "target_mispredictions",
+    "taken_branches",
+    "branches",
+    "l1i_accesses",
+    "l1i_misses",
+    "l1i_misses_covered",
+)
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One independent simulation: a hashable cell of an experiment grid.
+
+    ``budget_kib`` sizes the BTB through :func:`make_btb_for_budget`; the
+    way-sizing ablation instead passes an explicit BTB-X geometry via
+    ``btbx_entries``/``way_offset_bits``.  Workers resolve ``workload`` to a
+    trace through the deterministic suite specs, so a job is self-contained.
+    """
+
+    workload: str
+    instructions: int
+    warmup_instructions: int
+    style: BTBStyle
+    fdip_enabled: bool
+    budget_kib: float | None = None
+    btbx_entries: int | None = None
+    way_offset_bits: tuple[int, ...] | None = None
+    companion_divisor: int = 64
+
+    def __post_init__(self) -> None:
+        if self.budget_kib is None and self.way_offset_bits is None:
+            raise ConfigurationError("SimJob needs a budget or an explicit BTB-X geometry")
+        if self.way_offset_bits is not None and self.btbx_entries is None:
+            raise ConfigurationError("explicit way sizing also needs btbx_entries")
+
+    def config_dict(self) -> Dict[str, object]:
+        """Canonical JSON-able description of the job (the cache identity)."""
+        config = asdict(self)
+        config["style"] = self.style.value
+        if self.way_offset_bits is not None:
+            config["way_offset_bits"] = list(self.way_offset_bits)
+        config["cache_format"] = CACHE_FORMAT_VERSION
+        return config
+
+    def config_hash(self) -> str:
+        """Content hash of the job config; the on-disk cache key."""
+        canonical = json.dumps(self.config_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class JobOutcome:
+    """What one executed (or cache-loaded) job produced."""
+
+    result: SimulationResult
+    access_counts: Dict[str, float] | None = None
+
+
+def grid_jobs(
+    traces: Sequence[Trace],
+    styles: Sequence[BTBStyle],
+    budgets_kib: Sequence[float],
+    fdip_modes: Sequence[bool],
+    instructions: int,
+    warmup_instructions: int,
+) -> List[SimJob]:
+    """Expand a (budget, fdip, style, trace) grid into its job list."""
+    return [
+        SimJob(
+            workload=trace.name,
+            instructions=instructions,
+            warmup_instructions=warmup_instructions,
+            style=style,
+            fdip_enabled=fdip,
+            budget_kib=budget,
+        )
+        for budget in budgets_kib
+        for fdip in fdip_modes
+        for style in styles
+        for trace in traces
+    ]
+
+
+# -- job execution (runs in the parent or in a worker process) ---------------
+
+
+def _result_to_payload(result: SimulationResult) -> Dict[str, object]:
+    return {name: getattr(result, name) for name in _RESULT_FIELDS}
+
+
+def _payload_to_result(payload: Mapping[str, object]) -> SimulationResult:
+    return SimulationResult(stats=Stats(), **{name: payload[name] for name in _RESULT_FIELDS})
+
+
+def execute_job(job: SimJob, trace: Trace | None = None,
+                trace_store: TraceStore | None = None) -> Dict[str, object]:
+    """Run one simulation and return its serialized payload.
+
+    The serialized form (not the live objects) is the engine's currency: it is
+    what workers return, what the disk cache stores and what every caller gets
+    rehydrated from, which is how serial, parallel and cached runs stay
+    bit-identical.
+    """
+    if trace is None:
+        trace = (trace_store or default_store()).get(job.workload, job.instructions)
+    machine = default_machine_config(
+        btb_style=job.style, fdip_enabled=job.fdip_enabled, isa=trace.isa
+    )
+    if job.way_offset_bits is not None:
+        btb = BTBX(
+            job.btbx_entries,
+            way_offset_bits=list(job.way_offset_bits),
+            companion_divisor=job.companion_divisor,
+            isa=trace.isa,
+        )
+    else:
+        btb = make_btb_for_budget(job.style, job.budget_kib, isa=trace.isa)
+    result = FrontEndSimulator(machine, btb=btb).run(
+        trace, warmup_instructions=job.warmup_instructions
+    )
+    # Access counters are maintained unconditionally by every BTB and are tiny
+    # next to the result, so they ride along in every payload; that keeps the
+    # energy analysis (Table V) on the same cached cells as the MPKI and
+    # performance figures instead of forking the cache key.
+    return {
+        "result": _result_to_payload(result),
+        "access_counts": {k: float(v) for k, v in btb.access_counts().items()},
+    }
+
+
+def _worker_execute(job: SimJob) -> tuple[str, Dict[str, object]]:
+    """Pool entry point: regenerate the trace locally and run the job."""
+    return job.config_hash(), execute_job(job)
+
+
+def _payload_to_outcome(payload: Mapping[str, object]) -> JobOutcome:
+    return JobOutcome(
+        result=_payload_to_result(payload["result"]),
+        access_counts=payload.get("access_counts"),
+    )
+
+
+# -- on-disk result cache ----------------------------------------------------
+
+
+class ResultCache:
+    """Content-addressed JSON store of finished job payloads.
+
+    One file per job, named by the job's config hash.  Writes go through a
+    temp file plus :func:`os.replace`, so concurrent processes sharing a cache
+    directory never observe partial entries.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, config_hash: str) -> str:
+        return os.path.join(self.directory, f"{config_hash}.json")
+
+    def get(self, job: SimJob) -> Dict[str, object] | None:
+        """Load the payload of ``job`` or None on a miss/corrupt entry.
+
+        Any unreadable entry — missing, corrupt, permission-denied on a
+        shared cache directory — is a miss: the job simply re-simulates.
+        """
+        try:
+            with open(self._path(job.config_hash()), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        payload = entry.get("payload")
+        if not isinstance(payload, dict) or "result" not in payload:
+            return None
+        return payload
+
+    def put(self, job: SimJob, payload: Mapping[str, object]) -> None:
+        """Persist the payload of ``job`` atomically."""
+        entry = {"job": job.config_dict(), "payload": payload}
+        fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp_path, self._path(job.config_hash()))
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_path)
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.directory) if name.endswith(".json"))
+
+    def clear(self) -> None:
+        """Delete every cached entry (and any crash-orphaned temp file)."""
+        for name in os.listdir(self.directory):
+            if name.endswith((".json", ".tmp")):
+                with contextlib.suppress(OSError):
+                    os.unlink(os.path.join(self.directory, name))
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+@dataclass
+class EngineCounters:
+    """Where each submitted job's result came from (for tests and reports)."""
+
+    submitted: int = 0
+    executed: int = 0
+    memo_hits: int = 0
+    disk_hits: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "executed": self.executed,
+            "memo_hits": self.memo_hits,
+            "disk_hits": self.disk_hits,
+        }
+
+
+class ExperimentEngine:
+    """Executes :class:`SimJob` lists with pooling and memoization.
+
+    ``workers=1`` runs jobs inline (no subprocess overhead, still memoized);
+    ``workers>1`` fans the cache misses out over a process pool.  One engine
+    is meant to be shared across experiment drivers — its in-memory memo is
+    what lets ``run-all`` simulate each overlapping grid cell exactly once.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: str | os.PathLike | None = None,
+        trace_store: TraceStore | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("engine needs at least one worker")
+        self.workers = workers
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.trace_store = trace_store or default_store()
+        self.counters = EngineCounters()
+        # LRU-bounded so a long-lived library process cannot grow the memo
+        # forever (payloads are small; the bound comfortably covers a full-
+        # scale sweep of 43 traces x 3 styles x 7 budgets x 2 FDIP modes).
+        self._memo: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self._memo_limit = 4096
+
+    # -- execution ----------------------------------------------------------
+
+    def run_jobs(
+        self,
+        jobs: Sequence[SimJob],
+        traces: Mapping[str, Trace] | None = None,
+    ) -> List[JobOutcome]:
+        """Execute ``jobs`` and return their outcomes in submission order.
+
+        ``traces`` optionally supplies already-built :class:`Trace` objects by
+        workload name; inline execution uses them directly, worker processes
+        always regenerate deterministically from the workload specs.
+        """
+        self.counters.submitted += len(jobs)
+        hashes = [job.config_hash() for job in jobs]
+
+        # Resolve duplicates and cache hits first; collect the true misses.
+        # ``resolved`` is the call-local view, immune to memo LRU eviction.
+        resolved: Dict[str, Dict[str, object]] = {}
+        misses: List[tuple[str, SimJob]] = []
+        for job, config_hash in zip(jobs, hashes):
+            if config_hash in resolved:
+                continue
+            if config_hash in self._memo:
+                self.counters.memo_hits += 1
+                self._memo.move_to_end(config_hash)
+                resolved[config_hash] = self._memo[config_hash]
+                continue
+            if self.cache is not None:
+                payload = self.cache.get(job)
+                if payload is not None:
+                    self.counters.disk_hits += 1
+                    self._memoize(config_hash, payload)
+                    resolved[config_hash] = payload
+                    continue
+            resolved[config_hash] = {}  # placeholder; filled by execution
+            misses.append((config_hash, job))
+
+        for config_hash, payload in self._execute(misses, traces or {}):
+            self.counters.executed += 1
+            self._memoize(config_hash, payload)
+            resolved[config_hash] = payload
+            if self.cache is not None:
+                self.cache.put(self._job_by_hash(misses, config_hash), payload)
+
+        return [_payload_to_outcome(resolved[config_hash]) for config_hash in hashes]
+
+    def run_job(self, job: SimJob, trace: Trace | None = None) -> JobOutcome:
+        """Convenience wrapper for a single job."""
+        traces = {trace.name: trace} if trace is not None else None
+        return self.run_jobs([job], traces=traces)[0]
+
+    def _execute(
+        self,
+        misses: Sequence[tuple[str, SimJob]],
+        traces: Mapping[str, Trace],
+    ) -> Iterator[tuple[str, Dict[str, object]]]:
+        if not misses:
+            return
+        if self.workers == 1 or len(misses) == 1:
+            for config_hash, job in misses:
+                yield config_hash, execute_job(
+                    job, trace=traces.get(job.workload), trace_store=self.trace_store
+                )
+            return
+        max_workers = min(self.workers, len(misses))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            yield from pool.map(_worker_execute, [job for _, job in misses])
+
+    @staticmethod
+    def _job_by_hash(misses: Sequence[tuple[str, SimJob]], config_hash: str) -> SimJob:
+        for candidate_hash, job in misses:
+            if candidate_hash == config_hash:
+                return job
+        raise KeyError(config_hash)  # pragma: no cover - executor invariant
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _memoize(self, config_hash: str, payload: Dict[str, object]) -> None:
+        self._memo[config_hash] = payload
+        self._memo.move_to_end(config_hash)
+        while len(self._memo) > self._memo_limit:
+            self._memo.popitem(last=False)
+
+    def clear_memo(self) -> None:
+        """Drop the in-memory memo (the disk cache, if any, is kept)."""
+        self._memo.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: submitted/executed/memo_hits/disk_hits."""
+        return self.counters.as_dict()
+
+
+# -- active-engine plumbing ---------------------------------------------------
+
+_ACTIVE_ENGINE: ExperimentEngine | None = None
+
+
+def get_active_engine() -> ExperimentEngine:
+    """The engine drivers submit to when not handed one explicitly.
+
+    Defaults to a serial, disk-cache-less engine so library users who never
+    touch the CLI see the historical single-process behavior.
+    """
+    global _ACTIVE_ENGINE
+    if _ACTIVE_ENGINE is None:
+        _ACTIVE_ENGINE = ExperimentEngine(workers=1)
+    return _ACTIVE_ENGINE
+
+
+def set_active_engine(engine: ExperimentEngine | None) -> None:
+    """Install (or with None, reset) the process-wide active engine."""
+    global _ACTIVE_ENGINE
+    _ACTIVE_ENGINE = engine
+
+
+def clear_active_memo() -> None:
+    """Clear the active engine's in-memory memo, if an engine exists.
+
+    Does not lazily create an engine; ``clear_trace_cache`` calls this so
+    "drop the caches" keeps meaning every in-process cache.
+    """
+    if _ACTIVE_ENGINE is not None:
+        _ACTIVE_ENGINE.clear_memo()
+
+
+@contextlib.contextmanager
+def use_engine(engine: ExperimentEngine) -> Iterator[ExperimentEngine]:
+    """Scope ``engine`` as the active engine (the CLI wraps runs in this)."""
+    previous = _ACTIVE_ENGINE
+    set_active_engine(engine)
+    try:
+        yield engine
+    finally:
+        set_active_engine(previous)

@@ -12,6 +12,7 @@ from typing import Dict
 
 from repro.analysis.aggregate import arithmetic_mean
 from repro.experiments.config import DEFAULT_BUDGET_KIB, ExperimentScale, QUICK_SCALE
+from repro.experiments.engine import ExperimentEngine
 from repro.experiments.runner import (
     EVALUATED_STYLES,
     evaluation_traces,
@@ -21,10 +22,16 @@ from repro.experiments.runner import (
 )
 
 
-def run(scale: ExperimentScale = QUICK_SCALE, budget_kib: float = DEFAULT_BUDGET_KIB) -> Dict[str, object]:
+def run(
+    scale: ExperimentScale = QUICK_SCALE,
+    budget_kib: float = DEFAULT_BUDGET_KIB,
+    engine: ExperimentEngine | None = None,
+) -> Dict[str, object]:
     """Simulate every workload with the three organizations and collect MPKI."""
     traces = evaluation_traces(scale, suites=("ipc1_client", "ipc1_server"))
-    grid = simulate_grid(traces, EVALUATED_STYLES, budget_kib, fdip_enabled=True, scale=scale)
+    grid = simulate_grid(
+        traces, EVALUATED_STYLES, budget_kib, fdip_enabled=True, scale=scale, engine=engine
+    )
 
     per_workload: Dict[str, Dict[str, float]] = {}
     for trace in traces:

@@ -14,20 +14,35 @@ from typing import Dict
 from repro.analysis.aggregate import geometric_mean
 from repro.common.config import BTBStyle
 from repro.experiments.config import DEFAULT_BUDGET_KIB, ExperimentScale, QUICK_SCALE
+from repro.experiments.engine import ExperimentEngine
 from repro.experiments.runner import (
     EVALUATED_STYLES,
     evaluation_traces,
     is_server_workload,
-    simulate_grid,
+    simulate_full_grid,
     style_label,
 )
 
 
-def run(scale: ExperimentScale = QUICK_SCALE, budget_kib: float = DEFAULT_BUDGET_KIB) -> Dict[str, object]:
+def run(
+    scale: ExperimentScale = QUICK_SCALE,
+    budget_kib: float = DEFAULT_BUDGET_KIB,
+    engine: ExperimentEngine | None = None,
+) -> Dict[str, object]:
     """Simulate the 3 organizations x {FDIP off, FDIP on} grid."""
     traces = evaluation_traces(scale, suites=("ipc1_client", "ipc1_server"))
-    without_fdip = simulate_grid(traces, EVALUATED_STYLES, budget_kib, fdip_enabled=False, scale=scale)
-    with_fdip = simulate_grid(traces, EVALUATED_STYLES, budget_kib, fdip_enabled=True, scale=scale)
+    # Both FDIP modes go out in one pooled pass.
+    grid = simulate_full_grid(
+        traces, EVALUATED_STYLES, (budget_kib,), (False, True), scale, engine=engine
+    )
+    without_fdip = {
+        style: {name: outcome.result for name, outcome in per_style.items()}
+        for style, per_style in grid[(budget_kib, False)].items()
+    }
+    with_fdip = {
+        style: {name: outcome.result for name, outcome in per_style.items()}
+        for style, per_style in grid[(budget_kib, True)].items()
+    }
     baseline = without_fdip[BTBStyle.CONVENTIONAL]
 
     per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}

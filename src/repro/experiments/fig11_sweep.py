@@ -14,11 +14,12 @@ from typing import Dict, List
 from repro.analysis.aggregate import geometric_mean
 from repro.common.config import BTBStyle
 from repro.experiments.config import BUDGETS_KIB, ExperimentScale, QUICK_SCALE
+from repro.experiments.engine import ExperimentEngine
 from repro.experiments.runner import (
     EVALUATED_STYLES,
     evaluation_traces,
     is_server_workload,
-    simulate_grid,
+    simulate_full_grid,
     style_label,
 )
 
@@ -26,13 +27,22 @@ from repro.experiments.runner import (
 def run(
     scale: ExperimentScale = QUICK_SCALE,
     budgets_kib: tuple[float, ...] = BUDGETS_KIB,
+    engine: ExperimentEngine | None = None,
 ) -> Dict[str, object]:
     """Sweep the storage budgets for the three organizations."""
     traces = evaluation_traces(scale, suites=("ipc1_client", "ipc1_server"))
 
+    # The whole budget sweep is one grid; submitting it in a single pooled
+    # pass keeps every engine worker busy across budget boundaries.
+    grid = simulate_full_grid(
+        traces, EVALUATED_STYLES, budgets_kib, (True,), scale, engine=engine
+    )
     # results[budget][style][workload] -> SimulationResult
     results = {
-        budget: simulate_grid(traces, EVALUATED_STYLES, budget, fdip_enabled=True, scale=scale)
+        budget: {
+            style: {name: outcome.result for name, outcome in per_style.items()}
+            for style, per_style in grid[(budget, True)].items()
+        }
         for budget in budgets_kib
     }
     baseline = results[budgets_kib[0]][BTBStyle.CONVENTIONAL]

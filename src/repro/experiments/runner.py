@@ -1,26 +1,38 @@
 """Shared machinery for the experiment drivers.
 
-The drivers need the same two building blocks:
+The drivers need the same building blocks:
 
 * building the evaluation traces once (trace generation is seeded, so traces
-  are identical across drivers using the same scale), and
-* simulating a trace on a machine whose BTB organization is sized for a given
-  storage budget, with or without FDIP.
+  are identical across drivers using the same scale) through the bounded,
+  process-safe :class:`~repro.traces.store.TraceStore`, and
+* simulating (trace, style, budget, fdip) grid cells, which is delegated to
+  the :class:`~repro.experiments.engine.ExperimentEngine` so grids fan out
+  over worker processes and memoize into the on-disk result cache.
 
 Both are provided here so each figure/table driver stays small and readable.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
-from repro.common.config import BTBStyle, default_machine_config
+from repro.common.config import BTBStyle
 from repro.core.metrics import SimulationResult
-from repro.core.simulator import FrontEndSimulator
-from repro.btb.storage import make_btb_for_budget
 from repro.experiments.config import ExperimentScale
+from repro.common.errors import WorkloadError
+from repro.experiments.engine import (
+    ExperimentEngine,
+    JobOutcome,
+    SimJob,
+    _payload_to_outcome,
+    clear_active_memo,
+    execute_job,
+    get_active_engine,
+    grid_jobs,
+)
+from repro.traces.store import default_store
 from repro.traces.trace import Trace
-from repro.workloads.suites import build_suite
+from repro.workloads.suites import selected_workload_names, workload_spec_by_name
 
 #: The three organizations compared throughout the evaluation.
 EVALUATED_STYLES: tuple[BTBStyle, ...] = (
@@ -28,8 +40,6 @@ EVALUATED_STYLES: tuple[BTBStyle, ...] = (
     BTBStyle.PDEDE,
     BTBStyle.BTBX,
 )
-
-_TRACE_CACHE: Dict[tuple, List[Trace]] = {}
 
 
 def style_label(style: BTBStyle) -> str:
@@ -43,31 +53,50 @@ def style_label(style: BTBStyle) -> str:
     }[style]
 
 
-def evaluation_traces(
-    scale: ExperimentScale,
-    suites: Sequence[str] = ("ipc1_client", "ipc1_server"),
-) -> List[Trace]:
-    """Build (and cache) the traces of the requested suites at ``scale``."""
-    limits = {
+def suite_limits(scale: ExperimentScale) -> Dict[str, int | None]:
+    """Per-suite workload caps implied by ``scale``."""
+    return {
         "ipc1_client": scale.client_workloads,
         "ipc1_server": scale.server_workloads,
         "cvp1_server": scale.cvp_workloads,
         "x86_server": scale.x86_workloads,
     }
-    traces: List[Trace] = []
-    for suite in suites:
-        key = (suite, scale.instructions, limits.get(suite))
-        if key not in _TRACE_CACHE:
-            _TRACE_CACHE[key] = list(
-                build_suite(suite, scale.instructions, limit=limits.get(suite))
-            )
-        traces.extend(_TRACE_CACHE[key])
-    return traces
+
+
+def evaluation_traces(
+    scale: ExperimentScale,
+    suites: Sequence[str] = ("ipc1_client", "ipc1_server"),
+) -> List[Trace]:
+    """Build (and cache) the traces of the requested suites at ``scale``."""
+    limits = suite_limits(scale)
+    store = default_store()
+    return [
+        store.get(name, scale.instructions)
+        for suite in suites
+        for name in selected_workload_names(suite, limits.get(suite))
+    ]
 
 
 def clear_trace_cache() -> None:
-    """Drop cached traces (tests use this to bound memory)."""
-    _TRACE_CACHE.clear()
+    """Drop cached traces and the active engine's memo (bounds memory)."""
+    default_store().clear()
+    clear_active_memo()
+
+
+def _is_canonical_trace(trace: Trace, scale: ExperimentScale) -> bool:
+    """True when ``trace`` is exactly what its name and ``scale`` describe.
+
+    The engine's caches are keyed by ``(workload name, scale)``, which is only
+    sound for traces regenerable from those two facts.  Sliced, windowed or
+    custom-named traces must bypass the caches entirely.
+    """
+    if len(trace) != scale.instructions:
+        return False
+    try:
+        workload_spec_by_name(trace.name)
+    except WorkloadError:
+        return False
+    return True
 
 
 def simulate(
@@ -76,29 +105,82 @@ def simulate(
     budget_kib: float,
     fdip_enabled: bool,
     scale: ExperimentScale,
+    engine: ExperimentEngine | None = None,
 ) -> SimulationResult:
-    """Simulate one trace with one BTB organization sized for ``budget_kib``."""
-    machine = default_machine_config(
-        btb_style=style, fdip_enabled=fdip_enabled, isa=trace.isa
+    """Simulate one trace with one BTB organization sized for ``budget_kib``.
+
+    Canonical suite traces go through the (memoizing) engine; anything else —
+    custom names, non-``scale`` lengths, sliced traces — simulates directly so
+    a stale cache entry can never stand in for the trace actually passed.
+    """
+    job = SimJob(
+        workload=trace.name,
+        instructions=scale.instructions,
+        warmup_instructions=scale.warmup_instructions,
+        style=style,
+        fdip_enabled=fdip_enabled,
+        budget_kib=budget_kib,
     )
-    btb = make_btb_for_budget(style, budget_kib, isa=trace.isa)
-    simulator = FrontEndSimulator(machine, btb=btb)
-    return simulator.run(trace, warmup_instructions=scale.warmup_instructions)
+    if not _is_canonical_trace(trace, scale):
+        return _payload_to_outcome(execute_job(job, trace=trace)).result
+    engine = engine or get_active_engine()
+    return engine.run_job(job, trace=trace).result
+
+
+def simulate_full_grid(
+    traces: Sequence[Trace],
+    styles: Sequence[BTBStyle],
+    budgets_kib: Sequence[float],
+    fdip_modes: Sequence[bool],
+    scale: ExperimentScale,
+    engine: ExperimentEngine | None = None,
+) -> Dict[Tuple[float, bool], Dict[BTBStyle, Dict[str, JobOutcome]]]:
+    """Run a whole (budget, fdip, style, trace) grid in one pooled pass.
+
+    Returns ``outcomes[(budget, fdip)][style][workload]``.  Submitting the
+    full grid at once (rather than per budget) is what lets a sweep saturate
+    the worker pool.  ``traces`` must be canonical suite traces (as produced
+    by :func:`evaluation_traces`): the engine caches by workload name.
+    """
+    engine = engine or get_active_engine()
+    jobs = grid_jobs(
+        traces,
+        styles,
+        budgets_kib,
+        fdip_modes,
+        instructions=scale.instructions,
+        warmup_instructions=scale.warmup_instructions,
+    )
+    outcomes = engine.run_jobs(jobs, traces={trace.name: trace for trace in traces})
+    nested: Dict[Tuple[float, bool], Dict[BTBStyle, Dict[str, JobOutcome]]] = {}
+    cursor = iter(outcomes)
+    for budget in budgets_kib:
+        for fdip in fdip_modes:
+            cell = nested.setdefault((budget, fdip), {})
+            for style in styles:
+                per_style = cell.setdefault(style, {})
+                for trace in traces:
+                    per_style[trace.name] = next(cursor)
+    return nested
 
 
 def simulate_grid(
-    traces: Iterable[Trace],
+    traces: Sequence[Trace],
     styles: Sequence[BTBStyle],
     budget_kib: float,
     fdip_enabled: bool,
     scale: ExperimentScale,
+    engine: ExperimentEngine | None = None,
 ) -> Dict[BTBStyle, Dict[str, SimulationResult]]:
     """Simulate every (style, trace) pair; returns results[style][workload]."""
-    results: Dict[BTBStyle, Dict[str, SimulationResult]] = {style: {} for style in styles}
-    for trace in traces:
-        for style in styles:
-            results[style][trace.name] = simulate(trace, style, budget_kib, fdip_enabled, scale)
-    return results
+    nested = simulate_full_grid(
+        traces, styles, (budget_kib,), (fdip_enabled,), scale, engine=engine
+    )
+    cell = nested[(budget_kib, fdip_enabled)]
+    return {
+        style: {name: outcome.result for name, outcome in cell[style].items()}
+        for style in styles
+    }
 
 
 def is_server_workload(name: str) -> bool:

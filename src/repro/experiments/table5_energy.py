@@ -10,12 +10,15 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.common.config import BTBStyle, default_machine_config
-from repro.core.simulator import FrontEndSimulator
-from repro.btb.storage import make_btb_for_budget
 from repro.energy.btb_energy import BTBEnergyModel
 from repro.experiments.config import DEFAULT_BUDGET_KIB, ExperimentScale, QUICK_SCALE
-from repro.experiments.runner import EVALUATED_STYLES, evaluation_traces, style_label
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.runner import (
+    EVALUATED_STYLES,
+    evaluation_traces,
+    simulate_full_grid,
+    style_label,
+)
 
 #: Per-access numbers reported in Table V / Section VI-E for reference.
 PAPER_PER_ACCESS = {
@@ -25,21 +28,24 @@ PAPER_PER_ACCESS = {
 }
 
 
-def run(scale: ExperimentScale = QUICK_SCALE, budget_kib: float = DEFAULT_BUDGET_KIB) -> Dict[str, object]:
+def run(
+    scale: ExperimentScale = QUICK_SCALE,
+    budget_kib: float = DEFAULT_BUDGET_KIB,
+    engine: ExperimentEngine | None = None,
+) -> Dict[str, object]:
     """Simulate the server workloads per organization and evaluate energy."""
     traces = evaluation_traces(scale, suites=("ipc1_server",))
     model = BTBEnergyModel(budget_kib)
+    grid = simulate_full_grid(
+        traces, EVALUATED_STYLES, (budget_kib,), (True,), scale, engine=engine
+    )
     designs: Dict[str, Dict[str, object]] = {}
     for style in EVALUATED_STYLES:
         label = style_label(style)
         aggregated: Dict[str, float] = {}
         for trace in traces:
-            machine = default_machine_config(btb_style=style, fdip_enabled=True, isa=trace.isa)
-            btb = make_btb_for_budget(style, budget_kib, isa=trace.isa)
-            FrontEndSimulator(machine, btb=btb).run(
-                trace, warmup_instructions=scale.warmup_instructions
-            )
-            for key, value in btb.access_counts().items():
+            outcome = grid[(budget_kib, True)][style][trace.name]
+            for key, value in (outcome.access_counts or {}).items():
                 aggregated[key] = aggregated.get(key, 0.0) + value
         # Average the access counts over the workloads, as Table V does.
         averaged = {key: value / max(len(traces), 1) for key, value in aggregated.items()}

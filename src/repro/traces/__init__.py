@@ -10,16 +10,21 @@ same record format).
 * :mod:`repro.traces.binary_io` -- compact struct-packed on-disk format.
 * :mod:`repro.traces.text_io` -- human-readable one-record-per-line format.
 * :mod:`repro.traces.filters` -- warmup/measurement splitting and windowing.
+* :mod:`repro.traces.store` -- bounded, thread-safe memoization of generated
+  traces (shared by the experiment runner and the parallel engine).
 """
 
 from repro.traces.binary_io import read_binary_trace, write_binary_trace
 from repro.traces.filters import branch_only, split_warmup, window
-from repro.traces.text_io import read_text_trace, write_text_trace
+from repro.traces.store import TraceStore, default_store
 from repro.traces.trace import Trace, TraceSummary
+from repro.traces.text_io import read_text_trace, write_text_trace
 
 __all__ = [
     "Trace",
     "TraceSummary",
+    "TraceStore",
+    "default_store",
     "read_binary_trace",
     "write_binary_trace",
     "read_text_trace",

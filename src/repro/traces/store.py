@@ -1,0 +1,97 @@
+"""Bounded, thread-safe store of generated traces.
+
+Trace generation is deterministic (every workload spec carries its own seed),
+so a trace is fully described by ``(workload_name, instructions)``.  The store
+memoizes generated traces under that key with LRU eviction, replacing the
+unbounded module-global cache the experiment runner used to keep: a full-scale
+sweep touches dozens of workloads and an unbounded cache holds every one of
+them alive for the whole run.
+
+The store is thread-safe (a single lock guards the mapping) and process-local:
+worker processes of the parallel experiment engine each build their own store,
+which is exactly the right sharing granularity because traces are cheap to
+regenerate relative to simulation and never need to cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Tuple
+
+from repro.traces.trace import Trace
+
+#: Default number of traces kept alive; enough for every suite of one scale.
+DEFAULT_MAX_TRACES = 64
+
+
+def _build_workload(name: str, instructions: int) -> Trace:
+    # Imported lazily: repro.workloads imports repro.traces.trace, so a
+    # top-level import here would create a package cycle.
+    from repro.workloads.suites import build_workload
+
+    return build_workload(name, instructions)
+
+
+class TraceStore:
+    """LRU-bounded memoization of ``(workload, instructions) -> Trace``."""
+
+    def __init__(
+        self,
+        max_traces: int = DEFAULT_MAX_TRACES,
+        builder: Callable[[str, int], Trace] | None = None,
+    ) -> None:
+        if max_traces <= 0:
+            raise ValueError("trace store needs room for at least one trace")
+        self.max_traces = max_traces
+        self._builder = builder or _build_workload
+        self._traces: "OrderedDict[Tuple[str, int], Trace]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, workload: str, instructions: int) -> Trace:
+        """Return the trace of ``workload``, generating it on first use."""
+        key = (workload, instructions)
+        with self._lock:
+            trace = self._traces.get(key)
+            if trace is not None:
+                self.hits += 1
+                self._traces.move_to_end(key)
+                return trace
+            self.misses += 1
+        # Generate outside the lock: generation is slow and deterministic, so
+        # a duplicate build under contention is wasteful but harmless.
+        trace = self._builder(workload, instructions)
+        self.put(trace, instructions)
+        return trace
+
+    def put(self, trace: Trace, instructions: int | None = None) -> None:
+        """Insert an already-built trace, evicting the LRU entry if full."""
+        key = (trace.name, len(trace) if instructions is None else instructions)
+        with self._lock:
+            self._traces[key] = trace
+            self._traces.move_to_end(key)
+            while len(self._traces) > self.max_traces:
+                self._traces.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def __contains__(self, key: Tuple[str, int]) -> bool:
+        with self._lock:
+            return key in self._traces
+
+    def clear(self) -> None:
+        """Drop every cached trace (tests use this to bound memory)."""
+        with self._lock:
+            self._traces.clear()
+
+
+_DEFAULT_STORE = TraceStore()
+
+
+def default_store() -> TraceStore:
+    """The process-wide shared store used by the runner and the engine."""
+    return _DEFAULT_STORE

@@ -21,7 +21,7 @@ from repro.common.errors import WorkloadError
 from repro.isa.branch import BranchType
 from repro.isa.instruction import Instruction
 from repro.traces.trace import Trace
-from repro.workloads.cfg import BasicBlock, Program, TerminatorKind, build_program
+from repro.workloads.cfg import Program, TerminatorKind, build_program
 from repro.workloads.spec import WorkloadSpec
 
 _TERMINATOR_TO_BRANCH = {

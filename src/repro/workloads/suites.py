@@ -110,12 +110,13 @@ def build_workload(name: str, instructions: int) -> Trace:
     return generate_trace(workload_spec_by_name(name), instructions, name=name)
 
 
-def build_suite(suite: str, instructions: int, limit: int | None = None) -> TraceSet:
-    """Generate traces for a whole suite.
+def selected_workload_names(suite: str, limit: int | None = None) -> List[str]:
+    """Workload names of a suite, optionally capped to ``limit`` members.
 
-    ``limit`` caps the number of workloads, keeping quick runs and benchmarks
-    tractable; when limited, workloads are chosen spread across the suite so
-    both low- and high-footprint members are represented.
+    When limited, workloads are chosen spread across the suite so both low-
+    and high-footprint members are represented.  The selection is a pure
+    function of ``(suite, limit)``, which is what lets parallel workers and
+    the result cache agree on which workloads a scale implies.
     """
     names = list(workload_names(suite))
     if limit is not None and limit < len(names):
@@ -123,6 +124,16 @@ def build_suite(suite: str, instructions: int, limit: int | None = None) -> Trac
             raise WorkloadError("suite limit must be positive")
         stride = len(names) / limit
         names = [names[int(i * stride)] for i in range(limit)]
+    return names
+
+
+def build_suite(suite: str, instructions: int, limit: int | None = None) -> TraceSet:
+    """Generate traces for a whole suite.
+
+    ``limit`` caps the number of workloads, keeping quick runs and benchmarks
+    tractable; see :func:`selected_workload_names` for how they are chosen.
+    """
+    names = selected_workload_names(suite, limit)
     suite_set = TraceSet(name=suite)
     for name in names:
         suite_set.add(build_workload(name, instructions))

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.common.config import CacheConfig, MachineConfig
 from repro.memory.cache import Cache
 from repro.memory.hierarchy import MemoryHierarchy
