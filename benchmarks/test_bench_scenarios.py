@@ -1,0 +1,64 @@
+"""Benchmark of the scenario subsystem: composer throughput and overhead.
+
+Times the streaming interleave on its own (instructions/second through
+:meth:`TraceComposer.stream`) and a full scenario simulation, so the cost the
+scenario layer adds on top of plain single-trace simulation shows up in the
+perf trajectory.  The composer must stay cheap relative to the simulator's
+inner loop: interleaving is index arithmetic, simulation is the work.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SIM_SCALE
+
+from repro.common.config import ASIDMode, BTBStyle
+from repro.experiments.config import current_scale
+from repro.scenarios import TraceComposer, execute_scenario, get_scenario
+from repro.traces.store import default_store
+
+
+def _composer(instructions: int) -> TraceComposer:
+    spec = get_scenario("consolidated_server")
+    store = default_store()
+    traces = {workload: store.get(workload, instructions) for workload in set(spec.workloads)}
+    return TraceComposer(spec, traces)
+
+
+def test_bench_composer_throughput(benchmark):
+    scale = current_scale(BENCH_SIM_SCALE)
+    composer = _composer(scale.instructions)
+
+    def drain() -> int:
+        consumed = 0
+        for _ in composer.stream(scale.instructions):
+            consumed += 1
+        return consumed
+
+    consumed = benchmark(drain)
+    assert consumed == scale.instructions
+    rate = scale.instructions / benchmark.stats.stats.mean
+    print(f"\ncomposer interleave: {rate:,.0f} instructions/s over 4 tenants")
+
+
+def test_bench_scenario_simulation(benchmark):
+    scale = current_scale(BENCH_SIM_SCALE)
+
+    result = benchmark.pedantic(
+        execute_scenario,
+        args=("consolidated_server",),
+        kwargs=dict(
+            style=BTBStyle.BTBX,
+            asid_mode=ASIDMode.TAGGED,
+            instructions=scale.instructions,
+            warmup_instructions=scale.warmup_instructions,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.aggregate.instructions == scale.instructions - scale.warmup_instructions
+    assert result.context_switches > 0
+    print(
+        f"\nscenario sim: {result.aggregate.instructions} measured instructions, "
+        f"{result.context_switches} context switches, "
+        f"aggregate BTB MPKI {result.aggregate.btb_mpki:.2f}"
+    )

@@ -14,7 +14,10 @@ The package is organised bottom-up:
 * :mod:`repro.core`        -- the trace-driven front-end simulator and timing model;
 * :mod:`repro.energy`      -- the calibrated SRAM energy/latency model (Table V);
 * :mod:`repro.analysis`    -- offset-distribution and aggregation helpers;
-* :mod:`repro.experiments` -- one driver per table/figure of the evaluation.
+* :mod:`repro.scenarios`   -- multi-tenant trace composition with context
+  switches and ASID-aware front-end state (an axis the paper does not explore);
+* :mod:`repro.experiments` -- one driver per table/figure of the evaluation,
+  plus the consolidation scenario study.
 
 Quickstart::
 
@@ -26,6 +29,7 @@ Quickstart::
 """
 
 from repro.common.config import (
+    ASIDMode,
     BTBConfig,
     BTBStyle,
     ISAStyle,
@@ -33,8 +37,9 @@ from repro.common.config import (
     SimulationConfig,
     default_machine_config,
 )
-from repro.core.metrics import SimulationResult
+from repro.core.metrics import ScenarioResult, SimulationResult
 from repro.core.simulator import FrontEndSimulator, simulate_trace
+from repro.scenarios import ScenarioSpec, TenantSpec, execute_scenario
 from repro.btb import (
     BTBX,
     BTBXC,
@@ -51,13 +56,18 @@ from repro.workloads.suites import build_suite, build_workload
 __version__ = "1.0.0"
 
 __all__ = [
+    "ASIDMode",
     "BTBConfig",
     "BTBStyle",
     "ISAStyle",
     "MachineConfig",
     "SimulationConfig",
     "default_machine_config",
+    "ScenarioResult",
+    "ScenarioSpec",
     "SimulationResult",
+    "TenantSpec",
+    "execute_scenario",
     "FrontEndSimulator",
     "simulate_trace",
     "BTBX",

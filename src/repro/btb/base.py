@@ -48,6 +48,18 @@ class BTBLookupResult:
 #: Shared immutable miss result, avoiding one allocation per missing lookup.
 _MISS_RESULT = BTBLookupResult(hit=False)
 
+#: Multiplier spreading an ASID over the PC bits folded into partial tags.
+#: ASID 0 colors to the identity, so single-address-space simulations are
+#: bit-identical whether or not tagging is in effect.
+_ASID_SALT = 0x9E3779B97F4A7C15
+
+#: ASID color bits sit above bit 16.  The colored PC feeds ONLY the partial-tag
+#: hash, never set indexing, so tagging changes which entries *match*, not
+#: which set a branch lives in -- exactly how hardware ASID tags behave (this
+#: also holds for non-power-of-two set counts, whose modulo indexing would
+#: otherwise be scrambled by high color bits).
+_ASID_SHIFT = 16
+
 
 class BTBBase(abc.ABC):
     """Abstract base class of every BTB organization."""
@@ -64,6 +76,9 @@ class BTBBase(abc.ABC):
         self.reads: dict[str, int] = {}
         self.writes: dict[str, int] = {}
         self.searches: dict[str, int] = {}
+        #: Address-space identifier of the currently scheduled tenant.  Only
+        #: relevant under ASID-tagged retention; stays 0 otherwise.
+        self.active_asid: int = 0
 
     # -- mandatory interface ----------------------------------------------
 
@@ -83,7 +98,33 @@ class BTBBase(abc.ABC):
     def capacity_entries(self) -> int:
         """Number of branches the organization can track simultaneously."""
 
+    @abc.abstractmethod
+    def invalidate_all(self) -> None:
+        """Clear every entry (context-switch flush, tests, warmup control)."""
+
     # -- shared helpers ----------------------------------------------------
+
+    def set_active_asid(self, asid: int) -> None:
+        """Switch the address space the BTB tags its entries with.
+
+        Organizations fold the active ASID into their partial-tag hash (see
+        :meth:`asid_colored`), so entries installed by one tenant never hit for
+        another while all tenants share the same storage.  ASID 0 is the
+        neutral color: with it, tagging is a no-op.
+        """
+        self.active_asid = asid
+
+    def asid_colored(self, pc: int) -> int:
+        """``pc`` with the active ASID mixed into the bits the tag hash folds.
+
+        Used by ``_locate`` implementations for the partial-tag hash ONLY --
+        set indexing and target recovery (BTB-X offset concatenation, PDede
+        same-page rebuild) must keep using the raw PC.
+        """
+        asid = self.active_asid
+        if not asid:
+            return pc
+        return pc ^ ((asid * _ASID_SALT) << _ASID_SHIFT)
 
     def storage_kib(self) -> float:
         """Storage requirement in KiB."""

@@ -100,7 +100,9 @@ class BTBXC(BTBBase):
 
     def _locate(self, pc: int) -> tuple[int, int]:
         index = set_index(pc, self.num_entries, self.isa.alignment_bits)
-        tag = partial_tag(pc, self._index_bits, self.tag_bits, self.isa.alignment_bits)
+        tag = partial_tag(
+            self.asid_colored(pc), self._index_bits, self.tag_bits, self.isa.alignment_bits
+        )
         return index, tag
 
     def lookup(self, pc: int) -> BTBLookupResult:
@@ -139,6 +141,11 @@ class BTBXC(BTBBase):
     def capacity_entries(self) -> int:
         """Number of companion entries."""
         return self.num_entries
+
+    def invalidate_all(self) -> None:
+        """Clear every companion entry."""
+        for entry in self._entries:
+            entry.valid = False
 
 
 class BTBX(BTBBase):
@@ -218,8 +225,16 @@ class BTBX(BTBBase):
 
     def _locate(self, pc: int) -> tuple[int, int]:
         index = set_index(pc, self.num_sets, self.isa.alignment_bits)
-        tag = partial_tag(pc, self._index_bits, self.tag_bits, self.isa.alignment_bits)
+        tag = partial_tag(
+            self.asid_colored(pc), self._index_bits, self.tag_bits, self.isa.alignment_bits
+        )
         return index, tag
+
+    def set_active_asid(self, asid: int) -> None:
+        """Propagate the ASID to the companion so both structures agree."""
+        super().set_active_asid(asid)
+        if self.companion is not None:
+            self.companion.set_active_asid(asid)
 
     def _recover_target(self, pc: int, entry: _Entry) -> int:
         """Concatenate the branch PC's high bits with the stored offset.
@@ -349,5 +364,4 @@ class BTBX(BTBBase):
             for entry in entries:
                 entry.valid = False
         if self.companion is not None:
-            for entry in self.companion._entries:
-                entry.valid = False
+            self.companion.invalidate_all()

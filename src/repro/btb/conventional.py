@@ -89,7 +89,9 @@ class ConventionalBTB(BTBBase):
 
     def _locate(self, pc: int) -> tuple[int, int]:
         index = set_index(pc, self.num_sets, self.isa.alignment_bits)
-        tag = partial_tag(pc, self._index_bits, self.tag_bits, self.isa.alignment_bits)
+        tag = partial_tag(
+            self.asid_colored(pc), self._index_bits, self.tag_bits, self.isa.alignment_bits
+        )
         return index, tag
 
     def lookup(self, pc: int) -> BTBLookupResult:

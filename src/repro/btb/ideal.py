@@ -23,12 +23,14 @@ class IdealBTB(BTBBase):
 
     def __init__(self, stats: Stats | None = None) -> None:
         super().__init__(stats)
-        self._entries: Dict[int, Tuple[BranchType, int]] = {}
+        # Keyed by (asid, pc): the ideal BTB discriminates address spaces
+        # perfectly, mirroring what tag coloring does for the bounded designs.
+        self._entries: Dict[Tuple[int, int], Tuple[BranchType, int]] = {}
 
     def lookup(self, pc: int) -> BTBLookupResult:
         """Hit whenever the branch has been seen (and committed taken) before."""
         self.record_read("main")
-        entry = self._entries.get(pc)
+        entry = self._entries.get((self.active_asid, pc))
         if entry is None:
             self.stats.inc("misses")
             return BTBLookupResult.miss()
@@ -47,7 +49,10 @@ class IdealBTB(BTBBase):
         if not instruction.is_branch:
             return
         self.record_write("main")
-        self._entries[instruction.pc] = (instruction.branch_type, instruction.target)
+        self._entries[(self.active_asid, instruction.pc)] = (
+            instruction.branch_type,
+            instruction.target,
+        )
 
     def storage_bits(self) -> int:
         """An ideal BTB has no meaningful storage bound; report current usage."""
@@ -56,3 +61,7 @@ class IdealBTB(BTBBase):
     def capacity_entries(self) -> int:
         """Unbounded; report the number of entries currently stored."""
         return len(self._entries)
+
+    def invalidate_all(self) -> None:
+        """Forget everything (context-switch flush)."""
+        self._entries.clear()

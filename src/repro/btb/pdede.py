@@ -260,8 +260,20 @@ class PDedeBTB(BTBBase):
 
     def _locate(self, pc: int) -> tuple[int, int]:
         index = set_index(pc, self.num_sets, self.isa.alignment_bits)
-        tag = partial_tag(pc, self._index_bits, self.tag_bits, self.isa.alignment_bits)
+        tag = partial_tag(
+            self.asid_colored(pc), self._index_bits, self.tag_bits, self.isa.alignment_bits
+        )
         return index, tag
+
+    def invalidate_all(self) -> None:
+        """Clear the Main-, Page- and Region-BTB (context-switch flush)."""
+        for entries in self._sets:
+            for entry in entries:
+                entry.valid = False
+        for page in self._pages:
+            page.valid = False
+        for region in self._regions:
+            region.valid = False
 
     def lookup(self, pc: int) -> BTBLookupResult:
         """Probe the Main-BTB; different-page hits follow both pointers serially."""

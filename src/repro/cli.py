@@ -6,6 +6,10 @@ Examples::
     btbx-repro run fig09_mpki --scale quick
     btbx-repro run fig11_sweep --scale full --workers 8 --cache-dir results/cache
     btbx-repro run-all --scale smoke --workers 4 --timings BENCH_run_all.json
+    btbx-repro scenario list
+    btbx-repro scenario run consolidated_server --scale smoke --json scenario.json
+    btbx-repro cache stats --cache-dir results/cache
+    btbx-repro cache prune --cache-dir results/cache --max-age-days 30
 
 Scale resolution honors the ``REPRO_SCALE`` environment variable: when set
 (to ``smoke``, ``quick`` or ``full``) it overrides the ``--scale`` flag, so
@@ -19,8 +23,9 @@ import importlib
 import json
 import sys
 import time
-from typing import Dict
+from typing import Dict, List
 
+from repro.common.config import ASIDMode
 from repro.experiments.config import (
     FULL_SCALE,
     QUICK_SCALE,
@@ -28,7 +33,7 @@ from repro.experiments.config import (
     ExperimentScale,
     current_scale,
 )
-from repro.experiments.engine import ExperimentEngine, use_engine
+from repro.experiments.engine import ExperimentEngine, ResultCache, use_engine
 
 #: Experiment name -> module path (relative to repro.experiments).
 EXPERIMENTS: Dict[str, str] = {
@@ -43,6 +48,7 @@ EXPERIMENTS: Dict[str, str] = {
     "fig12_cvp": "repro.experiments.fig12_cvp",
     "fig13_x86": "repro.experiments.fig13_x86",
     "ablation_ways": "repro.experiments.ablation_ways",
+    "scenario_study": "repro.experiments.scenario_study",
 }
 
 _SCALES = {"smoke": SMOKE_SCALE, "quick": QUICK_SCALE, "full": FULL_SCALE}
@@ -93,7 +99,39 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument(
         "--timings",
         dest="timings_path",
-        help="dump a JSON timing summary (per-experiment seconds + engine counters)",
+        help="dump a JSON timing summary (per-experiment seconds, ok/failed status, "
+        "engine counters)",
+    )
+
+    scenario_parser = sub.add_parser(
+        "scenario", help="multi-tenant scenarios: list presets or run one"
+    )
+    scenario_sub = scenario_parser.add_subparsers(dest="scenario_command", required=True)
+    scenario_sub.add_parser("list", help="list registered scenario presets")
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one scenario across BTB styles and ASID modes"
+    )
+    scenario_run.add_argument("scenario", help="registered scenario preset name")
+    _add_engine_arguments(scenario_run)
+    scenario_run.add_argument(
+        "--asid-mode",
+        choices=["flush", "tagged", "both"],
+        default="both",
+        help="context-switch policy to simulate (default: both)",
+    )
+    scenario_run.add_argument("--json", dest="json_path", help="also dump the raw result as JSON")
+
+    cache_parser = sub.add_parser("cache", help="inspect or prune the on-disk result cache")
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser("stats", help="entry count, total bytes, age range")
+    cache_stats.add_argument("--cache-dir", required=True, help="result cache directory")
+    cache_prune = cache_sub.add_parser("prune", help="delete cached entries by age")
+    cache_prune.add_argument("--cache-dir", required=True, help="result cache directory")
+    cache_prune.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="delete entries older than this many days (default: delete everything)",
     )
     return parser
 
@@ -130,21 +168,34 @@ def run_all(
 
     The engine's memo and cache are shared across drivers, so overlapping
     grids (fig09/fig10/fig11/table5 reuse most cells) simulate only once.
-    Returns ``{"results": ..., "timings_s": ..., "engine": ...}``.
+    A failing experiment does not abort the batch: its status is recorded as
+    ``failed`` (with the error message) and the remaining experiments still
+    run.  Returns ``{"results": ..., "timings_s": ..., "status": ...,
+    "errors": ..., "engine": ...}``.
     """
     engine = engine or ExperimentEngine(workers=1)
     results: Dict[str, Dict[str, object]] = {}
     timings: Dict[str, float] = {}
+    status: Dict[str, str] = {}
+    errors: Dict[str, str] = {}
     with use_engine(engine):
         for name in EXPERIMENTS:
             started = time.perf_counter()
-            results[name] = run_experiment(name, scale_name, engine=engine)
+            try:
+                results[name] = run_experiment(name, scale_name, engine=engine)
+                status[name] = "ok"
+            except Exception as exc:  # noqa: BLE001 - batch resilience is the point
+                status[name] = "failed"
+                errors[name] = f"{type(exc).__name__}: {exc}"
             timings[name] = time.perf_counter() - started
     return {
         "scale": resolve_scale(scale_name).name,
         "results": results,
         "timings_s": timings,
         "total_s": sum(timings.values()),
+        "status": status,
+        "errors": errors,
+        "failed": sorted(name for name, state in status.items() if state == "failed"),
         "engine": engine.stats(),
     }
 
@@ -156,10 +207,83 @@ def _write_timings(path: str, summary: Dict[str, object], workers: int) -> None:
         "workers": workers,
         "timings_s": summary["timings_s"],
         "total_s": summary["total_s"],
+        "status": summary["status"],
+        "errors": summary["errors"],
         "engine": summary["engine"],
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2)
+
+
+def run_scenario_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Handle ``scenario list`` and ``scenario run``."""
+    from repro.common.errors import ConfigurationError
+    from repro.experiments import scenario_study
+    from repro.scenarios.presets import get_scenario, scenario_names
+
+    if args.scenario_command == "list":
+        for name in scenario_names():
+            spec = get_scenario(name)
+            tenants = ", ".join(
+                f"{t.name}:{t.workload}" + (f" x{t.weight}" if t.weight != 1 else "")
+                for t in spec.tenants
+            )
+            print(f"{name:<22} {spec.policy}/{spec.switch_semantics}, "
+                  f"quantum {spec.quantum_instructions}: {tenants}")
+            if spec.description:
+                print(f"{'':<22} {spec.description}")
+        return 0
+
+    try:
+        get_scenario(args.scenario)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+    try:
+        engine = make_engine(workers=args.workers, cache_dir=args.cache_dir)
+    except OSError as exc:
+        parser.error(f"cannot use cache directory {args.cache_dir!r}: {exc}")
+    asid_modes: List[ASIDMode] = (
+        [ASIDMode.FLUSH, ASIDMode.TAGGED]
+        if args.asid_mode == "both"
+        else [ASIDMode(args.asid_mode)]
+    )
+    scale = resolve_scale(args.scale)
+    result = scenario_study.run(
+        scale, scenarios=[args.scenario], asid_modes=asid_modes, engine=engine
+    )
+    print(scenario_study.format_report(result))
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, default=str)
+        print(f"\n(raw result written to {args.json_path})")
+    return 0
+
+
+def run_cache_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Handle ``cache stats`` and ``cache prune``."""
+    try:
+        cache = ResultCache(args.cache_dir)
+    except OSError as exc:
+        parser.error(f"cannot use cache directory {args.cache_dir!r}: {exc}")
+
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"cache directory : {stats['directory']}")
+        print(f"entries         : {stats['entries']}")
+        print(f"total bytes     : {stats['total_bytes']}")
+        if stats["entries"]:
+            age_s = time.time() - stats["oldest_mtime"]
+            print(f"oldest entry    : {age_s / 86400.0:.2f} days old")
+        return 0
+
+    max_age_s = None if args.max_age_days is None else args.max_age_days * 86400.0
+    removed = cache.prune(max_age_seconds=max_age_s)
+    what = "entries" if removed != 1 else "entry"
+    if args.max_age_days is None:
+        print(f"pruned {removed} {what} (no age limit given: cache emptied)")
+    else:
+        print(f"pruned {removed} {what} older than {args.max_age_days} days")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -174,6 +298,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:<18} {summary}")
         return 0
 
+    if args.command == "scenario":
+        return run_scenario_command(args, parser)
+
+    if args.command == "cache":
+        return run_cache_command(args, parser)
+
     try:
         engine = make_engine(workers=args.workers, cache_dir=args.cache_dir)
     except OSError as exc:
@@ -182,6 +312,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "run-all":
         summary = run_all(args.scale, engine=engine)
         for name in EXPERIMENTS:
+            if summary["status"][name] == "failed":
+                print(f"[{name}: FAILED after {summary['timings_s'][name]:.2f}s: "
+                      f"{summary['errors'][name]}]\n")
+                continue
             module = importlib.import_module(EXPERIMENTS[name])
             print(module.format_report(summary["results"][name]))
             print(f"[{name}: {summary['timings_s'][name]:.2f}s]\n")
@@ -191,10 +325,13 @@ def main(argv: list[str] | None = None) -> int:
             f"({counters['executed']} simulations, {counters['memo_hits']} memo hits, "
             f"{counters['disk_hits']} cache hits)"
         )
+        if summary["failed"]:
+            print(f"run-all: {len(summary['failed'])} experiment(s) FAILED: "
+                  f"{', '.join(summary['failed'])}")
         if args.timings_path:
             _write_timings(args.timings_path, summary, args.workers)
             print(f"(timing summary written to {args.timings_path})")
-        return 0
+        return 1 if summary["failed"] else 0
 
     result = run_experiment(args.experiment, args.scale, engine=engine)
     module = importlib.import_module(EXPERIMENTS[args.experiment])

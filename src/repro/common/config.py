@@ -33,6 +33,24 @@ class BTBStyle(enum.Enum):
         return self.value
 
 
+class ASIDMode(enum.Enum):
+    """How front-end predictive state survives a context switch.
+
+    ``FLUSH`` discards BTB, direction predictor and RAS contents whenever a
+    different address space is scheduled in (the conservative hardware
+    baseline).  ``TAGGED`` retains everything: BTB entries are tagged with the
+    address-space identifier so tenants share capacity without false cross-ASID
+    hits, and the RAS is checkpointed per ASID.  With no context switches the
+    two modes are indistinguishable.
+    """
+
+    FLUSH = "flush"
+    TAGGED = "tagged"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
 class ISAStyle(enum.Enum):
     """Instruction-set flavour of a workload.
 
@@ -227,6 +245,8 @@ class MachineConfig:
         default_factory=lambda: CacheConfig("LLC", 2 * 1024 * 1024, 16, hit_latency=34, mshrs=64)
     )
     memory_latency: int = 200
+    #: Context-switch handling of front-end predictive state (scenario runs).
+    asid_mode: ASIDMode = ASIDMode.FLUSH
 
     def with_btb(self, **btb_overrides: object) -> "MachineConfig":
         """Return a copy of this machine with BTB parameters replaced."""
@@ -235,6 +255,10 @@ class MachineConfig:
     def with_fdip(self, enabled: bool) -> "MachineConfig":
         """Return a copy of this machine with FDIP enabled or disabled."""
         return replace(self, fdip=replace(self.fdip, enabled=enabled))
+
+    def with_asid_mode(self, mode: ASIDMode) -> "MachineConfig":
+        """Return a copy of this machine with the given ASID mode."""
+        return replace(self, asid_mode=mode)
 
 
 @dataclass(frozen=True)
@@ -258,6 +282,7 @@ def default_machine_config(
     btb_entries: int = 4096,
     fdip_enabled: bool = True,
     isa: ISAStyle = ISAStyle.ARM64,
+    asid_mode: ASIDMode = ASIDMode.FLUSH,
 ) -> MachineConfig:
     """Build the paper's Table II machine with the requested BTB organization.
 
@@ -267,7 +292,7 @@ def default_machine_config(
     """
     associativity = 8 if btb_style is not BTBStyle.IDEAL else 1
     btb = BTBConfig(style=btb_style, entries=btb_entries, associativity=associativity, isa=isa)
-    machine = MachineConfig(btb=btb)
+    machine = MachineConfig(btb=btb, asid_mode=asid_mode)
     return machine.with_fdip(fdip_enabled)
 
 

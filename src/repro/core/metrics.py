@@ -96,3 +96,36 @@ class SimulationResult:
             "flush_pki": self.flush_rate_pki,
             "direction_mpki": self.direction_mpki,
         }
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of simulating a multi-tenant scenario.
+
+    ``aggregate`` covers the whole interleaved stream; ``per_tenant`` breaks
+    the same counters down by tenant so consolidation effects (who pays for
+    the context switches?) are visible.  Tenant cycle counts attribute each
+    penalty to the tenant whose instruction incurred it, so the per-tenant
+    cycles sum exactly to the aggregate.
+    """
+
+    scenario: str
+    asid_mode: str
+    context_switches: int
+    aggregate: SimulationResult
+    per_tenant: Dict[str, SimulationResult] = field(default_factory=dict)
+
+    @property
+    def tenant_names(self) -> list[str]:
+        """Tenants in scheduling order."""
+        return list(self.per_tenant)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flatten for reporting/serialization (headline metrics only)."""
+        return {
+            "scenario": self.scenario,
+            "asid_mode": self.asid_mode,
+            "context_switches": self.context_switches,
+            "aggregate": self.aggregate.to_dict(),
+            "per_tenant": {name: result.to_dict() for name, result in self.per_tenant.items()},
+        }

@@ -20,18 +20,52 @@ measurement protocol (at a smaller scale).
 
 from __future__ import annotations
 
+from typing import Iterable, Tuple
+
 from repro.common.config import BTBStyle, MachineConfig, default_machine_config
 from repro.common.errors import SimulationError
 from repro.common.stats import Stats
-from repro.core.metrics import SimulationResult
+from repro.core.metrics import ScenarioResult, SimulationResult
 from repro.core.timing import TimingModel
 from repro.frontend.bpu import BranchPredictionUnit, PredictionOutcome
 from repro.frontend.fdip import FDIPPrefetcher
 from repro.frontend.ftq import FetchTargetQueue
+from repro.isa.instruction import Instruction
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.btb.base import BTBBase
 from repro.btb.storage import make_btb
 from repro.traces.trace import Trace
+
+
+class _TenantAccount:
+    """Measured-phase counters of one tenant in a scenario run."""
+
+    __slots__ = (
+        "timing",
+        "btb_misses_taken",
+        "decode_resteers",
+        "execute_flushes",
+        "direction_mispredictions",
+        "target_mispredictions",
+        "taken_branches",
+        "branches",
+        "l1i_accesses",
+        "l1i_misses",
+        "l1i_misses_covered",
+    )
+
+    def __init__(self, timing: TimingModel) -> None:
+        self.timing = timing
+        self.btb_misses_taken = 0
+        self.decode_resteers = 0
+        self.execute_flushes = 0
+        self.direction_mispredictions = 0
+        self.target_mispredictions = 0
+        self.taken_branches = 0
+        self.branches = 0
+        self.l1i_accesses = 0
+        self.l1i_misses = 0
+        self.l1i_misses_covered = 0
 
 
 class FrontEndSimulator:
@@ -65,6 +99,13 @@ class FrontEndSimulator:
         updates but excluded from every reported metric;
         ``max_instructions`` caps the measured phase (defaults to the rest of
         the trace).
+
+        NOTE: the per-instruction body of this loop is intentionally mirrored
+        in :meth:`run_scenario` (locals instead of shared helpers keep this
+        inner loop fast in pure Python).  Any change here must be applied
+        there too; the solo-equivalence test
+        (``test_solo_baseline_reproduces_single_trace_simulation``) fails if
+        the two copies drift apart.
         """
         if warmup_instructions < 0:
             raise SimulationError("warmup length cannot be negative")
@@ -182,6 +223,213 @@ class FrontEndSimulator:
             l1i_accesses=l1i_accesses,
             l1i_misses=l1i_misses,
             l1i_misses_covered=l1i_misses_covered,
+            stats=self.stats,
+        )
+
+    # -- scenario simulation ------------------------------------------------------
+
+    def run_scenario(
+        self,
+        schedule: Iterable[Tuple[int, str, Instruction]],
+        warmup_instructions: int = 0,
+        scenario_name: str = "scenario",
+    ) -> ScenarioResult:
+        """Simulate a scheduled multi-tenant stream of ``(asid, tenant, instruction)``.
+
+        The stream is consumed exactly once (it is typically a
+        :meth:`~repro.scenarios.compose.TraceComposer.stream` generator, never a
+        materialized list).  Whenever the ASID changes the simulator performs a
+        context switch: the FTQ drains (the front end starts fetching the
+        incoming tenant's stream, so FDIP run-ahead restarts from zero) and the
+        BPU applies the machine's :class:`~repro.common.config.ASIDMode` --
+        flushing BTB/predictor/RAS or retagging/checkpointing them.  Kernel
+        scheduling overhead itself is deliberately not charged: the model
+        isolates the *microarchitectural* cost of consolidation, which is what
+        the BTB study is about.
+
+        With a single-ASID stream this loop performs exactly the same work as
+        :meth:`run`, so a one-tenant scenario reproduces the solo result
+        bit-for-bit.  The per-instruction body deliberately mirrors
+        :meth:`run`'s (see the note there) -- keep the two in lockstep.
+        Events are attributed to the tenant whose instruction incurred them;
+        direction/target mispredictions are drained from the BPU's counters at
+        switch boundaries (they are cheap to read there and switches are rare
+        relative to instructions).
+        """
+        if warmup_instructions < 0:
+            raise SimulationError("warmup length cannot be negative")
+        core = self.machine.core
+        line_mask = ~(self.hierarchy.line_size() - 1)
+
+        accounts: dict[str, _TenantAccount] = {}
+        tenant_order: list[str] = []
+        current_account: _TenantAccount | None = None
+        current_asid: int | None = None
+        current_tenant: str | None = None
+        context_switches = 0
+
+        previous_block = None
+        measuring = warmup_instructions == 0
+        dir_before = self.bpu.stats.get("direction_mispredictions")
+        tgt_before = self.bpu.stats.get("target_mispredictions")
+
+        for position, (asid, tenant, instruction) in enumerate(schedule):
+            if not measuring and position >= warmup_instructions:
+                measuring = True
+                previous_block = None
+                self.btb.reset_stats()
+                dir_before = self.bpu.stats.get("direction_mispredictions")
+                tgt_before = self.bpu.stats.get("target_mispredictions")
+
+            if asid != current_asid:
+                if current_asid is None:
+                    # The machine boots already owned by the first ASID: no
+                    # switch penalty, but tagged BTBs must adopt its color.
+                    self.bpu.context_switch(asid)
+                else:
+                    if measuring:
+                        context_switches += 1
+                        if current_account is not None:
+                            now_dir = self.bpu.stats.get("direction_mispredictions")
+                            now_tgt = self.bpu.stats.get("target_mispredictions")
+                            current_account.direction_mispredictions += int(now_dir - dir_before)
+                            current_account.target_mispredictions += int(now_tgt - tgt_before)
+                            dir_before, tgt_before = now_dir, now_tgt
+                    self.bpu.context_switch(asid)
+                    self.fdip.on_stream_break()
+                    previous_block = None
+                current_asid = asid
+                current_tenant = None
+            if tenant != current_tenant:
+                current_tenant = tenant
+                current_account = accounts.get(tenant)
+                if current_account is None:
+                    current_account = accounts[tenant] = _TenantAccount(TimingModel(core))
+                    tenant_order.append(tenant)
+
+            prediction = self.bpu.process(instruction)
+
+            block = instruction.pc & line_mask
+            new_block = block != previous_block
+            previous_block = block
+            stall_cycles = 0.0
+            miss = False
+            covered = False
+            if new_block:
+                fetch = self.hierarchy.fetch(instruction.pc)
+                miss = not fetch.l1i_hit
+                if miss:
+                    coverage = self.fdip.cover_demand_miss(fetch.latency)
+                    stall_cycles = coverage.residual_latency
+                    covered = coverage.coverage == "full"
+
+            self.fdip.observe_predicted_address(instruction.pc)
+            if prediction.stream_break:
+                self.fdip.on_stream_break()
+
+            if measuring:
+                account = current_account
+                timing = account.timing
+                timing.retire_instructions(1)
+                timing.icache_stall(stall_cycles)
+                if prediction.extra_btb_cycles and self.ftq.occupancy < 2 * core.fetch_width:
+                    timing.btb_extra_cycle(prediction.extra_btb_cycles)
+                if prediction.outcome is PredictionOutcome.EXECUTE_FLUSH:
+                    timing.execute_flush()
+                    account.execute_flushes += 1
+                elif prediction.outcome is PredictionOutcome.DECODE_RESTEER:
+                    timing.decode_resteer()
+                    account.decode_resteers += 1
+                if prediction.btb_miss_taken_branch:
+                    account.btb_misses_taken += 1
+                if instruction.is_branch:
+                    account.branches += 1
+                    if instruction.taken:
+                        account.taken_branches += 1
+                if new_block:
+                    account.l1i_accesses += 1
+                    if miss:
+                        account.l1i_misses += 1
+                        if covered:
+                            account.l1i_misses_covered += 1
+
+        if current_account is not None:
+            now_dir = self.bpu.stats.get("direction_mispredictions")
+            now_tgt = self.bpu.stats.get("target_mispredictions")
+            current_account.direction_mispredictions += int(now_dir - dir_before)
+            current_account.target_mispredictions += int(now_tgt - tgt_before)
+
+        per_tenant = {
+            name: self._account_result(name, accounts[name], Stats()) for name in tenant_order
+        }
+        aggregate = self._aggregate_result(scenario_name, per_tenant)
+        return ScenarioResult(
+            scenario=scenario_name,
+            asid_mode=self.machine.asid_mode.value,
+            context_switches=context_switches,
+            aggregate=aggregate,
+            per_tenant=per_tenant,
+        )
+
+    def _account_result(
+        self, workload: str, account: _TenantAccount, stats: Stats
+    ) -> SimulationResult:
+        """Package one tenant's measured counters as a :class:`SimulationResult`."""
+        breakdown = account.timing.finalize()
+        return SimulationResult(
+            workload=workload,
+            btb_style=self.btb.name,
+            btb_storage_kib=self.btb.storage_kib(),
+            fdip_enabled=self.machine.fdip.enabled,
+            instructions=account.timing.instructions,
+            cycles=breakdown.total,
+            base_cycles=breakdown.base_cycles,
+            flush_cycles=breakdown.flush_cycles,
+            resteer_cycles=breakdown.resteer_cycles,
+            icache_stall_cycles=breakdown.icache_stall_cycles,
+            btb_extra_cycles=breakdown.btb_extra_cycles,
+            btb_misses_taken=account.btb_misses_taken,
+            decode_resteers=account.decode_resteers,
+            execute_flushes=account.execute_flushes,
+            direction_mispredictions=account.direction_mispredictions,
+            target_mispredictions=account.target_mispredictions,
+            taken_branches=account.taken_branches,
+            branches=account.branches,
+            l1i_accesses=account.l1i_accesses,
+            l1i_misses=account.l1i_misses,
+            l1i_misses_covered=account.l1i_misses_covered,
+            stats=stats,
+        )
+
+    def _aggregate_result(
+        self, scenario_name: str, per_tenant: dict[str, SimulationResult]
+    ) -> SimulationResult:
+        """Sum per-tenant results into the whole-stream result."""
+        def total(field: str) -> float:
+            return sum(getattr(result, field) for result in per_tenant.values())
+
+        return SimulationResult(
+            workload=scenario_name,
+            btb_style=self.btb.name,
+            btb_storage_kib=self.btb.storage_kib(),
+            fdip_enabled=self.machine.fdip.enabled,
+            instructions=int(total("instructions")),
+            cycles=total("cycles"),
+            base_cycles=total("base_cycles"),
+            flush_cycles=total("flush_cycles"),
+            resteer_cycles=total("resteer_cycles"),
+            icache_stall_cycles=total("icache_stall_cycles"),
+            btb_extra_cycles=total("btb_extra_cycles"),
+            btb_misses_taken=int(total("btb_misses_taken")),
+            decode_resteers=int(total("decode_resteers")),
+            execute_flushes=int(total("execute_flushes")),
+            direction_mispredictions=int(total("direction_mispredictions")),
+            target_mispredictions=int(total("target_mispredictions")),
+            taken_branches=int(total("taken_branches")),
+            branches=int(total("branches")),
+            l1i_accesses=int(total("l1i_accesses")),
+            l1i_misses=int(total("l1i_misses")),
+            l1i_misses_covered=int(total("l1i_misses_covered")),
             stats=self.stats,
         )
 

@@ -19,6 +19,7 @@ module                    reproduces
 ``fig12_cvp``             Figure 12 -- offset distribution on CVP-1-like traces
 ``fig13_x86``             Figure 13 -- x86 vs Arm64 offset distribution + sizing
 ``ablation_ways``         (extension) BTB-X way-sizing ablation
+``scenario_study``        (extension) multi-tenant consolidation scenarios
 ========================  ====================================================
 
 The amount of simulated work is controlled by :class:`ExperimentScale`
@@ -43,6 +44,7 @@ from repro.experiments.engine import (
     ExperimentEngine,
     JobOutcome,
     ResultCache,
+    ScenarioJob,
     SimJob,
     get_active_engine,
     set_active_engine,
@@ -58,6 +60,7 @@ __all__ = [
     "current_scale",
     "ExperimentEngine",
     "SimJob",
+    "ScenarioJob",
     "JobOutcome",
     "ResultCache",
     "get_active_engine",

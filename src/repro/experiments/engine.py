@@ -26,16 +26,18 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from typing import Dict, Iterator, List, Mapping, Sequence
 
-from repro.common.config import BTBStyle, default_machine_config
+from repro.common.config import ASIDMode, BTBStyle, default_machine_config
 from repro.common.errors import ConfigurationError
 from repro.common.stats import Stats
-from repro.core.metrics import SimulationResult
+from repro.core.metrics import ScenarioResult, SimulationResult
 from repro.core.simulator import FrontEndSimulator
+from repro.scenarios.spec import ScenarioSpec
 from repro.btb.btbx import BTBX
 from repro.btb.storage import make_btb_for_budget
 from repro.traces.store import TraceStore, default_store
@@ -43,7 +45,8 @@ from repro.traces.trace import Trace
 
 #: Bump when the payload layout or simulation semantics change: stale disk
 #: cache entries from an older format then miss instead of corrupting runs.
-CACHE_FORMAT_VERSION = 1
+#: v2: scenario jobs (multi-tenant payloads carry per-tenant results).
+CACHE_FORMAT_VERSION = 2
 
 #: SimulationResult fields carried through the payload (everything but stats).
 _RESULT_FIELDS = (
@@ -112,12 +115,76 @@ class SimJob:
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+@dataclass(frozen=True)
+class ScenarioJob:
+    """One multi-tenant scenario cell: a hashable, cacheable experiment job.
+
+    Mirrors :class:`SimJob` but runs a scenario spec instead of a single
+    workload.  ``scenario`` names a registered preset; the resolved
+    :class:`ScenarioSpec` is pinned onto the job at construction time (in the
+    submitting process, where user registrations live), so worker processes
+    never consult the preset registry -- a job survives ``spawn``-style pools
+    even for scenarios registered only in the parent.  Tenant traces are still
+    rebuilt locally from the deterministic workload specs, like plain jobs.
+    """
+
+    scenario: str
+    instructions: int
+    warmup_instructions: int
+    style: BTBStyle
+    asid_mode: ASIDMode
+    fdip_enabled: bool = True
+    budget_kib: float = 14.5
+    #: Resolved at construction from ``scenario`` when not given explicitly.
+    spec: ScenarioSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.instructions < 1:
+            raise ConfigurationError("scenario stream needs at least one instruction")
+        if self.budget_kib <= 0:
+            raise ConfigurationError("scenario job needs a positive storage budget")
+        if self.spec is None:
+            from repro.scenarios.presets import get_scenario
+
+            object.__setattr__(self, "spec", get_scenario(self.scenario))
+
+    def config_dict(self) -> Dict[str, object]:
+        """Canonical JSON-able description of the job (the cache identity).
+
+        Includes the resolved scenario spec, so re-registering a preset with
+        different tenants or scheduling knobs changes the cache key.
+        """
+        config = asdict(self)
+        del config["spec"]
+        config["style"] = self.style.value
+        config["asid_mode"] = self.asid_mode.value
+        config["kind"] = "scenario"
+        config["scenario_spec"] = self.spec.config_dict()
+        config["cache_format"] = CACHE_FORMAT_VERSION
+        return config
+
+    def config_hash(self) -> str:
+        """Content hash of the job config; the on-disk cache key."""
+        canonical = json.dumps(self.config_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+#: Anything the engine can execute, memoize and cache.
+EngineJob = SimJob | ScenarioJob
+
+
 @dataclass
 class JobOutcome:
-    """What one executed (or cache-loaded) job produced."""
+    """What one executed (or cache-loaded) job produced.
+
+    ``result`` is always present (for scenario jobs it is the aggregate over
+    the whole interleaved stream); ``scenario`` additionally carries the
+    per-tenant breakdown when the job was a :class:`ScenarioJob`.
+    """
 
     result: SimulationResult
     access_counts: Dict[str, float] | None = None
+    scenario: ScenarioResult | None = None
 
 
 def grid_jobs(
@@ -156,15 +223,61 @@ def _payload_to_result(payload: Mapping[str, object]) -> SimulationResult:
     return SimulationResult(stats=Stats(), **{name: payload[name] for name in _RESULT_FIELDS})
 
 
-def execute_job(job: SimJob, trace: Trace | None = None,
+def _execute_scenario_job(job: ScenarioJob,
+                          trace_store: TraceStore | None = None) -> Dict[str, object]:
+    """Run one scenario cell and serialize aggregate + per-tenant results."""
+    from repro.scenarios.run import execute_scenario
+
+    scenario_result = execute_scenario(
+        job.spec,
+        style=job.style,
+        asid_mode=job.asid_mode,
+        budget_kib=job.budget_kib,
+        instructions=job.instructions,
+        warmup_instructions=job.warmup_instructions,
+        fdip_enabled=job.fdip_enabled,
+        trace_store=trace_store,
+    )
+    return {
+        "result": _result_to_payload(scenario_result.aggregate),
+        "scenario": {
+            "scenario": scenario_result.scenario,
+            "asid_mode": scenario_result.asid_mode,
+            "context_switches": scenario_result.context_switches,
+            "per_tenant": {
+                name: _result_to_payload(result)
+                for name, result in scenario_result.per_tenant.items()
+            },
+        },
+    }
+
+
+def _payload_to_scenario(payload: Mapping[str, object]) -> ScenarioResult:
+    scenario = payload["scenario"]
+    return ScenarioResult(
+        scenario=scenario["scenario"],
+        asid_mode=scenario["asid_mode"],
+        context_switches=scenario["context_switches"],
+        aggregate=_payload_to_result(payload["result"]),
+        per_tenant={
+            name: _payload_to_result(tenant)
+            for name, tenant in scenario["per_tenant"].items()
+        },
+    )
+
+
+def execute_job(job: "EngineJob", trace: Trace | None = None,
                 trace_store: TraceStore | None = None) -> Dict[str, object]:
     """Run one simulation and return its serialized payload.
 
     The serialized form (not the live objects) is the engine's currency: it is
     what workers return, what the disk cache stores and what every caller gets
     rehydrated from, which is how serial, parallel and cached runs stay
-    bit-identical.
+    bit-identical.  Scenario jobs compose their own tenant traces, so the
+    ``trace`` shortcut only applies to plain single-trace jobs.
     """
+    if isinstance(job, ScenarioJob):
+        return _execute_scenario_job(job, trace_store=trace_store)
     if trace is None:
         trace = (trace_store or default_store()).get(job.workload, job.instructions)
     machine = default_machine_config(
@@ -192,8 +305,8 @@ def execute_job(job: SimJob, trace: Trace | None = None,
     }
 
 
-def _worker_execute(job: SimJob) -> tuple[str, Dict[str, object]]:
-    """Pool entry point: regenerate the trace locally and run the job."""
+def _worker_execute(job: "EngineJob") -> tuple[str, Dict[str, object]]:
+    """Pool entry point: regenerate the trace(s) locally and run the job."""
     return job.config_hash(), execute_job(job)
 
 
@@ -201,6 +314,7 @@ def _payload_to_outcome(payload: Mapping[str, object]) -> JobOutcome:
     return JobOutcome(
         result=_payload_to_result(payload["result"]),
         access_counts=payload.get("access_counts"),
+        scenario=_payload_to_scenario(payload) if "scenario" in payload else None,
     )
 
 
@@ -222,7 +336,7 @@ class ResultCache:
     def _path(self, config_hash: str) -> str:
         return os.path.join(self.directory, f"{config_hash}.json")
 
-    def get(self, job: SimJob) -> Dict[str, object] | None:
+    def get(self, job: "EngineJob") -> Dict[str, object] | None:
         """Load the payload of ``job`` or None on a miss/corrupt entry.
 
         Any unreadable entry — missing, corrupt, permission-denied on a
@@ -238,7 +352,7 @@ class ResultCache:
             return None
         return payload
 
-    def put(self, job: SimJob, payload: Mapping[str, object]) -> None:
+    def put(self, job: "EngineJob", payload: Mapping[str, object]) -> None:
         """Persist the payload of ``job`` atomically."""
         entry = {"job": job.config_dict(), "payload": payload}
         fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
@@ -253,6 +367,72 @@ class ResultCache:
 
     def __len__(self) -> int:
         return sum(1 for name in os.listdir(self.directory) if name.endswith(".json"))
+
+    def _entry_paths(self) -> List[str]:
+        return [
+            os.path.join(self.directory, name)
+            for name in os.listdir(self.directory)
+            if name.endswith(".json")
+        ]
+
+    def stats(self) -> Dict[str, object]:
+        """Entry count, total bytes and age range of the cached payloads.
+
+        Entries that vanish mid-scan (a concurrent prune or run) are simply
+        skipped, mirroring how :meth:`get` treats unreadable files.
+        """
+        entries = 0
+        total_bytes = 0
+        oldest: float | None = None
+        newest: float | None = None
+        for path in self._entry_paths():
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            entries += 1
+            total_bytes += info.st_size
+            oldest = info.st_mtime if oldest is None else min(oldest, info.st_mtime)
+            newest = info.st_mtime if newest is None else max(newest, info.st_mtime)
+        return {
+            "directory": self.directory,
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+        }
+
+    #: A ``.tmp`` file younger than this is an in-flight atomic write of a
+    #: concurrent run, not a crash orphan; prune leaves it alone.
+    _TMP_GRACE_SECONDS = 3600.0
+
+    def prune(self, max_age_seconds: float | None = None) -> int:
+        """Delete cached entries older than ``max_age_seconds`` (all when None).
+
+        Returns the number of entries removed.  Crash-orphaned ``.tmp`` files
+        are swept too, but only once they are comfortably older than any
+        in-flight write could be, so pruning a cache directory a concurrent
+        run is writing to never breaks that run's atomic replace.
+        """
+        now = time.time()
+        cutoff = None if max_age_seconds is None else now - max_age_seconds
+        removed = 0
+        for path in self._entry_paths():
+            try:
+                if cutoff is not None and os.stat(path).st_mtime >= cutoff:
+                    continue
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                continue
+        tmp_cutoff = now - self._TMP_GRACE_SECONDS
+        for name in os.listdir(self.directory):
+            if name.endswith(".tmp"):
+                path = os.path.join(self.directory, name)
+                with contextlib.suppress(OSError):
+                    if os.stat(path).st_mtime < tmp_cutoff:
+                        os.unlink(path)
+        return removed
 
     def clear(self) -> None:
         """Delete every cached entry (and any crash-orphaned temp file)."""
@@ -314,7 +494,7 @@ class ExperimentEngine:
 
     def run_jobs(
         self,
-        jobs: Sequence[SimJob],
+        jobs: Sequence["EngineJob"],
         traces: Mapping[str, Trace] | None = None,
     ) -> List[JobOutcome]:
         """Execute ``jobs`` and return their outcomes in submission order.
@@ -357,30 +537,31 @@ class ExperimentEngine:
 
         return [_payload_to_outcome(resolved[config_hash]) for config_hash in hashes]
 
-    def run_job(self, job: SimJob, trace: Trace | None = None) -> JobOutcome:
+    def run_job(self, job: "EngineJob", trace: Trace | None = None) -> JobOutcome:
         """Convenience wrapper for a single job."""
         traces = {trace.name: trace} if trace is not None else None
         return self.run_jobs([job], traces=traces)[0]
 
     def _execute(
         self,
-        misses: Sequence[tuple[str, SimJob]],
+        misses: Sequence[tuple[str, "EngineJob"]],
         traces: Mapping[str, Trace],
     ) -> Iterator[tuple[str, Dict[str, object]]]:
         if not misses:
             return
         if self.workers == 1 or len(misses) == 1:
             for config_hash, job in misses:
-                yield config_hash, execute_job(
-                    job, trace=traces.get(job.workload), trace_store=self.trace_store
-                )
+                # Scenario jobs have no single workload; they compose their own
+                # tenant traces from the store.
+                trace = traces.get(getattr(job, "workload", None))
+                yield config_hash, execute_job(job, trace=trace, trace_store=self.trace_store)
             return
         max_workers = min(self.workers, len(misses))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             yield from pool.map(_worker_execute, [job for _, job in misses])
 
     @staticmethod
-    def _job_by_hash(misses: Sequence[tuple[str, SimJob]], config_hash: str) -> SimJob:
+    def _job_by_hash(misses: Sequence[tuple[str, "EngineJob"]], config_hash: str) -> "EngineJob":
         for candidate_hash, job in misses:
             if candidate_hash == config_hash:
                 return job

@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.common.config import MachineConfig
+from repro.common.config import ASIDMode, MachineConfig
 from repro.common.stats import Stats
 from repro.isa.branch import BranchType
 from repro.isa.instruction import Instruction
@@ -85,6 +85,46 @@ class BranchPredictionUnit:
             config.branch_predictor, self._stats_registry
         )
         self.ras = ReturnAddressStack(config.branch_predictor.ras_entries, self._stats_registry)
+        # Context-switch state: the currently scheduled ASID and, under tagged
+        # retention, the saved RAS contents of descheduled address spaces.
+        # The checkpoint dict is LRU-bounded: cold switch semantics mint a
+        # fresh ASID every scheduling turn, so without a cap it would grow by
+        # one dead entry per turn.  An evicted ASID simply resumes with an
+        # empty RAS, like hardware with a bounded ASID table.
+        self.active_asid = 0
+        self._ras_checkpoints: dict[int, list[int]] = {}
+        self._ras_checkpoint_limit = 256
+
+    # -- context switches ------------------------------------------------------
+
+    def context_switch(self, asid: int) -> None:
+        """Schedule address space ``asid`` in, applying the machine's ASID mode.
+
+        ``FLUSH`` discards all predictive state (BTB, direction predictor,
+        RAS), modelling hardware without ASID tags.  ``TAGGED`` retains it:
+        the BTB switches its active tag color, the RAS is checkpointed per
+        ASID, and the direction predictor keeps its (untagged, shared) tables
+        -- cross-ASID aliasing in direction tables is benign and matches real
+        cores, which tag BTBs but not weight tables.
+        """
+        if asid == self.active_asid:
+            return
+        self.stats.inc("context_switches")
+        if self.config.asid_mode is ASIDMode.TAGGED:
+            outgoing = self.ras.snapshot()
+            checkpoints = self._ras_checkpoints
+            checkpoints.pop(self.active_asid, None)
+            if outgoing:  # empty stacks need no checkpoint
+                checkpoints[self.active_asid] = outgoing
+                while len(checkpoints) > self._ras_checkpoint_limit:
+                    checkpoints.pop(next(iter(checkpoints)))
+            self.ras.restore(checkpoints.pop(asid, []))
+            self.btb.set_active_asid(asid)
+        else:
+            self.btb.invalidate_all()
+            self.ras.clear()
+            self.direction_predictor.reset()
+        self.active_asid = asid
 
     # -- prediction -----------------------------------------------------------
 

@@ -30,6 +30,13 @@ class DirectionPredictor(abc.ABC):
     def update(self, pc: int, taken: bool) -> None:
         """Train the predictor with the resolved direction of the branch at ``pc``."""
 
+    def reset(self) -> None:
+        """Forget all learned state (context-switch flush).
+
+        Stateless predictors inherit this no-op; stateful ones must override
+        it to restore their construction-time tables and history.
+        """
+
     def record_outcome(self, predicted: bool, taken: bool) -> None:
         """Book-keeping helper used by the front end to track accuracy."""
         self.stats.inc("predictions")

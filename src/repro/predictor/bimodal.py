@@ -24,6 +24,10 @@ class BimodalPredictor(DirectionPredictor):
         # Counters initialised to weakly taken (2): branches are taken-biased.
         self._counters = [2] * self.table_size
 
+    def reset(self) -> None:
+        """Restore every counter to weakly taken."""
+        self._counters = [2] * self.table_size
+
     def _index(self, pc: int) -> int:
         return (pc >> 2) & (self.table_size - 1)
 

@@ -27,6 +27,11 @@ class GSharePredictor(DirectionPredictor):
         self._counters = [2] * self.table_size
         self._history = 0
 
+    def reset(self) -> None:
+        """Restore the weakly-taken counters and clear the global history."""
+        self._counters = [2] * self.table_size
+        self._history = 0
+
     def _index(self, pc: int) -> int:
         history = self._history & ((1 << self.history_bits) - 1)
         return ((pc >> 2) ^ history) & (self.table_size - 1)

@@ -49,6 +49,13 @@ class HashedPerceptronPredictor(DirectionPredictor):
         # Training threshold from the perceptron literature: ~1.93*h + 14.
         self.threshold = int(1.93 * self.max_history + 14)
 
+    def reset(self) -> None:
+        """Zero every weight table and the global history register."""
+        zero = [0] * self.table_size
+        for table in self._tables:
+            table[:] = zero
+        self._history = 0
+
     # -- hashing ------------------------------------------------------------
 
     def _fold_history(self, length: int) -> int:

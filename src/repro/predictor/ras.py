@@ -48,8 +48,16 @@ class ReturnAddressStack:
         return self._stack[-1] if self._stack else None
 
     def clear(self) -> None:
-        """Empty the stack (used on context resets in tests)."""
+        """Empty the stack (context-switch flush, tests)."""
         self._stack.clear()
+
+    def snapshot(self) -> List[int]:
+        """Copy of the current stack contents (per-ASID checkpointing)."""
+        return list(self._stack)
+
+    def restore(self, entries: List[int]) -> None:
+        """Replace the stack contents with a previously taken snapshot."""
+        self._stack = list(entries)
 
     def __len__(self) -> int:
         return len(self._stack)

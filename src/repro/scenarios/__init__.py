@@ -1,0 +1,43 @@
+"""Multi-tenant scenario engine: trace composition with context switches.
+
+The paper evaluates BTB organizations on isolated traces; real servers
+timeslice many tenants, and context switches are exactly what thrashes a BTB.
+This package opens that axis:
+
+* :mod:`repro.scenarios.spec`    -- declarative :class:`ScenarioSpec` (tenants,
+  weights, quantum, scheduler policy, warm/cold switch semantics);
+* :mod:`repro.scenarios.compose` -- streaming :class:`TraceComposer` that
+  interleaves per-tenant traces into one scheduled ``(asid, tenant,
+  instruction)`` stream without materializing the merge;
+* :mod:`repro.scenarios.presets` -- the built-in scenario registry
+  (``solo_baseline``, ``consolidated_server``, ``microservice_churn``,
+  ``noisy_neighbor``) plus :func:`register_scenario`;
+* :mod:`repro.scenarios.run`     -- :func:`execute_scenario`, the one-call
+  bridge from a spec to a :class:`~repro.core.metrics.ScenarioResult`.
+
+Context-switch behavior is governed by the machine's
+:class:`~repro.common.config.ASIDMode` (flush everything, or retain via
+ASID-tagged BTB entries and checkpointed RAS state).
+"""
+
+from repro.scenarios.compose import TraceComposer
+from repro.scenarios.presets import (
+    PRESET_NAMES,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.run import execute_scenario, resolve_scenario
+from repro.scenarios.spec import ScenarioSpec, TenantSpec
+
+__all__ = [
+    "ScenarioSpec",
+    "TenantSpec",
+    "TraceComposer",
+    "PRESET_NAMES",
+    "scenario_names",
+    "get_scenario",
+    "register_scenario",
+    "execute_scenario",
+    "resolve_scenario",
+]

@@ -1,0 +1,116 @@
+"""Streaming interleave of per-tenant traces into one scheduled stream.
+
+:class:`TraceComposer` walks the scenario's schedule (round-robin or weighted
+round-robin over the tenants, one quantum per turn) and yields
+``(asid, tenant_name, instruction)`` triples one at a time.  Nothing about the
+merged stream is ever materialized: each tenant is read through a wrapping
+:class:`~repro.traces.trace.TraceCursor`, so composing a billion-instruction
+stream costs the memory of the per-tenant traces and nothing more.
+
+ASID assignment implements the spec's switch semantics:
+
+* ``warm``: tenant *i* always runs as ASID *i* (the first-scheduled tenant is
+  ASID 0, so a single-tenant scenario is indistinguishable from a plain
+  single-trace simulation);
+* ``cold``: every scheduling turn allocates a fresh ASID (monotonically
+  increasing), so no turn can ever re-use retained state -- and under tagged
+  retention the dead entries of previous incarnations pollute capacity, which
+  is exactly the microservice-churn effect the scenario models.
+
+Consecutive turns of the *same* tenant under ``warm`` semantics keep the same
+ASID and therefore cause no context switch (the scheduler just keeps running
+the tenant), which is why a one-tenant warm scenario never switches at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.isa.instruction import Instruction
+from repro.scenarios.spec import ScenarioSpec
+from repro.traces.trace import Trace, TraceCursor
+
+
+class TraceComposer:
+    """Interleaves per-tenant traces according to a :class:`ScenarioSpec`."""
+
+    def __init__(self, spec: ScenarioSpec, traces: Mapping[str, Trace]) -> None:
+        missing = [t.workload for t in spec.tenants if t.workload not in traces]
+        if missing:
+            raise ConfigurationError(
+                f"scenario {spec.name!r} is missing traces for workloads {missing}"
+            )
+        isas = {traces[t.workload].isa for t in spec.tenants}
+        if len(isas) > 1:
+            raise ConfigurationError(
+                f"scenario {spec.name!r} mixes ISAs {sorted(i.value for i in isas)}; "
+                "all tenants must share one ISA"
+            )
+        self.spec = spec
+        self.isa = next(iter(isas))
+        self._traces: Dict[str, Trace] = {t.workload: traces[t.workload] for t in spec.tenants}
+
+    # -- scheduling ---------------------------------------------------------
+
+    def turn_lengths(self) -> List[int]:
+        """Instructions each tenant runs per scheduling turn, in tenant order."""
+        return [self.spec.turn_quantum(tenant) for tenant in self.spec.tenants]
+
+    def stream(self, total_instructions: int) -> Iterator[Tuple[int, str, Instruction]]:
+        """Yield exactly ``total_instructions`` scheduled ``(asid, tenant, instruction)``.
+
+        Tenant traces wrap when exhausted, so any total length is valid.  The
+        schedule is a pure function of the spec and the total length: two
+        streams composed from equal specs are element-for-element identical,
+        which is what lets scenario cells live in the content-addressed result
+        cache.
+        """
+        if total_instructions < 0:
+            raise ConfigurationError("composed stream length cannot be negative")
+        spec = self.spec
+        tenants = spec.tenants
+        cursors = [TraceCursor(self._traces[tenant.workload]) for tenant in tenants]
+        quanta = self.turn_lengths()
+        cold = spec.switch_semantics == "cold"
+
+        remaining = total_instructions
+        turn = 0
+        next_cold_asid = 0
+        while remaining > 0:
+            tenant_index = turn % len(tenants)
+            tenant_name = tenants[tenant_index].name
+            if cold:
+                asid = next_cold_asid
+                next_cold_asid += 1
+            else:
+                asid = tenant_index
+            count = min(quanta[tenant_index], remaining)
+            for instruction in cursors[tenant_index].take(count):
+                yield asid, tenant_name, instruction
+            remaining -= count
+            turn += 1
+
+    def context_switch_count(self, total_instructions: int) -> int:
+        """Number of ASID changes the composed stream will trigger.
+
+        Useful for sizing tests and reports without walking the stream.  The
+        first turn never counts (the machine boots into it).
+        """
+        tenants = self.spec.tenants
+        quanta = self.turn_lengths()
+        cycle = sum(quanta)
+        if total_instructions <= 0:
+            return 0
+        full_cycles, leftover = divmod(total_instructions, cycle)
+        turns = full_cycles * len(tenants)
+        for quantum in quanta:
+            if leftover <= 0:
+                break
+            turns += 1
+            leftover -= quantum
+        if self.spec.switch_semantics == "cold":
+            return max(turns - 1, 0)
+        # Warm: consecutive turns of the same tenant (single-tenant scenarios)
+        # do not switch.
+        return max(turns - 1, 0) if len(tenants) > 1 else 0

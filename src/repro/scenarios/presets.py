@@ -1,0 +1,117 @@
+"""The built-in scenario presets (and a registry for user-defined ones).
+
+Four presets span the consolidation questions the paper's single-trace
+evaluation cannot ask:
+
+* ``solo_baseline``      -- one tenant, no switches: must reproduce the plain
+  single-trace simulation exactly (the subsystem's correctness anchor);
+* ``consolidated_server`` -- four server tenants timesliced round-robin with
+  warm address spaces: the steady-state consolidation case where ASID-tagged
+  retention can pay off;
+* ``microservice_churn`` -- short quanta and *cold* switch semantics (every
+  turn is a fresh address space): retention can never help, flushing and
+  tagging only differ in how the dead state hurts;
+* ``noisy_neighbor``     -- one BTB-hungry server tenant with a large weight
+  sharing the machine with two light client tenants under weighted
+  round-robin: who pays the thrashing cost?
+
+Workload names refer to the deterministic suites of
+:mod:`repro.workloads.suites`; worker processes resolve presets by name, so a
+scenario cell is as self-contained as a workload cell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import ConfigurationError
+from repro.scenarios.spec import ScenarioSpec, TenantSpec
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add ``spec`` to the registry (``replace=True`` to overwrite)."""
+    if not replace and spec.name in _REGISTRY:
+        raise ConfigurationError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, presets first, in registration order."""
+    return list(_REGISTRY)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look a scenario up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered: {', '.join(_REGISTRY) or '(none)'}"
+        ) from exc
+
+
+# -- built-in presets ---------------------------------------------------------
+
+register_scenario(
+    ScenarioSpec(
+        name="solo_baseline",
+        tenants=(TenantSpec("primary", "server_001"),),
+        quantum_instructions=8_192,
+        policy="round_robin",
+        switch_semantics="warm",
+        description="One tenant, zero context switches: equals the plain single-trace run.",
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="consolidated_server",
+        tenants=(
+            TenantSpec("frontend", "server_001"),
+            TenantSpec("search", "server_009"),
+            TenantSpec("ads", "server_023"),
+            TenantSpec("feed", "server_030"),
+        ),
+        quantum_instructions=4_096,
+        policy="round_robin",
+        switch_semantics="warm",
+        description="Four server tenants timesliced round-robin with warm address spaces.",
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="microservice_churn",
+        tenants=(
+            TenantSpec("auth", "server_002"),
+            TenantSpec("cart", "server_010"),
+            TenantSpec("gateway", "client_001"),
+            TenantSpec("recs", "server_024"),
+        ),
+        quantum_instructions=1_024,
+        policy="round_robin",
+        switch_semantics="cold",
+        description="Short-lived instances: every scheduling turn is a fresh address space.",
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="noisy_neighbor",
+        tenants=(
+            TenantSpec("noisy", "server_023", weight=4),
+            TenantSpec("victim_a", "client_002", weight=1),
+            TenantSpec("victim_b", "client_003", weight=1),
+        ),
+        quantum_instructions=2_048,
+        policy="weighted",
+        switch_semantics="warm",
+        description="A BTB-hungry server tenant dominating two light client tenants.",
+    )
+)
+
+#: Names of the built-in presets, in definition order.
+PRESET_NAMES: tuple[str, ...] = tuple(_REGISTRY)

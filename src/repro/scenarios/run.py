@@ -1,0 +1,68 @@
+"""Run one scenario on one machine configuration.
+
+This is the scenario counterpart of :func:`repro.core.simulator.simulate_trace`:
+resolve the spec, build the tenant traces through the (bounded, process-local)
+trace store, compose the scheduled stream, and hand it to
+:meth:`FrontEndSimulator.run_scenario`.  Everything is deterministic in the
+argument tuple, which is what makes scenario cells cacheable experiment jobs.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ASIDMode, BTBStyle, default_machine_config
+from repro.core.metrics import ScenarioResult
+from repro.core.simulator import FrontEndSimulator
+from repro.btb.storage import make_btb_for_budget
+from repro.scenarios.compose import TraceComposer
+from repro.scenarios.presets import get_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.traces.store import TraceStore, default_store
+
+
+def resolve_scenario(scenario: ScenarioSpec | str) -> ScenarioSpec:
+    """Accept a spec or a registered preset name."""
+    if isinstance(scenario, ScenarioSpec):
+        return scenario
+    return get_scenario(scenario)
+
+
+def execute_scenario(
+    scenario: ScenarioSpec | str,
+    style: BTBStyle = BTBStyle.BTBX,
+    asid_mode: ASIDMode = ASIDMode.FLUSH,
+    budget_kib: float = 14.5,
+    instructions: int = 100_000,
+    warmup_instructions: int = 0,
+    fdip_enabled: bool = True,
+    trace_store: TraceStore | None = None,
+) -> ScenarioResult:
+    """Compose and simulate ``scenario`` for ``instructions`` total instructions.
+
+    Each tenant's trace is generated at the full stream length (cursors wrap,
+    so a tenant scheduled for only a fraction of the stream still replays its
+    own deterministic workload).  Full-length generation is a deliberate
+    choice: a tenant's trace is then identical to the one the single-trace
+    experiments cache under ``(workload, instructions)``, whatever the
+    scenario's policy or weights, so the trace store shares work across
+    scenario and plain cells and the job identity stays simple.  The cost --
+    tenant-count times the generation work, each trace only partially consumed
+    -- is acceptable at this model's scales.  The BTB is sized for
+    ``budget_kib`` exactly like every single-trace experiment cell.
+    """
+    spec = resolve_scenario(scenario)
+    store = trace_store or default_store()
+    traces = {workload: store.get(workload, instructions) for workload in set(spec.workloads)}
+    composer = TraceComposer(spec, traces)
+    machine = default_machine_config(
+        btb_style=style,
+        fdip_enabled=fdip_enabled,
+        isa=composer.isa,
+        asid_mode=asid_mode,
+    )
+    btb = make_btb_for_budget(style, budget_kib, isa=composer.isa)
+    simulator = FrontEndSimulator(machine, btb=btb)
+    return simulator.run_scenario(
+        composer.stream(instructions),
+        warmup_instructions=warmup_instructions,
+        scenario_name=spec.name,
+    )

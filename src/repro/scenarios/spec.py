@@ -1,0 +1,107 @@
+"""Declarative description of a multi-tenant consolidation scenario.
+
+A scenario names a set of **tenants** (each replaying one workload trace), a
+scheduling **quantum** in instructions, a scheduler **policy**, and the
+**switch semantics** that decide how address spaces behave across scheduling
+turns.  Specs are frozen and hashable, so a scenario can key the experiment
+engine's result cache exactly like a workload name does.
+
+Switch semantics:
+
+* ``warm`` -- every tenant keeps a stable ASID for the whole run, so under
+  ASID-tagged retention its BTB/RAS state survives descheduling (the steady
+  consolidated-server case);
+* ``cold`` -- every scheduling turn runs in a *fresh* address space (think
+  short-lived microservice instances or serverless functions), so retained
+  state can never be re-used and even tagged BTBs behave like cold ones while
+  still paying the capacity pollution of dead entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: Scheduler policies understood by the composer.
+POLICIES: Tuple[str, ...] = ("round_robin", "weighted")
+
+#: Switch semantics understood by the composer.
+SWITCH_SEMANTICS: Tuple[str, ...] = ("warm", "cold")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a named replay of a workload trace with a scheduling weight."""
+
+    name: str
+    workload: str
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tenant needs a name")
+        if not self.workload:
+            raise ConfigurationError(f"tenant {self.name!r} needs a workload")
+        if self.weight < 1:
+            raise ConfigurationError(f"tenant {self.name!r} weight must be >= 1")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, hashable description of one consolidation scenario."""
+
+    name: str
+    tenants: Tuple[TenantSpec, ...]
+    quantum_instructions: int = 8_192
+    policy: str = "round_robin"
+    switch_semantics: str = "warm"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ConfigurationError(f"scenario {self.name!r} needs at least one tenant")
+        names = [tenant.name for tenant in self.tenants]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"scenario {self.name!r} has duplicate tenant names")
+        if self.quantum_instructions < 1:
+            raise ConfigurationError("scheduling quantum must be at least one instruction")
+        if self.policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown scheduler policy {self.policy!r}; expected one of {POLICIES}"
+            )
+        if self.switch_semantics not in SWITCH_SEMANTICS:
+            raise ConfigurationError(
+                f"unknown switch semantics {self.switch_semantics!r}; "
+                f"expected one of {SWITCH_SEMANTICS}"
+            )
+
+    @property
+    def tenant_names(self) -> Tuple[str, ...]:
+        """Tenant names in scheduling order."""
+        return tuple(tenant.name for tenant in self.tenants)
+
+    @property
+    def workloads(self) -> Tuple[str, ...]:
+        """Workload of each tenant, in scheduling order (may repeat)."""
+        return tuple(tenant.workload for tenant in self.tenants)
+
+    def turn_quantum(self, tenant: TenantSpec) -> int:
+        """Instructions ``tenant`` runs per scheduling turn under this policy."""
+        if self.policy == "weighted":
+            return self.quantum_instructions * tenant.weight
+        return self.quantum_instructions
+
+    def config_dict(self) -> Dict[str, object]:
+        """Canonical JSON-able form (cache identity and reports)."""
+        return {
+            "name": self.name,
+            "tenants": [
+                {"name": t.name, "workload": t.workload, "weight": t.weight}
+                for t in self.tenants
+            ],
+            "quantum_instructions": self.quantum_instructions,
+            "policy": self.policy,
+            "switch_semantics": self.switch_semantics,
+        }

@@ -17,11 +17,12 @@ same record format).
 from repro.traces.binary_io import read_binary_trace, write_binary_trace
 from repro.traces.filters import branch_only, split_warmup, window
 from repro.traces.store import TraceStore, default_store
-from repro.traces.trace import Trace, TraceSummary
+from repro.traces.trace import Trace, TraceCursor, TraceSummary
 from repro.traces.text_io import read_text_trace, write_text_trace
 
 __all__ = [
     "Trace",
+    "TraceCursor",
     "TraceSummary",
     "TraceStore",
     "default_store",

@@ -138,6 +138,45 @@ class Trace:
         return f"Trace(name={self.name!r}, instructions={len(self)}, isa={self.isa})"
 
 
+class TraceCursor:
+    """A resumable, wrapping read position over a trace.
+
+    The scenario composer deschedules a tenant mid-trace and later resumes it
+    where it left off; a cursor keeps that position without copying or slicing
+    the underlying instruction list.  Reads past the end wrap to the start
+    (the workload loops), so a tenant stays schedulable for arbitrarily long
+    composed streams.
+    """
+
+    __slots__ = ("trace", "position", "laps", "consumed", "_instructions", "_length")
+
+    def __init__(self, trace: Trace, position: int = 0) -> None:
+        if len(trace) == 0:
+            raise ValueError(f"cannot iterate over empty trace {trace.name!r}")
+        self.trace = trace
+        self._instructions = trace.instructions
+        self._length = len(trace)
+        self.position = position % self._length
+        #: Completed wraps; ``laps > 0`` means the workload is replaying.
+        self.laps = 0
+        #: Total instructions read since construction.
+        self.consumed = 0
+
+    def take(self, count: int) -> Iterator[Instruction]:
+        """Yield the next ``count`` instructions, wrapping at the trace end."""
+        instructions = self._instructions
+        length = self._length
+        position = self.position
+        for _ in range(count):
+            yield instructions[position]
+            position += 1
+            if position == length:
+                position = 0
+                self.laps += 1
+        self.position = position
+        self.consumed += count
+
+
 @dataclass
 class TraceSet:
     """A named collection of traces forming a workload suite."""

@@ -1,0 +1,244 @@
+"""Tests for the command-line interface.
+
+Covers argument parsing, ``REPRO_SCALE`` override precedence, exit codes, the
+``scenario list|run`` subcommands, the ``cache stats|prune`` subcommands, and
+run-all's continue-past-failure behavior with ok/failed statuses in the
+``--timings`` JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import types
+
+import pytest
+
+from repro.cli import build_parser, main, resolve_scale, run_all
+from repro.common.config import BTBStyle
+from repro.experiments.config import FULL_SCALE, QUICK_SCALE, SMOKE_SCALE
+from repro.experiments.engine import ExperimentEngine, ResultCache, SimJob
+from repro.experiments.runner import clear_trace_cache
+
+
+@pytest.fixture(autouse=True)
+def _clean_state(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    yield
+    clear_trace_cache()
+
+
+def _seed_cache(cache_dir) -> int:
+    """Run a couple of tiny jobs into a cache directory; returns entry count."""
+    jobs = [
+        SimJob(
+            workload="client_001",
+            instructions=4_000,
+            warmup_instructions=1_000,
+            style=style,
+            fdip_enabled=True,
+            budget_kib=0.90625,
+        )
+        for style in (BTBStyle.BTBX, BTBStyle.CONVENTIONAL)
+    ]
+    ExperimentEngine(workers=1, cache_dir=cache_dir).run_jobs(jobs)
+    return len(jobs)
+
+
+class TestArgumentParsing:
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "fig09_mpki", "--scale", "smoke", "--workers", "3",
+             "--cache-dir", "/tmp/c", "--json", "out.json"]
+        )
+        assert args.command == "run"
+        assert args.experiment == "fig09_mpki"
+        assert args.scale == "smoke"
+        assert args.workers == 3
+        assert args.cache_dir == "/tmp/c"
+        assert args.json_path == "out.json"
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run", "fig99_nope"])
+        assert excinfo.value.code == 2
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["run", "fig09_mpki", "--workers", "0"])
+        assert excinfo.value.code == 2
+
+    def test_missing_command_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([])
+        assert excinfo.value.code == 2
+
+    def test_scenario_run_arguments(self):
+        args = build_parser().parse_args(
+            ["scenario", "run", "noisy_neighbor", "--asid-mode", "tagged",
+             "--scale", "smoke", "--json", "s.json"]
+        )
+        assert args.command == "scenario"
+        assert args.scenario_command == "run"
+        assert args.scenario == "noisy_neighbor"
+        assert args.asid_mode == "tagged"
+        assert args.json_path == "s.json"
+
+    def test_cache_commands_require_cache_dir(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["cache", "stats"])
+        assert excinfo.value.code == 2
+        args = build_parser().parse_args(
+            ["cache", "prune", "--cache-dir", "/tmp/c", "--max-age-days", "7"]
+        )
+        assert args.cache_command == "prune"
+        assert args.max_age_days == 7.0
+
+
+class TestScaleResolution:
+    def test_env_overrides_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert resolve_scale("smoke") is FULL_SCALE
+
+    def test_flag_used_without_env(self):
+        assert resolve_scale("smoke") is SMOKE_SCALE
+
+    def test_unknown_env_value_falls_back_to_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        assert resolve_scale("quick") is QUICK_SCALE
+
+
+class TestListCommands:
+    def test_list_prints_every_experiment_and_exits_0(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09_mpki" in out
+        assert "scenario_study" in out
+
+    def test_scenario_list_prints_presets(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for preset in ("solo_baseline", "consolidated_server",
+                       "microservice_churn", "noisy_neighbor"):
+            assert preset in out
+
+
+class TestScenarioRun:
+    def test_scenario_run_writes_json(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        json_path = tmp_path / "scenario.json"
+        exit_code = main(
+            ["scenario", "run", "solo_baseline", "--asid-mode", "flush",
+             "--json", str(json_path)]
+        )
+        assert exit_code == 0
+        assert "solo_baseline" in capsys.readouterr().out
+        record = json.loads(json_path.read_text())
+        assert record["experiment"] == "scenario_study"
+        assert record["scale"] == "smoke"
+        assert set(record["scenarios"]) == {"solo_baseline"}
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenario", "run", "no_such_scenario"])
+        assert excinfo.value.code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestCacheCommands:
+    def test_stats_reports_entries_and_bytes(self, tmp_path, capsys):
+        expected = _seed_cache(tmp_path)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"entries         : {expected}" in out
+        assert "total bytes" in out
+
+    def test_stats_on_empty_directory(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "fresh")]) == 0
+        assert "entries         : 0" in capsys.readouterr().out
+
+    def test_prune_by_age_keeps_young_entries(self, tmp_path, capsys):
+        expected = _seed_cache(tmp_path)
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path),
+                     "--max-age-days", "1"]) == 0
+        assert "pruned 0 entries" in capsys.readouterr().out
+        assert len(ResultCache(tmp_path)) == expected
+
+    def test_prune_without_age_empties_the_cache(self, tmp_path, capsys):
+        expected = _seed_cache(tmp_path)
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 0
+        assert f"pruned {expected}" in capsys.readouterr().out
+        assert len(ResultCache(tmp_path)) == 0
+
+    def test_prune_removes_old_entries(self, tmp_path):
+        import os
+        import time
+
+        expected = _seed_cache(tmp_path)
+        old = time.time() - 10 * 86400.0
+        for name in os.listdir(tmp_path):
+            os.utime(tmp_path / name, (old, old))
+        cache = ResultCache(tmp_path)
+        assert cache.prune(max_age_seconds=86400.0) == expected
+        assert len(cache) == 0
+
+
+class TestRunAllResilience:
+    @pytest.fixture
+    def _failing_registry(self, monkeypatch):
+        """A registry with one healthy experiment and one that raises."""
+        boom = types.ModuleType("tests_fake_boom")
+        boom.__doc__ = "Always fails (test fixture)."
+
+        def run(scale, engine=None):
+            raise RuntimeError("synthetic driver failure")
+
+        def format_report(result):  # pragma: no cover - never reached
+            return "boom"
+
+        boom.run, boom.format_report = run, format_report
+        monkeypatch.setitem(sys.modules, "tests_fake_boom", boom)
+        monkeypatch.setattr(
+            "repro.cli.EXPERIMENTS",
+            {
+                "table3_storage": "repro.experiments.table3_storage",
+                "boom": "tests_fake_boom",
+                "table4_capacity": "repro.experiments.table4_capacity",
+            },
+        )
+
+    def test_run_all_continues_past_failures(self, _failing_registry):
+        summary = run_all("smoke", engine=ExperimentEngine(workers=1))
+        assert summary["status"] == {
+            "table3_storage": "ok", "boom": "failed", "table4_capacity": "ok"
+        }
+        assert summary["failed"] == ["boom"]
+        assert "synthetic driver failure" in summary["errors"]["boom"]
+        # Experiments after the failure still produced results.
+        assert "table4_capacity" in summary["results"]
+        assert "boom" not in summary["results"]
+
+    def test_main_run_all_reports_failures_and_exits_1(
+        self, _failing_registry, tmp_path, capsys
+    ):
+        timings = tmp_path / "timings.json"
+        exit_code = main(["run-all", "--scale", "smoke", "--timings", str(timings)])
+        assert exit_code == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "boom" in out
+        record = json.loads(timings.read_text())
+        assert record["status"]["boom"] == "failed"
+        assert record["status"]["table3_storage"] == "ok"
+        assert "synthetic driver failure" in record["errors"]["boom"]
+        assert set(record["timings_s"]) == {"table3_storage", "boom", "table4_capacity"}
+
+    def test_main_run_all_exits_0_when_all_ok(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            "repro.cli.EXPERIMENTS",
+            {"table4_capacity": "repro.experiments.table4_capacity"},
+        )
+        timings = tmp_path / "timings.json"
+        assert main(["run-all", "--scale", "smoke", "--timings", str(timings)]) == 0
+        record = json.loads(timings.read_text())
+        assert record["status"] == {"table4_capacity": "ok"}
+        assert record["errors"] == {}

@@ -1,0 +1,456 @@
+"""Tests for the multi-tenant scenario subsystem.
+
+Covers the PR's contract points: the composer interleaves deterministically
+without materializing the merge, warm/cold ASID assignment, context switches
+thread through BTB/predictor/RAS state correctly in both ASID modes, a
+single-tenant scenario reproduces the plain single-trace simulation exactly,
+and scenario cells behave like every other engine job (hashable, worker-safe,
+disk-cacheable).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ASIDMode, BTBStyle, default_machine_config
+from repro.common.errors import ConfigurationError
+from repro.core.simulator import FrontEndSimulator
+from repro.btb.btbx import BTBX
+from repro.btb.conventional import ConventionalBTB
+from repro.btb.ideal import IdealBTB
+from repro.btb.storage import make_btb_for_budget
+from repro.experiments.engine import (
+    ExperimentEngine,
+    ScenarioJob,
+    _RESULT_FIELDS,
+    _result_to_payload,
+)
+from repro.experiments.runner import clear_trace_cache
+from repro.isa.branch import BranchType
+from repro.isa.instruction import Instruction
+from repro.scenarios import (
+    ScenarioSpec,
+    TenantSpec,
+    TraceComposer,
+    execute_scenario,
+    get_scenario,
+    scenario_names,
+)
+from repro.scenarios.presets import PRESET_NAMES
+from repro.traces.store import default_store
+from repro.traces.trace import TraceCursor
+
+
+@pytest.fixture(autouse=True)
+def _bounded_traces():
+    yield
+    clear_trace_cache()
+
+
+def _two_tenant_spec(**overrides) -> ScenarioSpec:
+    settings = dict(
+        name="test_pair",
+        tenants=(
+            TenantSpec("alpha", "server_001"),
+            TenantSpec("beta", "server_009"),
+        ),
+        quantum_instructions=1_000,
+        policy="round_robin",
+        switch_semantics="warm",
+    )
+    settings.update(overrides)
+    return ScenarioSpec(**settings)
+
+
+class TestScenarioSpec:
+    def test_specs_are_hashable(self):
+        assert hash(_two_tenant_spec()) == hash(_two_tenant_spec())
+
+    def test_duplicate_tenant_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _two_tenant_spec(
+                tenants=(TenantSpec("t", "server_001"), TenantSpec("t", "server_009"))
+            )
+
+    def test_bad_policy_and_semantics_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _two_tenant_spec(policy="lottery")
+        with pytest.raises(ConfigurationError):
+            _two_tenant_spec(switch_semantics="lukewarm")
+        with pytest.raises(ConfigurationError):
+            _two_tenant_spec(quantum_instructions=0)
+        with pytest.raises(ConfigurationError):
+            TenantSpec("t", "server_001", weight=0)
+
+    def test_weighted_quantum_scales_with_weight(self):
+        spec = _two_tenant_spec(
+            tenants=(
+                TenantSpec("heavy", "server_001", weight=3),
+                TenantSpec("light", "server_009", weight=1),
+            ),
+            policy="weighted",
+        )
+        assert spec.turn_quantum(spec.tenants[0]) == 3_000
+        assert spec.turn_quantum(spec.tenants[1]) == 1_000
+
+    def test_presets_registered(self):
+        assert set(PRESET_NAMES) == {
+            "solo_baseline",
+            "consolidated_server",
+            "microservice_churn",
+            "noisy_neighbor",
+        }
+        for name in scenario_names():
+            assert get_scenario(name).name == name
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_scenario("no_such_scenario")
+
+
+class TestTraceCursor:
+    def test_wraps_and_counts(self, small_client_trace):
+        cursor = TraceCursor(small_client_trace)
+        length = len(small_client_trace)
+        first = list(cursor.take(length + 10))
+        assert len(first) == length + 10
+        assert cursor.laps == 1
+        assert cursor.position == 10
+        assert cursor.consumed == length + 10
+        # The wrapped tail replays the head of the trace.
+        assert [i.pc for i in first[length:]] == [
+            small_client_trace[i].pc for i in range(10)
+        ]
+
+
+class TestTraceComposer:
+    def _traces(self, spec, instructions=6_000):
+        store = default_store()
+        return {workload: store.get(workload, instructions) for workload in set(spec.workloads)}
+
+    def test_stream_has_exact_length_and_round_robin_order(self):
+        spec = _two_tenant_spec()
+        composer = TraceComposer(spec, self._traces(spec))
+        slots = list(composer.stream(5_500))
+        assert len(slots) == 5_500
+        # Quantum 1000, round robin: alpha, beta, alpha, beta, alpha, beta(500).
+        tenants = [tenant for _, tenant, _ in slots]
+        assert tenants[:1_000] == ["alpha"] * 1_000
+        assert tenants[1_000:2_000] == ["beta"] * 1_000
+        assert tenants[5_000:] == ["beta"] * 500
+
+    def test_warm_asids_are_stable_per_tenant(self):
+        spec = _two_tenant_spec()
+        composer = TraceComposer(spec, self._traces(spec))
+        asids = {tenant: {asid for asid, t, _ in composer.stream(4_000) if t == tenant}
+                 for tenant in ("alpha", "beta")}
+        assert asids == {"alpha": {0}, "beta": {1}}
+
+    def test_cold_asids_are_fresh_every_turn(self):
+        spec = _two_tenant_spec(switch_semantics="cold")
+        composer = TraceComposer(spec, self._traces(spec))
+        seen = []
+        for asid, _, _ in composer.stream(4_000):
+            if not seen or seen[-1] != asid:
+                seen.append(asid)
+        assert seen == [0, 1, 2, 3]
+
+    def test_streams_are_deterministic(self):
+        spec = _two_tenant_spec()
+        traces = self._traces(spec)
+        left = [(a, t, i.pc) for a, t, i in TraceComposer(spec, traces).stream(3_000)]
+        right = [(a, t, i.pc) for a, t, i in TraceComposer(spec, traces).stream(3_000)]
+        assert left == right
+
+    def test_tenant_stream_wraps_its_trace(self):
+        spec = ScenarioSpec(
+            name="solo_wrap",
+            tenants=(TenantSpec("only", "client_001"),),
+            quantum_instructions=10_000,
+        )
+        traces = self._traces(spec, instructions=2_000)
+        slots = list(TraceComposer(spec, traces).stream(5_000))
+        trace = traces["client_001"]
+        assert [i.pc for _, _, i in slots[2_000:4_000]] == [inst.pc for inst in trace]
+
+    def test_context_switch_count_matches_stream(self):
+        for semantics in ("warm", "cold"):
+            spec = _two_tenant_spec(switch_semantics=semantics)
+            composer = TraceComposer(spec, self._traces(spec))
+            changes = 0
+            previous = None
+            for asid, _, _ in composer.stream(5_500):
+                if previous is not None and asid != previous:
+                    changes += 1
+                previous = asid
+            assert changes == composer.context_switch_count(5_500)
+
+    def test_mixed_isa_rejected(self, small_server_trace, small_x86_trace):
+        spec = ScenarioSpec(
+            name="mixed",
+            tenants=(TenantSpec("a", "arm_wl"), TenantSpec("b", "x86_wl")),
+        )
+        with pytest.raises(ConfigurationError):
+            TraceComposer(spec, {"arm_wl": small_server_trace, "x86_wl": small_x86_trace})
+
+    def test_missing_trace_rejected(self, small_server_trace):
+        spec = _two_tenant_spec()
+        with pytest.raises(ConfigurationError):
+            TraceComposer(spec, {"server_001": small_server_trace})
+
+
+class TestASIDStateManagement:
+    branch = Instruction.branch(0x401000, BranchType.UNCONDITIONAL, True, 0x402800)
+
+    @pytest.mark.parametrize("btb", [ConventionalBTB(512), BTBX(512), IdealBTB()])
+    def test_tagged_btb_isolates_address_spaces(self, btb):
+        btb.update(self.branch)
+        assert btb.lookup(self.branch.pc).hit
+        btb.set_active_asid(7)
+        assert not btb.lookup(self.branch.pc).hit
+        btb.set_active_asid(0)
+        assert btb.lookup(self.branch.pc).hit
+
+    def test_flush_mode_clears_everything(self):
+        machine = default_machine_config(asid_mode=ASIDMode.FLUSH)
+        simulator = FrontEndSimulator(machine)
+        simulator.bpu.btb.update(self.branch)
+        simulator.bpu.ras.push(0x1234)
+        simulator.bpu.context_switch(1)
+        assert not simulator.bpu.btb.lookup(self.branch.pc).hit
+        assert simulator.bpu.ras.peek() is None
+
+    def test_tagged_mode_checkpoints_ras_per_asid(self):
+        machine = default_machine_config(asid_mode=ASIDMode.TAGGED)
+        simulator = FrontEndSimulator(machine)
+        simulator.bpu.ras.push(0x1111)
+        simulator.bpu.context_switch(1)
+        assert simulator.bpu.ras.peek() is None  # fresh address space
+        simulator.bpu.ras.push(0x2222)
+        simulator.bpu.context_switch(0)
+        assert simulator.bpu.ras.peek() == 0x1111  # restored checkpoint
+        simulator.bpu.context_switch(1)
+        assert simulator.bpu.ras.peek() == 0x2222
+
+    def test_tagged_mode_retains_btb_across_switches(self):
+        machine = default_machine_config(asid_mode=ASIDMode.TAGGED)
+        simulator = FrontEndSimulator(machine)
+        simulator.bpu.btb.update(self.branch)
+        simulator.bpu.context_switch(1)
+        assert not simulator.bpu.btb.lookup(self.branch.pc).hit
+        simulator.bpu.context_switch(0)
+        assert simulator.bpu.btb.lookup(self.branch.pc).hit
+
+
+class TestRunScenario:
+    def test_solo_baseline_reproduces_single_trace_simulation(self):
+        """Acceptance: one tenant, no switches == the plain simulate() path."""
+        instructions, warmup = 24_000, 8_000
+        for asid_mode in (ASIDMode.FLUSH, ASIDMode.TAGGED):
+            scenario = execute_scenario(
+                "solo_baseline",
+                style=BTBStyle.BTBX,
+                asid_mode=asid_mode,
+                budget_kib=14.5,
+                instructions=instructions,
+                warmup_instructions=warmup,
+            )
+            trace = default_store().get("server_001", instructions)
+            machine = default_machine_config(
+                btb_style=BTBStyle.BTBX, fdip_enabled=True, isa=trace.isa, asid_mode=asid_mode
+            )
+            btb = make_btb_for_budget(BTBStyle.BTBX, 14.5, isa=trace.isa)
+            solo = FrontEndSimulator(machine, btb=btb).run(trace, warmup_instructions=warmup)
+
+            assert scenario.context_switches == 0
+            left = _result_to_payload(scenario.aggregate)
+            right = _result_to_payload(solo)
+            left.pop("workload"), right.pop("workload")
+            assert left == right
+
+    def test_flush_and_tagged_mpki_differ_measurably(self):
+        """Acceptance: consolidated_server separates the two ASID modes."""
+        results = {
+            mode: execute_scenario(
+                "consolidated_server",
+                style=BTBStyle.BTBX,
+                asid_mode=mode,
+                instructions=48_000,
+                warmup_instructions=16_000,
+            )
+            for mode in (ASIDMode.FLUSH, ASIDMode.TAGGED)
+        }
+        flush, tagged = results[ASIDMode.FLUSH], results[ASIDMode.TAGGED]
+        assert flush.context_switches == tagged.context_switches > 0
+        assert abs(flush.aggregate.btb_mpki - tagged.aggregate.btb_mpki) > 0.5
+        # Warm tenants re-use retained state, so flushing must cost misses.
+        assert flush.aggregate.btb_mpki > tagged.aggregate.btb_mpki
+        for result in (flush, tagged):
+            assert set(result.per_tenant) == {"frontend", "search", "ads", "feed"}
+
+    def test_per_tenant_results_sum_to_aggregate(self):
+        result = execute_scenario(
+            "noisy_neighbor",
+            style=BTBStyle.CONVENTIONAL,
+            asid_mode=ASIDMode.FLUSH,
+            instructions=24_000,
+            warmup_instructions=6_000,
+        )
+        tenants = list(result.per_tenant.values())
+        for field in ("instructions", "btb_misses_taken", "branches", "execute_flushes",
+                      "direction_mispredictions", "target_mispredictions", "l1i_misses"):
+            assert sum(getattr(t, field) for t in tenants) == getattr(result.aggregate, field)
+        assert sum(t.cycles for t in tenants) == pytest.approx(result.aggregate.cycles)
+        # Weighted scheduling: the noisy tenant gets ~4x the victims' share.
+        noisy = result.per_tenant["noisy"].instructions
+        victim = result.per_tenant["victim_a"].instructions
+        assert noisy > 2 * victim
+
+    def test_cold_semantics_defeats_tagged_retention(self):
+        """Fresh ASIDs every turn: retained state is dead weight, so tagged
+        retention cannot beat flushing the way it does in the warm scenario."""
+        results = {
+            mode: execute_scenario(
+                "microservice_churn",
+                style=BTBStyle.BTBX,
+                asid_mode=mode,
+                instructions=24_000,
+                warmup_instructions=6_000,
+            )
+            for mode in (ASIDMode.FLUSH, ASIDMode.TAGGED)
+        }
+        flush, tagged = results[ASIDMode.FLUSH], results[ASIDMode.TAGGED]
+        assert flush.context_switches == tagged.context_switches > 0
+        assert tagged.aggregate.btb_mpki >= flush.aggregate.btb_mpki * 0.9
+
+
+class TestScenarioJobs:
+    def _job(self, **overrides):
+        settings = dict(
+            scenario="consolidated_server",
+            instructions=12_000,
+            warmup_instructions=4_000,
+            style=BTBStyle.BTBX,
+            asid_mode=ASIDMode.TAGGED,
+            fdip_enabled=True,
+            budget_kib=14.5,
+        )
+        settings.update(overrides)
+        return ScenarioJob(**settings)
+
+    def test_hash_stable_and_sensitive(self):
+        base = self._job()
+        assert base.config_hash() == self._job().config_hash()
+        variants = [
+            self._job(scenario="microservice_churn"),
+            self._job(instructions=13_000),
+            self._job(warmup_instructions=0),
+            self._job(style=BTBStyle.CONVENTIONAL),
+            self._job(asid_mode=ASIDMode.FLUSH),
+            self._job(fdip_enabled=False),
+            self._job(budget_kib=7.25),
+        ]
+        hashes = {job.config_hash() for job in variants}
+        assert len(hashes) == len(variants)
+        assert base.config_hash() not in hashes
+
+    def test_scenario_and_plain_jobs_never_collide(self):
+        from repro.experiments.engine import SimJob
+
+        plain = SimJob(
+            workload="consolidated_server",  # same string, different meaning
+            instructions=12_000,
+            warmup_instructions=4_000,
+            style=BTBStyle.BTBX,
+            fdip_enabled=True,
+            budget_kib=14.5,
+        )
+        assert plain.config_hash() != self._job().config_hash()
+
+    def test_serial_and_parallel_scenario_results_identical(self):
+        """Acceptance: scenario cells are bit-identical across worker counts."""
+        jobs = [self._job(), self._job(asid_mode=ASIDMode.FLUSH)]
+        serial = ExperimentEngine(workers=1).run_jobs(jobs)
+        parallel = ExperimentEngine(workers=2).run_jobs(jobs)
+        for left, right in zip(serial, parallel):
+            assert _result_to_payload(left.result) == _result_to_payload(right.result)
+            assert left.scenario is not None and right.scenario is not None
+            assert left.scenario.context_switches == right.scenario.context_switches
+            for name in left.scenario.per_tenant:
+                assert _result_to_payload(left.scenario.per_tenant[name]) == \
+                    _result_to_payload(right.scenario.per_tenant[name])
+
+    def test_warm_cache_rerun_runs_zero_scenario_simulations(self, tmp_path):
+        """Acceptance: a warm-cache rerun performs zero simulations."""
+        jobs = [self._job(), self._job(style=BTBStyle.CONVENTIONAL)]
+        first = ExperimentEngine(workers=1, cache_dir=tmp_path)
+        warm = first.run_jobs(jobs)
+        assert first.stats()["executed"] == len(jobs)
+
+        second = ExperimentEngine(workers=1, cache_dir=tmp_path)
+        cold = second.run_jobs(jobs)
+        assert second.stats()["executed"] == 0
+        assert second.stats()["disk_hits"] == len(jobs)
+        for left, right in zip(warm, cold):
+            assert _result_to_payload(left.result) == _result_to_payload(right.result)
+            assert left.scenario.to_dict() == right.scenario.to_dict()
+
+    def test_scenario_study_driver(self):
+        from repro.experiments import scenario_study
+        from repro.experiments.config import ExperimentScale
+
+        tiny = ExperimentScale(
+            name="tiny", instructions=10_000, warmup_fraction=0.3,
+            server_workloads=1, client_workloads=1,
+        )
+        result = scenario_study.run(
+            tiny,
+            scenarios=["solo_baseline", "consolidated_server"],
+            styles=(BTBStyle.BTBX,),
+            engine=ExperimentEngine(workers=1),
+        )
+        assert set(result["scenarios"]) == {"solo_baseline", "consolidated_server"}
+        cell = result["scenarios"]["consolidated_server"]
+        assert set(cell["configs"]) == {"BTB-X/flush", "BTB-X/tagged"}
+        report = scenario_study.format_report(result)
+        assert "consolidated_server" in report and "BTB-X/tagged" in report
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ConfigurationError):
+            self._job(instructions=0)
+        with pytest.raises(ConfigurationError):
+            self._job(budget_kib=0.0)
+        with pytest.raises(ConfigurationError):
+            self._job(scenario="never_registered")
+
+    def test_job_pins_resolved_spec_at_construction(self):
+        """A job built from a user-registered scenario must stay executable in
+        a process that never saw the registration (spawn-style worker pools),
+        so the resolved spec rides on the job instead of being re-looked-up."""
+        from repro.scenarios import register_scenario
+        from repro.scenarios.presets import _REGISTRY
+
+        custom = ScenarioSpec(
+            name="custom_pinned",
+            tenants=(TenantSpec("a", "client_001"), TenantSpec("b", "client_002")),
+            quantum_instructions=1_000,
+        )
+        register_scenario(custom)
+        try:
+            job = self._job(scenario="custom_pinned", instructions=6_000,
+                            warmup_instructions=2_000)
+            assert job.spec is custom
+            del _REGISTRY["custom_pinned"]  # simulate a fresh worker interpreter
+            stable_hash = job.config_hash()  # no registry lookup involved
+            assert stable_hash == job.config_hash()
+            outcome = ExperimentEngine(workers=1).run_job(job)
+            assert outcome.scenario.scenario == "custom_pinned"
+            assert set(outcome.scenario.per_tenant) == {"a", "b"}
+        finally:
+            _REGISTRY.pop("custom_pinned", None)
+
+    def test_result_fields_stay_complete(self):
+        """Every SimulationResult field (minus stats) survives the payload."""
+        outcome = ExperimentEngine(workers=1).run_job(self._job(instructions=6_000))
+        payload = _result_to_payload(outcome.result)
+        assert set(payload) == set(_RESULT_FIELDS)
