@@ -17,8 +17,12 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.common.bitutils import fold_xor
+# Aliased: BTBBase.partition_set_counts() (reports the current map) would
+# otherwise shadow this apportionment helper within the class body.
+from repro.common.config import partition_set_counts as apportion_set_counts
 from repro.common.stats import StatGroup, Stats
 from repro.isa.branch import BranchType
 from repro.isa.instruction import Instruction
@@ -79,6 +83,10 @@ class BTBBase(abc.ABC):
         #: Address-space identifier of the currently scheduled tenant.  Only
         #: relevant under ASID-tagged retention; stays 0 otherwise.
         self.active_asid: int = 0
+        #: Per-tenant set partitioning (``ASIDMode.PARTITIONED``): a list of
+        #: ``(first_set, set_count)`` ranges, one per tenant, or ``None`` when
+        #: the whole structure is shared.  See :meth:`configure_partitions`.
+        self._partition_ranges: list[tuple[int, int]] | None = None
 
     # -- mandatory interface ----------------------------------------------
 
@@ -113,6 +121,69 @@ class BTBBase(abc.ABC):
         neutral color: with it, tagging is a no-op.
         """
         self.active_asid = asid
+
+    def configure_partitions(self, weights: Sequence[int] | None) -> None:
+        """Split this organization's sets among tenants (``None`` to share).
+
+        Partitioning is by **sets**, not ways: BTB-X's ways have heterogeneous
+        offset widths, so carving up ways would skew which branches each
+        tenant can even store, while set ranges scale capacity uniformly for
+        every organization.  Tenant *i*'s slice holds ``weights[i] / sum``
+        of the sets (at least one), apportioned by
+        :func:`repro.common.config.partition_set_counts`.  ASID ``a`` indexes
+        partition ``a % len(weights)`` -- under warm switch semantics that is
+        the tenant itself, and under cold semantics every incarnation of a
+        tenant lands in the same slice (so dead incarnations pollute only
+        their own tenant's capacity, never a neighbour's).
+
+        The structure is invalidated whenever the partition map changes
+        (including back to shared): entries installed under a different map
+        would be unreachable or, worse, reachable from the wrong slice.
+        """
+        if weights is None:
+            if self._partition_ranges is not None:
+                self._partition_ranges = None
+                self.invalidate_all()
+            return
+        counts = apportion_set_counts(self._partitionable_sets(), weights)
+        ranges: list[tuple[int, int]] = []
+        base = 0
+        for count in counts:
+            ranges.append((base, count))
+            base += count
+        self._partition_ranges = ranges
+        self.invalidate_all()
+
+    def _partitionable_sets(self) -> int:
+        """Number of sets :meth:`configure_partitions` may divide up.
+
+        Organizations with a ``num_sets`` attribute (all bounded ones) are
+        covered by this default.
+        """
+        num_sets = getattr(self, "num_sets", None)
+        if num_sets is None:
+            raise NotImplementedError(f"{type(self).__name__} does not support partitioning")
+        return num_sets
+
+    def partition_set_counts(self) -> list[int] | None:
+        """Sets per tenant partition (``None`` when the structure is shared)."""
+        if self._partition_ranges is None:
+            return None
+        return [count for _, count in self._partition_ranges]
+
+    def partitioned_set_index(self, pc: int, num_sets: int, alignment_bits: int) -> int:
+        """Set index for ``pc``, confined to the active tenant's partition.
+
+        With no partitions configured this is exactly :func:`set_index` over
+        the whole structure; with partitions, the PC indexes *within* the
+        active slice and is offset to the slice's base, so lookups and updates
+        of different tenants can never touch the same set.
+        """
+        ranges = self._partition_ranges
+        if ranges is None:
+            return set_index(pc, num_sets, alignment_bits)
+        base, count = ranges[self.active_asid % len(ranges)]
+        return base + set_index(pc, count, alignment_bits)
 
     def asid_colored(self, pc: int) -> int:
         """``pc`` with the active ASID mixed into the bits the tag hash folds.

@@ -30,7 +30,7 @@ from repro.common.lru import LRUState
 from repro.common.stats import Stats
 from repro.isa.branch import BranchType
 from repro.isa.instruction import Instruction
-from repro.btb.base import BTBBase, BTBLookupResult, index_bits_of, partial_tag, set_index
+from repro.btb.base import BTBBase, BTBLookupResult, index_bits_of, partial_tag
 from repro.btb.offsets import stored_offset_bits
 
 #: Per-way offset widths for Arm64 (Figure 8) and x86 (Section VI-G).
@@ -95,11 +95,13 @@ class BTBXC(BTBBase):
         self.isa = isa
         self.tag_bits = tag_bits
         self.num_entries = entries
+        # Direct-mapped: every entry is its own set (partitioning granularity).
+        self.num_sets = entries
         self._index_bits = index_bits_of(entries)
         self._entries = [_CompanionEntry() for _ in range(entries)]
 
     def _locate(self, pc: int) -> tuple[int, int]:
-        index = set_index(pc, self.num_entries, self.isa.alignment_bits)
+        index = self.partitioned_set_index(pc, self.num_entries, self.isa.alignment_bits)
         tag = partial_tag(
             self.asid_colored(pc), self._index_bits, self.tag_bits, self.isa.alignment_bits
         )
@@ -224,7 +226,7 @@ class BTBX(BTBBase):
     # -- operations --------------------------------------------------------
 
     def _locate(self, pc: int) -> tuple[int, int]:
-        index = set_index(pc, self.num_sets, self.isa.alignment_bits)
+        index = self.partitioned_set_index(pc, self.num_sets, self.isa.alignment_bits)
         tag = partial_tag(
             self.asid_colored(pc), self._index_bits, self.tag_bits, self.isa.alignment_bits
         )
@@ -235,6 +237,23 @@ class BTBX(BTBBase):
         super().set_active_asid(asid)
         if self.companion is not None:
             self.companion.set_active_asid(asid)
+
+    def configure_partitions(self, weights: Sequence[int] | None) -> None:
+        """Partition BTB-X sets per tenant; the companion follows when it can.
+
+        BTB-XC holds the <1 % widest-offset branches and can be as small as a
+        single entry, so when it has fewer entries than tenants it stays
+        shared (its entries are still ASID-colored, so sharing is false-hit
+        free -- the only cross-tenant effect is eviction pressure on that
+        sliver of capacity).
+        """
+        super().configure_partitions(weights)
+        if self.companion is None:
+            return
+        if weights is not None and self.companion.num_sets < len(weights):
+            self.companion.configure_partitions(None)
+        else:
+            self.companion.configure_partitions(weights)
 
     def _recover_target(self, pc: int, entry: _Entry) -> int:
         """Concatenate the branch PC's high bits with the stored offset.

@@ -8,8 +8,9 @@ BTB misses after the first visit to each branch), and for ablations.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
 
+from repro.common.config import validate_partition_weights
 from repro.common.stats import Stats
 from repro.isa.branch import BranchType
 from repro.isa.instruction import Instruction
@@ -65,3 +66,13 @@ class IdealBTB(BTBBase):
     def invalidate_all(self) -> None:
         """Forget everything (context-switch flush)."""
         self._entries.clear()
+
+    def configure_partitions(self, weights: Sequence[int] | None) -> None:
+        """Accept (and validate) a partition map, but change nothing.
+
+        An unbounded BTB has no capacity to divide: the per-``(asid, pc)``
+        keying already gives every tenant perfect isolation, so partitioned
+        and tagged retention are identical upper bounds by construction.
+        """
+        if weights is not None:
+            validate_partition_weights(weights)

@@ -34,7 +34,7 @@ from repro.common.lru import LRUState
 from repro.common.stats import Stats
 from repro.isa.branch import BranchType
 from repro.isa.instruction import Instruction
-from repro.btb.base import BTBBase, BTBLookupResult, index_bits_of, partial_tag, set_index
+from repro.btb.base import BTBBase, BTBLookupResult, index_bits_of, partial_tag
 
 VALID_BITS = 1
 TAG_BITS = 12
@@ -259,7 +259,7 @@ class PDedeBTB(BTBBase):
     # -- operations --------------------------------------------------------
 
     def _locate(self, pc: int) -> tuple[int, int]:
-        index = set_index(pc, self.num_sets, self.isa.alignment_bits)
+        index = self.partitioned_set_index(pc, self.num_sets, self.isa.alignment_bits)
         tag = partial_tag(
             self.asid_colored(pc), self._index_bits, self.tag_bits, self.isa.alignment_bits
         )

@@ -8,6 +8,7 @@ Examples::
     btbx-repro run-all --scale smoke --workers 4 --timings BENCH_run_all.json
     btbx-repro scenario list
     btbx-repro scenario run consolidated_server --scale smoke --json scenario.json
+    btbx-repro sweep scenarios --preset consolidated_server --json sweep.json --csv sweep.csv
     btbx-repro cache stats --cache-dir results/cache
     btbx-repro cache prune --cache-dir results/cache --max-age-days 30
 
@@ -49,6 +50,7 @@ EXPERIMENTS: Dict[str, str] = {
     "fig13_x86": "repro.experiments.fig13_x86",
     "ablation_ways": "repro.experiments.ablation_ways",
     "scenario_study": "repro.experiments.scenario_study",
+    "scenario_sweep": "repro.experiments.scenario_sweep",
 }
 
 _SCALES = {"smoke": SMOKE_SCALE, "quick": QUICK_SCALE, "full": FULL_SCALE}
@@ -115,11 +117,57 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(scenario_run)
     scenario_run.add_argument(
         "--asid-mode",
-        choices=["flush", "tagged", "both"],
-        default="both",
-        help="context-switch policy to simulate (default: both)",
+        choices=["flush", "tagged", "partitioned", "both", "all"],
+        default="all",
+        help="context-switch policy to simulate ('both' = flush+tagged; "
+        "default: all three)",
     )
     scenario_run.add_argument("--json", dest="json_path", help="also dump the raw result as JSON")
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="grid sweeps over the scenario presets"
+    )
+    sweep_sub = sweep_parser.add_subparsers(dest="sweep_command", required=True)
+    sweep_scenarios = sweep_sub.add_parser(
+        "scenarios",
+        help="MPKI vs quantum and vs tenant count across BTB styles and ASID modes",
+    )
+    sweep_scenarios.add_argument(
+        "--preset",
+        action="append",
+        dest="presets",
+        metavar="NAME",
+        help="scenario preset to sweep (repeatable; default: every registered preset)",
+    )
+    _add_engine_arguments(sweep_scenarios)
+    sweep_scenarios.add_argument(
+        "--quanta",
+        help="comma-separated quantum lengths in instructions (default: 1024..16384)",
+    )
+    sweep_scenarios.add_argument(
+        "--tenant-counts",
+        dest="tenant_counts",
+        help="comma-separated tenant counts (default: 1..len(preset tenants))",
+    )
+    sweep_scenarios.add_argument(
+        "--styles",
+        help="comma-separated BTB styles (conventional,rbtb,pdede,btbx,ideal; "
+        "default: conventional,btbx)",
+    )
+    sweep_scenarios.add_argument(
+        "--asid-modes",
+        dest="asid_modes",
+        help="comma-separated ASID modes (flush,tagged,partitioned; default: all three)",
+    )
+    sweep_scenarios.add_argument(
+        "--budget-kib",
+        dest="budget_kib",
+        type=float,
+        default=None,
+        help="BTB storage budget in KiB (default: the paper's 14.5)",
+    )
+    sweep_scenarios.add_argument("--json", dest="json_path", help="dump the raw result as JSON")
+    sweep_scenarios.add_argument("--csv", dest="csv_path", help="dump flat per-point rows as CSV")
 
     cache_parser = sub.add_parser("cache", help="inspect or prune the on-disk result cache")
     cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
@@ -242,11 +290,12 @@ def run_scenario_command(args: argparse.Namespace, parser: argparse.ArgumentPars
         engine = make_engine(workers=args.workers, cache_dir=args.cache_dir)
     except OSError as exc:
         parser.error(f"cannot use cache directory {args.cache_dir!r}: {exc}")
-    asid_modes: List[ASIDMode] = (
-        [ASIDMode.FLUSH, ASIDMode.TAGGED]
-        if args.asid_mode == "both"
-        else [ASIDMode(args.asid_mode)]
-    )
+    if args.asid_mode == "all":
+        asid_modes: List[ASIDMode] = list(scenario_study.STUDY_ASID_MODES)
+    elif args.asid_mode == "both":
+        asid_modes = [ASIDMode.FLUSH, ASIDMode.TAGGED]
+    else:
+        asid_modes = [ASIDMode(args.asid_mode)]
     scale = resolve_scale(args.scale)
     result = scenario_study.run(
         scale, scenarios=[args.scenario], asid_modes=asid_modes, engine=engine
@@ -259,8 +308,106 @@ def run_scenario_command(args: argparse.Namespace, parser: argparse.ArgumentPars
     return 0
 
 
+def _parse_int_list(text: str, flag: str, parser: argparse.ArgumentParser) -> List[int]:
+    """Parse a comma-separated list of positive integers or parser.error out."""
+    values: List[int] = []
+    for token in text.split(","):
+        token = token.strip()
+        try:
+            value = int(token)
+        except ValueError:
+            parser.error(f"{flag} expects comma-separated integers, got {token!r}")
+        if value < 1:
+            parser.error(f"{flag} values must be positive, got {value}")
+        values.append(value)
+    return values
+
+
+def run_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Handle ``sweep scenarios``."""
+    from repro.common.config import BTBStyle
+    from repro.common.errors import ConfigurationError
+    from repro.experiments import scenario_sweep
+    from repro.experiments.config import DEFAULT_BUDGET_KIB
+    from repro.scenarios.presets import get_scenario
+
+    presets = args.presets
+    if presets:
+        for name in presets:
+            try:
+                get_scenario(name)
+            except ConfigurationError as exc:
+                parser.error(str(exc))
+
+    quanta = (
+        _parse_int_list(args.quanta, "--quanta", parser)
+        if args.quanta
+        else scenario_sweep.DEFAULT_QUANTA
+    )
+    tenant_counts = (
+        _parse_int_list(args.tenant_counts, "--tenant-counts", parser)
+        if args.tenant_counts
+        else None
+    )
+    if args.styles:
+        try:
+            styles = [BTBStyle(token.strip()) for token in args.styles.split(",")]
+        except ValueError as exc:
+            parser.error(f"--styles: {exc}")
+    else:
+        styles = list(scenario_sweep.SWEEP_STYLES)
+    if args.asid_modes:
+        try:
+            asid_modes = [ASIDMode(token.strip()) for token in args.asid_modes.split(",")]
+        except ValueError as exc:
+            parser.error(f"--asid-modes: {exc}")
+    else:
+        asid_modes = list(scenario_sweep.SWEEP_ASID_MODES)
+
+    if args.budget_kib is not None and args.budget_kib <= 0:
+        parser.error(f"--budget-kib must be positive, got {args.budget_kib}")
+
+    try:
+        engine = make_engine(workers=args.workers, cache_dir=args.cache_dir)
+    except OSError as exc:
+        parser.error(f"cannot use cache directory {args.cache_dir!r}: {exc}")
+    result = scenario_sweep.run(
+        resolve_scale(args.scale),
+        budget_kib=args.budget_kib if args.budget_kib is not None else DEFAULT_BUDGET_KIB,
+        presets=presets,
+        styles=styles,
+        asid_modes=asid_modes,
+        quanta=quanta,
+        tenant_counts=tenant_counts,
+        engine=engine,
+    )
+    print(scenario_sweep.format_report(result))
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, default=str)
+        print(f"\n(raw result written to {args.json_path})")
+    if args.csv_path:
+        scenario_sweep.write_csv(result, args.csv_path)
+        print(f"(per-point CSV written to {args.csv_path})")
+    return 0
+
+
 def run_cache_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
-    """Handle ``cache stats`` and ``cache prune``."""
+    """Handle ``cache stats`` and ``cache prune``.
+
+    A cache directory that does not exist is an empty cache, not an error:
+    report that and exit 0 without creating the directory as a side effect
+    (``ResultCache`` would, which surprises ``stats`` users probing a path).
+    """
+    import os
+
+    if not os.path.isdir(args.cache_dir):
+        if args.cache_command == "prune":
+            print(f"pruned 0 entries (cache directory {args.cache_dir} does not exist)")
+        else:
+            print(f"cache directory : {args.cache_dir}")
+            print("entries         : 0  (directory does not exist; nothing cached yet)")
+        return 0
     try:
         cache = ResultCache(args.cache_dir)
     except OSError as exc:
@@ -300,6 +447,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "scenario":
         return run_scenario_command(args, parser)
+
+    if args.command == "sweep":
+        return run_sweep_command(args, parser)
 
     if args.command == "cache":
         return run_cache_command(args, parser)

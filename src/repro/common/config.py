@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.common.bitutils import is_power_of_two
 from repro.common.errors import ConfigurationError
@@ -40,15 +40,77 @@ class ASIDMode(enum.Enum):
     different address space is scheduled in (the conservative hardware
     baseline).  ``TAGGED`` retains everything: BTB entries are tagged with the
     address-space identifier so tenants share capacity without false cross-ASID
-    hits, and the RAS is checkpointed per ASID.  With no context switches the
-    two modes are indistinguishable.
+    hits, and the RAS is checkpointed per ASID.  ``PARTITIONED`` retains like
+    ``TAGGED`` but additionally set-partitions every BTB's capacity among the
+    tenants (weight-proportionally), so tenants can neither hit on nor evict
+    each other's entries -- isolating cross-tenant *pollution* from the
+    *cold-start* misses that ``FLUSH`` vs ``TAGGED`` exposes.  With no context
+    switches and a single tenant all three modes are indistinguishable.
     """
 
     FLUSH = "flush"
     TAGGED = "tagged"
+    PARTITIONED = "partitioned"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+def require_positive_int(value: object, what: str) -> int:
+    """Return ``value`` if it is a positive ``int``, else raise naming ``what``.
+
+    Rejects ``bool`` (a subclass of ``int``) and floats rather than silently
+    truncating them: scheduling quanta, tenant weights and partition maps all
+    feed exact integer arithmetic.
+    """
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ConfigurationError(f"{what} must be a positive integer, got {value!r}")
+    return value
+
+
+def validate_partition_weights(weights: "Sequence[int]") -> tuple[int, ...]:
+    """Validate a per-tenant capacity-partition map (a tuple of weights).
+
+    Weights must be positive integers; they are the scheduling weights of the
+    scenario's tenants and determine each tenant's share of every partitioned
+    BTB's sets.  Raises :class:`ConfigurationError` naming the offending
+    entry.
+    """
+    if weights is None or len(weights) == 0:
+        raise ConfigurationError("partition map needs at least one tenant weight")
+    for position, weight in enumerate(weights):
+        require_positive_int(weight, f"partition weight #{position}")
+    return tuple(weights)
+
+
+def partition_set_counts(num_sets: int, weights: "Sequence[int]") -> list[int]:
+    """Apportion ``num_sets`` BTB sets among tenants proportionally to ``weights``.
+
+    Every tenant receives at least one set; the remainder is distributed by
+    largest fractional share (deterministic tie-break on weight, then on the
+    earlier tenant), so the counts always sum to exactly ``num_sets``.  Raises
+    :class:`ConfigurationError` when the structure has fewer sets than tenants.
+    """
+    weights = validate_partition_weights(weights)
+    tenants = len(weights)
+    if num_sets < tenants:
+        raise ConfigurationError(
+            f"cannot partition {num_sets} set(s) among {tenants} tenants "
+            "(each partition needs at least one set)"
+        )
+    spare = num_sets - tenants
+    total = sum(weights)
+    shares = [spare * weight / total for weight in weights]
+    counts = [1 + int(share) for share in shares]
+    leftover = num_sets - sum(counts)
+    by_remainder = sorted(
+        range(tenants),
+        key=lambda i: (shares[i] - int(shares[i]), weights[i], -i),
+        reverse=True,
+    )
+    for index in by_remainder[:leftover]:
+        counts[index] += 1
+    return counts
 
 
 class ISAStyle(enum.Enum):

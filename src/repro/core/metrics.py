@@ -114,6 +114,9 @@ class ScenarioResult:
     context_switches: int
     aggregate: SimulationResult
     per_tenant: Dict[str, SimulationResult] = field(default_factory=dict)
+    #: Sets each tenant received under ``ASIDMode.PARTITIONED`` (tenant name ->
+    #: set count, in scheduling order); ``None`` when capacity was shared.
+    partition_sets: Dict[str, int] | None = None
 
     @property
     def tenant_names(self) -> list[str]:
@@ -126,6 +129,7 @@ class ScenarioResult:
             "scenario": self.scenario,
             "asid_mode": self.asid_mode,
             "context_switches": self.context_switches,
+            "partition_sets": self.partition_sets,
             "aggregate": self.aggregate.to_dict(),
             "per_tenant": {name: result.to_dict() for name, result in self.per_tenant.items()},
         }

@@ -46,7 +46,9 @@ from repro.traces.trace import Trace
 #: Bump when the payload layout or simulation semantics change: stale disk
 #: cache entries from an older format then miss instead of corrupting runs.
 #: v2: scenario jobs (multi-tenant payloads carry per-tenant results).
-CACHE_FORMAT_VERSION = 2
+#: v3: partitioned ASID mode (scenario payloads carry partition_sets; BTB set
+#: indexing gained the partition remap, which shifts some aliasing patterns).
+CACHE_FORMAT_VERSION = 3
 
 #: SimulationResult fields carried through the payload (everything but stats).
 _RESULT_FIELDS = (
@@ -244,6 +246,7 @@ def _execute_scenario_job(job: ScenarioJob,
             "scenario": scenario_result.scenario,
             "asid_mode": scenario_result.asid_mode,
             "context_switches": scenario_result.context_switches,
+            "partition_sets": scenario_result.partition_sets,
             "per_tenant": {
                 name: _result_to_payload(result)
                 for name, result in scenario_result.per_tenant.items()
@@ -263,6 +266,7 @@ def _payload_to_scenario(payload: Mapping[str, object]) -> ScenarioResult:
             name: _payload_to_result(tenant)
             for name, tenant in scenario["per_tenant"].items()
         },
+        partition_sets=scenario.get("partition_sets"),
     )
 
 

@@ -8,6 +8,9 @@ Questions this answers that the paper's single-trace evaluation cannot:
 * how much MPKI does timeslicing add over the solo baseline?
 * does ASID-tagged retention beat flush-on-switch, and for which tenants?
 * does the BTB-X > Conv-BTB ordering hold when capacity is shared?
+* is a tenant's damage cross-tenant pollution or its own cold-start misses
+  (tagged vs partitioned-capacity retention)?
+
 """
 
 from __future__ import annotations
@@ -23,8 +26,12 @@ from repro.scenarios.presets import scenario_names
 #: Organizations compared in the scenario study.
 STUDY_STYLES: tuple[BTBStyle, ...] = (BTBStyle.CONVENTIONAL, BTBStyle.BTBX)
 
-#: Both context-switch policies.
-STUDY_ASID_MODES: tuple[ASIDMode, ...] = (ASIDMode.FLUSH, ASIDMode.TAGGED)
+#: All three context-switch policies (flush, tagged, partitioned-capacity).
+STUDY_ASID_MODES: tuple[ASIDMode, ...] = (
+    ASIDMode.FLUSH,
+    ASIDMode.TAGGED,
+    ASIDMode.PARTITIONED,
+)
 
 
 def scenario_jobs(

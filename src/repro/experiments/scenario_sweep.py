@@ -1,0 +1,278 @@
+"""Scenario sweeps: MPKI versus timeslice length and versus tenant count.
+
+This is the consolidation analogue of Figure 11's budget sweep.  Where fig11
+asks "how does each organization degrade as *storage* shrinks?", this driver
+asks "how does each organization degrade as *scheduling pressure* grows?"
+along two axes:
+
+* **quantum sweep** -- shorter scheduling quanta mean more context switches
+  per kilo-instruction, so flush-on-switch pays more cold misses while tagged
+  and partitioned retention amortize them (MPKI-vs-timeslice curves);
+* **tenant-count sweep** -- more tenants sharing one BTB means less effective
+  capacity each, so the retention modes separate: ``tagged`` shows cold-start
+  plus cross-tenant pollution, ``partitioned`` shows cold-start only (its set
+  slices are private), and the gap between them *is* the pollution.
+
+Every (preset x axis-value x organization x ASID-mode) cell is an ordinary
+cacheable :class:`~repro.experiments.engine.ScenarioJob`; the whole grid is
+submitted to the pooled engine in one pass, so sweeps parallelize and memoize
+exactly like the figure grids (and share cache cells with
+:mod:`~repro.experiments.scenario_study` wherever the grids overlap).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.config import ASIDMode, BTBStyle, require_positive_int
+from repro.experiments.config import DEFAULT_BUDGET_KIB, ExperimentScale, QUICK_SCALE
+from repro.experiments.engine import ExperimentEngine, ScenarioJob, get_active_engine
+from repro.experiments.runner import style_label
+from repro.scenarios.presets import get_scenario, scenario_names
+from repro.scenarios.spec import ScenarioSpec, TenantSpec
+
+#: Organizations swept by default (the paper's baseline and its proposal).
+SWEEP_STYLES: Tuple[BTBStyle, ...] = (BTBStyle.CONVENTIONAL, BTBStyle.BTBX)
+
+#: All three context-switch policies, so pollution (tagged vs partitioned)
+#: and cold-start (flush vs tagged) read off the same plot.
+SWEEP_ASID_MODES: Tuple[ASIDMode, ...] = (
+    ASIDMode.FLUSH,
+    ASIDMode.TAGGED,
+    ASIDMode.PARTITIONED,
+)
+
+#: Default timeslice lengths (instructions per scheduling turn).
+DEFAULT_QUANTA: Tuple[int, ...] = (1_024, 2_048, 4_096, 8_192, 16_384)
+
+#: Axis labels used in results, CSV rows and reports.
+QUANTUM_AXIS = "quantum_instructions"
+TENANT_AXIS = "tenant_count"
+
+
+# -- spec derivation ----------------------------------------------------------
+
+
+def quantum_variant(spec: ScenarioSpec, quantum: int) -> ScenarioSpec:
+    """``spec`` rescheduled with a ``quantum``-instruction timeslice.
+
+    The preset's own quantum returns the preset unchanged, so that sweep cell
+    is cache-identical to the plain :mod:`scenario_study` cell.
+    """
+    if quantum == spec.quantum_instructions:
+        return spec
+    return replace(spec, name=f"{spec.name}@q{quantum}", quantum_instructions=quantum)
+
+
+def tenant_count_variant(spec: ScenarioSpec, count: int) -> ScenarioSpec:
+    """``spec`` resized to exactly ``count`` tenants.
+
+    Counts up to the preset's tenant list take a prefix (so ``count=1`` is the
+    first tenant alone -- the solo anchor of the curve).  Larger counts cycle
+    the preset's tenants with ``~N`` suffixed names, modelling more instances
+    of the same service mix sharing the machine.  The preset's own size
+    returns the preset unchanged (cache-identical to the plain cell).
+    """
+    require_positive_int(count, "tenant count")
+    base = spec.tenants
+    if count == len(base):
+        return spec
+    tenants: List[TenantSpec] = []
+    for position in range(count):
+        template = base[position % len(base)]
+        lap = position // len(base)
+        name = template.name if lap == 0 else f"{template.name}~{lap + 1}"
+        tenants.append(TenantSpec(name, template.workload, template.weight))
+    return replace(spec, name=f"{spec.name}@t{count}", tenants=tuple(tenants))
+
+
+# -- the sweep ----------------------------------------------------------------
+
+
+def _config_key(style: BTBStyle, mode: ASIDMode) -> str:
+    return f"{style_label(style)}/{mode.value}"
+
+
+def run(
+    scale: ExperimentScale = QUICK_SCALE,
+    budget_kib: float = DEFAULT_BUDGET_KIB,
+    presets: Sequence[str] | None = None,
+    styles: Sequence[BTBStyle] = SWEEP_STYLES,
+    asid_modes: Sequence[ASIDMode] = SWEEP_ASID_MODES,
+    quanta: Sequence[int] = DEFAULT_QUANTA,
+    tenant_counts: Sequence[int] | None = None,
+    engine: ExperimentEngine | None = None,
+) -> Dict[str, object]:
+    """Run both sweep axes for every preset through one pooled engine pass.
+
+    ``tenant_counts=None`` sweeps 1..len(tenants) per preset.  Returns a
+    result dict with ``quantum_sweep`` and ``tenant_sweep`` sections, each
+    mapping preset -> {"axis": [...], "curves": {"<style>/<mode>": ...}}; a
+    curve carries aligned ``aggregate_mpki`` / ``aggregate_ipc`` /
+    ``context_switches`` / ``partition_sets`` lists plus ``per_tenant_mpki``
+    (one {tenant: mpki} dict per axis point).
+    """
+    engine = engine or get_active_engine()
+    names = list(presets) if presets is not None else scenario_names()
+    # A repeated preset would append duplicate points onto the same curves;
+    # repeated axis values would duplicate points within one.
+    names = list(dict.fromkeys(names))
+    quanta = list(dict.fromkeys(quanta))
+    if tenant_counts is not None:
+        tenant_counts = list(dict.fromkeys(tenant_counts))
+
+    # Expand the full (preset x axis x style x mode) grid up front: one
+    # run_jobs() call keeps every worker busy across preset boundaries.
+    cells: List[Tuple[str, str, int, BTBStyle, ASIDMode]] = []
+    jobs: List[ScenarioJob] = []
+    axes: Dict[str, Dict[str, List[int]]] = {QUANTUM_AXIS: {}, TENANT_AXIS: {}}
+    for name in names:
+        spec = get_scenario(name)
+        counts = (
+            list(tenant_counts)
+            if tenant_counts is not None
+            else list(range(1, len(spec.tenants) + 1))
+        )
+        axes[QUANTUM_AXIS][name] = list(quanta)
+        axes[TENANT_AXIS][name] = counts
+        variants = [(QUANTUM_AXIS, value, quantum_variant(spec, value)) for value in quanta]
+        variants += [(TENANT_AXIS, value, tenant_count_variant(spec, value)) for value in counts]
+        for axis, value, variant in variants:
+            for style in styles:
+                for mode in asid_modes:
+                    cells.append((axis, name, value, style, mode))
+                    jobs.append(
+                        ScenarioJob(
+                            scenario=variant.name,
+                            instructions=scale.instructions,
+                            warmup_instructions=scale.warmup_instructions,
+                            style=style,
+                            asid_mode=mode,
+                            fdip_enabled=True,
+                            budget_kib=budget_kib,
+                            spec=variant,
+                        )
+                    )
+    outcomes = engine.run_jobs(jobs)
+
+    sections: Dict[str, Dict[str, Dict[str, object]]] = {QUANTUM_AXIS: {}, TENANT_AXIS: {}}
+    for (axis, preset, _value, style, mode), outcome in zip(cells, outcomes):
+        scenario = outcome.scenario
+        section = sections[axis].setdefault(
+            preset, {"axis": axes[axis][preset], "curves": {}}
+        )
+        curve = section["curves"].setdefault(
+            _config_key(style, mode),
+            {
+                "aggregate_mpki": [],
+                "aggregate_ipc": [],
+                "context_switches": [],
+                "partition_sets": [],
+                "per_tenant_mpki": [],
+            },
+        )
+        curve["aggregate_mpki"].append(scenario.aggregate.btb_mpki)
+        curve["aggregate_ipc"].append(scenario.aggregate.ipc)
+        curve["context_switches"].append(scenario.context_switches)
+        curve["partition_sets"].append(scenario.partition_sets)
+        curve["per_tenant_mpki"].append(
+            {name: result.btb_mpki for name, result in scenario.per_tenant.items()}
+        )
+    return {
+        "experiment": "scenario_sweep",
+        "scale": scale.name,
+        "budget_kib": budget_kib,
+        "instructions": scale.instructions,
+        "presets": names,
+        "styles": [style_label(style) for style in styles],
+        "asid_modes": [mode.value for mode in asid_modes],
+        "quantum_sweep": sections[QUANTUM_AXIS],
+        "tenant_sweep": sections[TENANT_AXIS],
+    }
+
+
+# -- output -------------------------------------------------------------------
+
+#: Column order of the flat CSV form (one row per curve point per tenant,
+#: plus an ``(aggregate)`` row per point).
+CSV_FIELDS = (
+    "sweep",
+    "preset",
+    "axis_value",
+    "style",
+    "asid_mode",
+    "tenant",
+    "btb_mpki",
+    "ipc",
+    "context_switches",
+    "partition_sets",
+)
+
+
+def csv_rows(result: Dict[str, object]) -> List[Dict[str, object]]:
+    """Flatten a sweep result into plot-ready CSV rows (see ``CSV_FIELDS``)."""
+    rows: List[Dict[str, object]] = []
+    for sweep_name, section_key in (("quantum", "quantum_sweep"), ("tenant_count", "tenant_sweep")):
+        for preset, section in result[section_key].items():
+            for config, curve in section["curves"].items():
+                style, asid_mode = config.split("/", 1)
+                for position, value in enumerate(section["axis"]):
+                    partitions = curve["partition_sets"][position]
+                    base = {
+                        "sweep": sweep_name,
+                        "preset": preset,
+                        "axis_value": value,
+                        "style": style,
+                        "asid_mode": asid_mode,
+                        "context_switches": curve["context_switches"][position],
+                        "partition_sets": "" if partitions is None else (
+                            ";".join(f"{t}={n}" for t, n in partitions.items())
+                        ),
+                    }
+                    rows.append(
+                        {
+                            **base,
+                            "tenant": "(aggregate)",
+                            "btb_mpki": curve["aggregate_mpki"][position],
+                            "ipc": curve["aggregate_ipc"][position],
+                        }
+                    )
+                    for tenant, mpki in curve["per_tenant_mpki"][position].items():
+                        rows.append({**base, "tenant": tenant, "btb_mpki": mpki, "ipc": ""})
+    return rows
+
+
+def write_csv(result: Dict[str, object], path: str) -> None:
+    """Write the flattened sweep to ``path`` as CSV."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(CSV_FIELDS))
+        writer.writeheader()
+        writer.writerows(csv_rows(result))
+
+
+def format_report(result: Dict[str, object]) -> str:
+    """Text rendering of both sweep axes (aggregate MPKI curves)."""
+    lines = [
+        f"Scenario sweep at {result['budget_kib']} KB, "
+        f"{result['instructions']} instructions per cell "
+        f"(styles: {', '.join(result['styles'])}; "
+        f"asid modes: {', '.join(result['asid_modes'])})",
+    ]
+    for title, section_key, unit in (
+        ("MPKI vs scheduling quantum", "quantum_sweep", "instr"),
+        ("MPKI vs tenant count", "tenant_sweep", "tenants"),
+    ):
+        lines.append("")
+        lines.append(f"  {title}:")
+        for preset, section in result[section_key].items():
+            axis = section["axis"]
+            lines.append(f"    {preset} ({unit}: {', '.join(str(v) for v in axis)})")
+            for config, curve in section["curves"].items():
+                series = " ".join(f"{value:8.2f}" for value in curve["aggregate_mpki"])
+                switches = curve["context_switches"]
+                lines.append(
+                    f"      {config:<24} {series}   (switches {switches[0]}..{switches[-1]})"
+                )
+    return "\n".join(lines)

@@ -105,12 +105,15 @@ class BranchPredictionUnit:
         the BTB switches its active tag color, the RAS is checkpointed per
         ASID, and the direction predictor keeps its (untagged, shared) tables
         -- cross-ASID aliasing in direction tables is benign and matches real
-        cores, which tag BTBs but not weight tables.
+        cores, which tag BTBs but not weight tables.  ``PARTITIONED`` retains
+        exactly like ``TAGGED`` -- the difference lives entirely in the BTB's
+        set indexing (see :meth:`~repro.btb.base.BTBBase.configure_partitions`),
+        which keys off the same active-ASID switch.
         """
         if asid == self.active_asid:
             return
         self.stats.inc("context_switches")
-        if self.config.asid_mode is ASIDMode.TAGGED:
+        if self.config.asid_mode is not ASIDMode.FLUSH:
             outgoing = self.ras.snapshot()
             checkpoints = self._ras_checkpoints
             checkpoints.pop(self.active_asid, None)

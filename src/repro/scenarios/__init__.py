@@ -16,8 +16,10 @@ This package opens that axis:
   bridge from a spec to a :class:`~repro.core.metrics.ScenarioResult`.
 
 Context-switch behavior is governed by the machine's
-:class:`~repro.common.config.ASIDMode` (flush everything, or retain via
-ASID-tagged BTB entries and checkpointed RAS state).
+:class:`~repro.common.config.ASIDMode`: flush everything, retain via
+ASID-tagged BTB entries and checkpointed RAS state, or retain with the BTB's
+capacity set-partitioned among the tenants (weight-proportionally), which
+separates cross-tenant pollution from cold-start misses.
 """
 
 from repro.scenarios.compose import TraceComposer

@@ -48,6 +48,12 @@ def execute_scenario(
     tenant-count times the generation work, each trace only partially consumed
     -- is acceptable at this model's scales.  The BTB is sized for
     ``budget_kib`` exactly like every single-trace experiment cell.
+
+    Under ``ASIDMode.PARTITIONED`` the BTB's sets are divided among the
+    tenants before the run, proportionally to the spec's scheduling weights
+    (see :meth:`~repro.scenarios.spec.ScenarioSpec.partition_weights`); the
+    resulting per-tenant set counts are reported on the
+    :class:`~repro.core.metrics.ScenarioResult`.
     """
     spec = resolve_scenario(scenario)
     store = trace_store or default_store()
@@ -60,9 +66,15 @@ def execute_scenario(
         asid_mode=asid_mode,
     )
     btb = make_btb_for_budget(style, budget_kib, isa=composer.isa)
+    if asid_mode is ASIDMode.PARTITIONED:
+        btb.configure_partitions(spec.partition_weights)
     simulator = FrontEndSimulator(machine, btb=btb)
-    return simulator.run_scenario(
+    result = simulator.run_scenario(
         composer.stream(instructions),
         warmup_instructions=warmup_instructions,
         scenario_name=spec.name,
     )
+    counts = btb.partition_set_counts()
+    if counts is not None:
+        result.partition_sets = dict(zip(spec.tenant_names, counts))
+    return result

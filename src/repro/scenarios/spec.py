@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from repro.common.config import require_positive_int
 from repro.common.errors import ConfigurationError
 
 #: Scheduler policies understood by the composer.
@@ -44,8 +45,7 @@ class TenantSpec:
             raise ConfigurationError("tenant needs a name")
         if not self.workload:
             raise ConfigurationError(f"tenant {self.name!r} needs a workload")
-        if self.weight < 1:
-            raise ConfigurationError(f"tenant {self.name!r} weight must be >= 1")
+        require_positive_int(self.weight, f"tenant {self.name!r}: weight")
 
 
 @dataclass(frozen=True)
@@ -65,8 +65,10 @@ class ScenarioSpec:
         names = [tenant.name for tenant in self.tenants]
         if len(set(names)) != len(names):
             raise ConfigurationError(f"scenario {self.name!r} has duplicate tenant names")
-        if self.quantum_instructions < 1:
-            raise ConfigurationError("scheduling quantum must be at least one instruction")
+        require_positive_int(
+            self.quantum_instructions,
+            f"scenario {self.name!r}: quantum_instructions (per scheduling turn)",
+        )
         if self.policy not in POLICIES:
             raise ConfigurationError(
                 f"unknown scheduler policy {self.policy!r}; expected one of {POLICIES}"
@@ -86,6 +88,16 @@ class ScenarioSpec:
     def workloads(self) -> Tuple[str, ...]:
         """Workload of each tenant, in scheduling order (may repeat)."""
         return tuple(tenant.workload for tenant in self.tenants)
+
+    @property
+    def partition_weights(self) -> Tuple[int, ...]:
+        """Per-tenant capacity shares for ``ASIDMode.PARTITIONED`` BTBs.
+
+        The scheduling weights double as the partition map: a tenant that gets
+        more CPU time also gets a proportionally larger slice of every
+        partitioned BTB's sets.
+        """
+        return tuple(tenant.weight for tenant in self.tenants)
 
     def turn_quantum(self, tenant: TenantSpec) -> int:
         """Instructions ``tenant`` runs per scheduling turn under this policy."""

@@ -145,6 +145,60 @@ class TestScenarioRun:
         assert "unknown scenario" in capsys.readouterr().err
 
 
+class TestSweepCommand:
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "scenarios", "--preset", "consolidated_server",
+             "--preset", "noisy_neighbor", "--quanta", "1024,4096",
+             "--tenant-counts", "1,2", "--styles", "btbx",
+             "--asid-modes", "flush,partitioned", "--budget-kib", "7.25",
+             "--json", "sweep.json", "--csv", "sweep.csv"]
+        )
+        assert args.command == "sweep"
+        assert args.sweep_command == "scenarios"
+        assert args.presets == ["consolidated_server", "noisy_neighbor"]
+        assert args.quanta == "1024,4096"
+        assert args.tenant_counts == "1,2"
+        assert args.budget_kib == 7.25
+        assert args.json_path == "sweep.json"
+        assert args.csv_path == "sweep.csv"
+
+    def test_unknown_preset_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "scenarios", "--preset", "no_such_preset"])
+        assert excinfo.value.code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_quanta_exit_2(self, capsys):
+        for flags in (["--quanta", "1024,banana"], ["--quanta", "0"],
+                      ["--tenant-counts", "-2"], ["--styles", "warp-drive"],
+                      ["--asid-modes", "lukewarm"], ["--budget-kib", "-1"],
+                      ["--budget-kib", "0"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["sweep", "scenarios", "--preset", "solo_baseline"] + flags)
+            assert excinfo.value.code == 2
+
+    def test_sweep_end_to_end_writes_json_and_csv(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        json_path, csv_path = tmp_path / "sweep.json", tmp_path / "sweep.csv"
+        exit_code = main(
+            ["sweep", "scenarios", "--preset", "solo_baseline",
+             "--quanta", "1024,4096", "--tenant-counts", "1",
+             "--styles", "btbx", "--asid-modes", "flush,tagged",
+             "--json", str(json_path), "--csv", str(csv_path)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "MPKI vs scheduling quantum" in out
+        record = json.loads(json_path.read_text())
+        assert record["experiment"] == "scenario_sweep"
+        assert record["quantum_sweep"]["solo_baseline"]["axis"] == [1024, 4096]
+        assert set(record["quantum_sweep"]["solo_baseline"]["curves"]) == {
+            "BTB-X/flush", "BTB-X/tagged"
+        }
+        assert csv_path.read_text().startswith("sweep,preset,axis_value")
+
+
 class TestCacheCommands:
     def test_stats_reports_entries_and_bytes(self, tmp_path, capsys):
         expected = _seed_cache(tmp_path)
@@ -154,8 +208,30 @@ class TestCacheCommands:
         assert "total bytes" in out
 
     def test_stats_on_empty_directory(self, tmp_path, capsys):
-        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "fresh")]) == 0
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["cache", "stats", "--cache-dir", str(empty)]) == 0
         assert "entries         : 0" in capsys.readouterr().out
+
+    def test_stats_on_nonexistent_directory_is_friendly_and_side_effect_free(
+        self, tmp_path, capsys
+    ):
+        missing = tmp_path / "never" / "created"
+        assert main(["cache", "stats", "--cache-dir", str(missing)]) == 0
+        out = capsys.readouterr().out
+        assert "entries         : 0" in out
+        assert "does not exist" in out
+        # Probing a path must not create the directory as a side effect.
+        assert not missing.exists() and not missing.parent.exists()
+
+    def test_prune_on_nonexistent_directory_is_friendly_and_side_effect_free(
+        self, tmp_path, capsys
+    ):
+        missing = tmp_path / "never"
+        assert main(["cache", "prune", "--cache-dir", str(missing)]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 0 entries" in out and "does not exist" in out
+        assert not missing.exists()
 
     def test_prune_by_age_keeps_young_entries(self, tmp_path, capsys):
         expected = _seed_cache(tmp_path)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.common.config import (
+    ASIDMode,
     BTBConfig,
     BTBStyle,
     BranchPredictorConfig,
@@ -15,7 +16,9 @@ from repro.common.config import (
     MachineConfig,
     SimulationConfig,
     default_machine_config,
+    partition_set_counts,
     summarize_machine,
+    validate_partition_weights,
 )
 from repro.common.errors import ConfigurationError
 
@@ -92,6 +95,38 @@ class TestMachineConfig:
         assert "6-wide" in summary["fetch"]
         assert "hashed_perceptron" in summary["branch_predictor"]
         assert "32KB" in summary["l1i"]
+
+
+class TestPartitionMaps:
+    def test_all_three_asid_modes_exist(self):
+        assert {mode.value for mode in ASIDMode} == {"flush", "tagged", "partitioned"}
+
+    def test_valid_weights_pass_through_as_tuple(self):
+        assert validate_partition_weights([2, 1, 1]) == (2, 1, 1)
+
+    @pytest.mark.parametrize("weights", [(), None, (0,), (-1, 1), (1.5, 1), (True, 1), ("2", 1)])
+    def test_bad_weights_rejected(self, weights):
+        with pytest.raises(ConfigurationError):
+            validate_partition_weights(weights)
+
+    def test_counts_sum_exactly_and_respect_proportions(self):
+        counts = partition_set_counts(64, (4, 1, 1))
+        assert sum(counts) == 64
+        assert counts[0] > counts[1] == counts[2] >= 1
+        assert partition_set_counts(64, (1, 1, 1, 1)) == [16, 16, 16, 16]
+
+    def test_every_tenant_gets_at_least_one_set(self):
+        counts = partition_set_counts(5, (100, 1, 1, 1, 1))
+        assert sum(counts) == 5
+        assert min(counts) == 1
+
+    def test_remainder_distribution_is_deterministic(self):
+        assert partition_set_counts(7, (1, 1, 1)) == partition_set_counts(7, (1, 1, 1))
+        assert sum(partition_set_counts(7, (1, 1, 1))) == 7
+
+    def test_more_tenants_than_sets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_set_counts(2, (1, 1, 1))
 
 
 class TestSimulationConfig:

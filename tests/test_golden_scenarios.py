@@ -1,0 +1,166 @@
+"""Golden-result regression suite for the scenario subsystem.
+
+Pins **bit-exact** aggregate and per-tenant results for every scenario preset
+x {flush, tagged, partitioned} x {Conv-BTB, BTB-X} at a tiny fixed scale, so
+any change that shifts numbers -- composer scheduling order, ASID tagging or
+coloring, partition apportionment, trace generation, timing attribution --
+fails *loudly* here instead of silently drifting the paper's consolidated
+curves.  The traces behind the fixture are not committed files: workload
+generation is seeded and deterministic, so ``(workload, instructions)`` fully
+reproduces them on any machine and Python version.
+
+When a change is *intentionally* result-altering, regenerate the fixture and
+commit it together with the change (see TESTING.md)::
+
+    PYTHONPATH=src python tests/test_golden_scenarios.py regenerate
+
+The suite is part of the default tier-1 invocation (``pytest -x -q``); the
+``golden`` marker only exists so it can be selected or skipped explicitly
+(``-m golden`` / ``-m "not golden"``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.common.config import ASIDMode, BTBStyle
+from repro.scenarios.presets import PRESET_NAMES
+from repro.scenarios.run import execute_scenario
+
+FIXTURE_PATH = pathlib.Path(__file__).parent / "golden" / "scenario_golden.json"
+
+#: The pinned grid.  Deliberately small but complete: every preset, every
+#: ASID mode, the paper's baseline and its proposal.
+GOLDEN_STYLES = (BTBStyle.CONVENTIONAL, BTBStyle.BTBX)
+GOLDEN_ASID_MODES = (ASIDMode.FLUSH, ASIDMode.TAGGED, ASIDMode.PARTITIONED)
+GOLDEN_INSTRUCTIONS = 8_000
+GOLDEN_WARMUP = 2_000
+GOLDEN_BUDGET_KIB = 14.5
+
+#: Aggregate counters pinned bit-exactly (ints and one exact float).
+AGGREGATE_FIELDS = (
+    "instructions",
+    "btb_misses_taken",
+    "branches",
+    "taken_branches",
+    "execute_flushes",
+    "decode_resteers",
+    "direction_mispredictions",
+    "target_mispredictions",
+    "l1i_misses",
+    "cycles",
+)
+
+#: Per-tenant counters pinned bit-exactly.
+TENANT_FIELDS = ("instructions", "btb_misses_taken", "branches", "cycles")
+
+
+def golden_cells() -> list[tuple[str, BTBStyle, ASIDMode]]:
+    """The (preset, style, asid_mode) grid the fixture must cover exactly."""
+    return [
+        (preset, style, mode)
+        for preset in PRESET_NAMES
+        for style in GOLDEN_STYLES
+        for mode in GOLDEN_ASID_MODES
+    ]
+
+
+def cell_key(preset: str, style: BTBStyle, mode: ASIDMode) -> str:
+    return f"{preset}/{style.value}/{mode.value}"
+
+
+def compute_cell(preset: str, style: BTBStyle, mode: ASIDMode) -> dict:
+    """Simulate one golden cell and distill it to the pinned counters."""
+    result = execute_scenario(
+        preset,
+        style=style,
+        asid_mode=mode,
+        budget_kib=GOLDEN_BUDGET_KIB,
+        instructions=GOLDEN_INSTRUCTIONS,
+        warmup_instructions=GOLDEN_WARMUP,
+    )
+    return {
+        "context_switches": result.context_switches,
+        "partition_sets": result.partition_sets,
+        "aggregate": {name: getattr(result.aggregate, name) for name in AGGREGATE_FIELDS},
+        "aggregate_btb_mpki": result.aggregate.btb_mpki,
+        "per_tenant": {
+            tenant: {name: getattr(tenant_result, name) for name in TENANT_FIELDS}
+            for tenant, tenant_result in result.per_tenant.items()
+        },
+    }
+
+
+def load_fixture() -> dict:
+    if not FIXTURE_PATH.exists():  # pragma: no cover - repo invariant
+        pytest.fail(
+            f"golden fixture {FIXTURE_PATH} is missing; regenerate it with "
+            "'PYTHONPATH=src python tests/test_golden_scenarios.py regenerate'"
+        )
+    return json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def fixture() -> dict:
+    return load_fixture()
+
+
+@pytest.mark.golden
+def test_fixture_matches_the_current_grid(fixture):
+    """Adding/removing presets, styles or modes must force a regeneration."""
+    expected = {cell_key(*cell) for cell in golden_cells()}
+    assert set(fixture["cells"]) == expected, (
+        "golden fixture covers a different grid than the code; regenerate it "
+        "(see TESTING.md) and review the diff"
+    )
+    assert fixture["instructions"] == GOLDEN_INSTRUCTIONS
+    assert fixture["warmup_instructions"] == GOLDEN_WARMUP
+    assert fixture["budget_kib"] == GOLDEN_BUDGET_KIB
+
+
+@pytest.mark.golden
+@pytest.mark.parametrize(
+    "preset,style,mode",
+    golden_cells(),
+    ids=[cell_key(*cell) for cell in golden_cells()],
+)
+def test_golden_cell_is_bit_exact(fixture, preset, style, mode):
+    pinned = fixture["cells"][cell_key(preset, style, mode)]
+    actual = compute_cell(preset, style, mode)
+    assert actual == pinned, (
+        f"scenario results drifted for {cell_key(preset, style, mode)}; if the "
+        "change is intentional, regenerate tests/golden/scenario_golden.json "
+        "(see TESTING.md) and commit the new fixture with your change"
+    )
+
+
+def regenerate() -> None:  # pragma: no cover - developer tool
+    """Recompute every golden cell and rewrite the fixture."""
+    cells = {}
+    for preset, style, mode in golden_cells():
+        key = cell_key(preset, style, mode)
+        print(f"  {key} ...", flush=True)
+        cells[key] = compute_cell(preset, style, mode)
+    fixture = {
+        "format": 1,
+        "instructions": GOLDEN_INSTRUCTIONS,
+        "warmup_instructions": GOLDEN_WARMUP,
+        "budget_kib": GOLDEN_BUDGET_KIB,
+        "cells": cells,
+    }
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(json.dumps(fixture, indent=1, sort_keys=True) + "\n",
+                            encoding="utf-8")
+    print(f"wrote {len(cells)} cells to {FIXTURE_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover - developer tool
+    if len(sys.argv) == 2 and sys.argv[1] == "regenerate":
+        regenerate()
+    else:
+        print(__doc__)
+        raise SystemExit(f"usage: {sys.argv[0]} regenerate")

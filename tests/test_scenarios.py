@@ -82,6 +82,25 @@ class TestScenarioSpec:
         with pytest.raises(ConfigurationError):
             TenantSpec("t", "server_001", weight=0)
 
+    @pytest.mark.parametrize("weight", [0, -3, 1.5, 2.0, True, None])
+    def test_non_positive_integer_weights_rejected_naming_the_field(self, weight):
+        with pytest.raises(ConfigurationError, match="weight"):
+            TenantSpec("greedy", "server_001", weight=weight)
+
+    @pytest.mark.parametrize("quantum", [0, -1024, 512.5, 4096.0, False, None])
+    def test_bad_quanta_rejected_naming_the_field(self, quantum):
+        with pytest.raises(ConfigurationError, match="quantum_instructions"):
+            _two_tenant_spec(quantum_instructions=quantum)
+
+    def test_partition_weights_follow_tenant_order(self):
+        spec = _two_tenant_spec(
+            tenants=(
+                TenantSpec("heavy", "server_001", weight=3),
+                TenantSpec("light", "server_009", weight=1),
+            ),
+        )
+        assert spec.partition_weights == (3, 1)
+
     def test_weighted_quantum_scales_with_weight(self):
         spec = _two_tenant_spec(
             tenants=(
@@ -241,12 +260,134 @@ class TestASIDStateManagement:
         simulator.bpu.context_switch(0)
         assert simulator.bpu.btb.lookup(self.branch.pc).hit
 
+    def test_partitioned_mode_retains_btb_across_switches(self):
+        machine = default_machine_config(asid_mode=ASIDMode.PARTITIONED)
+        simulator = FrontEndSimulator(machine)
+        simulator.bpu.btb.configure_partitions((1, 1))
+        simulator.bpu.btb.update(self.branch)
+        simulator.bpu.context_switch(1)
+        assert not simulator.bpu.btb.lookup(self.branch.pc).hit
+        simulator.bpu.context_switch(0)
+        assert simulator.bpu.btb.lookup(self.branch.pc).hit
+
+
+class TestPartitionedCapacity:
+    """Set-partitioned ASID mode: tenants cannot evict each other's entries."""
+
+    def _fill(self, btb, count: int, base_pc: int = 0x500000) -> list[Instruction]:
+        branches = [
+            Instruction.branch(base_pc + 64 * i, BranchType.UNCONDITIONAL, True,
+                               base_pc + 64 * i + 0x400)
+            for i in range(count)
+        ]
+        for branch in branches:
+            btb.update(branch)
+        return branches
+
+    @pytest.mark.parametrize(
+        "make_btb",
+        [
+            lambda: ConventionalBTB(256, associativity=8),
+            lambda: BTBX(256),
+        ],
+    )
+    def test_neighbor_pressure_cannot_evict_partitioned_entries(self, make_btb):
+        btb = make_btb()
+        btb.configure_partitions((1, 1))
+        victims = self._fill(btb, 32, base_pc=0x500000)
+        hits_before = sum(btb.lookup(b.pc).hit for b in victims)
+        # Tenant 1 hammers far more branches than its slice can hold.
+        btb.set_active_asid(1)
+        self._fill(btb, 4 * btb.capacity_entries(), base_pc=0x900000)
+        btb.set_active_asid(0)
+        hits_after = sum(btb.lookup(b.pc).hit for b in victims)
+        assert hits_after == hits_before
+
+    def test_shared_tagged_btb_does_suffer_neighbor_pressure(self):
+        """Contrast case: without partitions the neighbour evicts the victim."""
+        btb = ConventionalBTB(64, associativity=8)
+        victims = self._fill(btb, 32, base_pc=0x500000)
+        btb.set_active_asid(1)
+        self._fill(btb, 4 * btb.capacity_entries(), base_pc=0x900000)
+        btb.set_active_asid(0)
+        hits_after = sum(btb.lookup(b.pc).hit for b in victims)
+        assert hits_after < 32
+
+    def test_partition_counts_follow_weights(self):
+        btb = ConventionalBTB(256, associativity=8)  # 32 sets
+        btb.configure_partitions((4, 1, 1))
+        counts = btb.partition_set_counts()
+        assert sum(counts) == 32
+        assert counts[0] > counts[1] == counts[2] >= 1
+
+    def test_removing_partitions_invalidates_slice_indexed_entries(self):
+        """Going back to shared indexing must not leave slice-indexed entries
+        reachable (or unreachable-but-aliasable) under whole-structure sets."""
+        btb = ConventionalBTB(256, associativity=8)
+        btb.configure_partitions((1, 1))
+        branches = [
+            Instruction.branch(0x500000 + 4 * i, BranchType.UNCONDITIONAL, True,
+                               0x500000 + 4 * i + 0x400)
+            for i in range(16)  # stride of one set: walks the whole 16-set slice
+        ]
+        for branch in branches:
+            btb.update(branch)
+        assert all(btb.lookup(b.pc).hit for b in branches)
+        btb.configure_partitions(None)
+        assert not any(btb.lookup(b.pc).hit for b in branches)
+
+    def test_partitioning_smaller_than_tenant_count_rejected(self):
+        btb = ConventionalBTB(16, associativity=8)  # 2 sets
+        with pytest.raises(ConfigurationError):
+            btb.configure_partitions((1, 1, 1))
+
+    def test_bad_partition_weights_rejected(self):
+        btb = ConventionalBTB(256, associativity=8)
+        for weights in ((), (0,), (-1, 2), (1.5, 1), (True, 1)):
+            with pytest.raises(ConfigurationError):
+                btb.configure_partitions(weights)
+
+    def test_btbx_companion_falls_back_to_sharing_when_too_small(self):
+        btb = BTBX(256, companion_divisor=256)  # 1-entry companion
+        btb.configure_partitions((1, 1))
+        assert btb.partition_set_counts() == [16, 16]
+        assert btb.companion.partition_set_counts() is None
+
+    def test_ideal_btb_accepts_partitions_as_noop(self):
+        btb = IdealBTB()
+        btb.configure_partitions((2, 1))
+        assert btb.partition_set_counts() is None
+        with pytest.raises(ConfigurationError):
+            btb.configure_partitions((0,))
+
+    def test_execute_scenario_reports_weighted_partition_sets(self):
+        result = execute_scenario(
+            "noisy_neighbor",
+            style=BTBStyle.CONVENTIONAL,
+            asid_mode=ASIDMode.PARTITIONED,
+            instructions=12_000,
+            warmup_instructions=3_000,
+        )
+        partitions = result.partition_sets
+        assert set(partitions) == {"noisy", "victim_a", "victim_b"}
+        assert partitions["noisy"] > 2 * partitions["victim_a"]
+        assert partitions["victim_a"] == partitions["victim_b"]
+        # Shared modes report no partition map.
+        shared = execute_scenario(
+            "noisy_neighbor",
+            style=BTBStyle.CONVENTIONAL,
+            asid_mode=ASIDMode.TAGGED,
+            instructions=12_000,
+            warmup_instructions=3_000,
+        )
+        assert shared.partition_sets is None
+
 
 class TestRunScenario:
     def test_solo_baseline_reproduces_single_trace_simulation(self):
         """Acceptance: one tenant, no switches == the plain simulate() path."""
         instructions, warmup = 24_000, 8_000
-        for asid_mode in (ASIDMode.FLUSH, ASIDMode.TAGGED):
+        for asid_mode in (ASIDMode.FLUSH, ASIDMode.TAGGED, ASIDMode.PARTITIONED):
             scenario = execute_scenario(
                 "solo_baseline",
                 style=BTBStyle.BTBX,
@@ -411,9 +552,12 @@ class TestScenarioJobs:
         )
         assert set(result["scenarios"]) == {"solo_baseline", "consolidated_server"}
         cell = result["scenarios"]["consolidated_server"]
-        assert set(cell["configs"]) == {"BTB-X/flush", "BTB-X/tagged"}
+        assert set(cell["configs"]) == {
+            "BTB-X/flush", "BTB-X/tagged", "BTB-X/partitioned"
+        }
         report = scenario_study.format_report(result)
         assert "consolidated_server" in report and "BTB-X/tagged" in report
+        assert "BTB-X/partitioned" in report
 
     def test_rejects_bad_jobs(self):
         with pytest.raises(ConfigurationError):
