@@ -87,6 +87,12 @@ class BTBBase(abc.ABC):
         #: ``(first_set, set_count)`` ranges, one per tenant, or ``None`` when
         #: the whole structure is shared.  See :meth:`configure_partitions`.
         self._partition_ranges: list[tuple[int, int]] | None = None
+        # Duplication accounting: per structure, the distinct raw keys ever
+        # allocated and the distinct (asid, key) pairs.  The gap between the
+        # two is the storage ASID tagging duplicates when tenants share code
+        # (the same branch/page living once per address space).
+        self._alloc_distinct: dict[str, set] = {}
+        self._alloc_tagged: dict[str, set] = {}
 
     # -- mandatory interface ----------------------------------------------
 
@@ -145,13 +151,7 @@ class BTBBase(abc.ABC):
                 self._partition_ranges = None
                 self.invalidate_all()
             return
-        counts = apportion_set_counts(self._partitionable_sets(), weights)
-        ranges: list[tuple[int, int]] = []
-        base = 0
-        for count in counts:
-            ranges.append((base, count))
-            base += count
-        self._partition_ranges = ranges
+        self._partition_ranges = partition_ranges(self._partitionable_sets(), weights)
         self.invalidate_all()
 
     def _partitionable_sets(self) -> int:
@@ -170,6 +170,17 @@ class BTBBase(abc.ABC):
         if self._partition_ranges is None:
             return None
         return [count for _, count in self._partition_ranges]
+
+    def secondary_partition_counts(self) -> dict[str, list[int]]:
+        """Per-tenant capacity of each partitioned *secondary* structure.
+
+        Organizations with secondary structures (PDede's Page-/Region-BTB,
+        R-BTB's Page-BTB, BTB-X's companion) report the per-tenant slice sizes
+        of every secondary structure they actually partitioned; structures
+        that fell back to sharing (fewer sets/entries than tenants) are
+        omitted.  The base implementation has no secondary structures.
+        """
+        return {}
 
     def partitioned_set_index(self, pc: int, num_sets: int, alignment_bits: int) -> int:
         """Set index for ``pc``, confined to the active tenant's partition.
@@ -200,6 +211,44 @@ class BTBBase(abc.ABC):
     def storage_kib(self) -> float:
         """Storage requirement in KiB."""
         return self.storage_bits() / 8.0 / 1024.0
+
+    def record_allocation(self, structure: str, key: int) -> None:
+        """Note that ``structure`` was asked to track ``key`` (duplication stats).
+
+        ``key`` identifies the allocated content (a branch PC for main
+        structures, a full target page or region number for the deduplication
+        structures); the active ASID is folded in automatically.  Called at
+        *reference* time -- on every update that wants the content resident --
+        not at install time, so the recorded sets are a pure function of the
+        update stream: eviction dynamics, partial-tag aliasing and partition
+        layouts cannot perturb them.  Pure bookkeeping: never affects
+        lookup/update behaviour.
+        """
+        self._alloc_distinct.setdefault(structure, set()).add(key)
+        self._alloc_tagged.setdefault(structure, set()).add((self.active_asid, key))
+
+    def duplication_counts(self) -> dict[str, dict[str, int]]:
+        """Distinct vs tag-distinct allocations per structure.
+
+        Maps structure name to ``{"distinct", "tag_distinct", "duplicated"}``:
+        ``distinct`` counts unique contents the structure was ever asked to
+        track (branch PCs, target pages, regions), ``tag_distinct`` counts
+        unique ``(asid, content)`` pairs -- the entries an ASID-tagged
+        organization actually has to provide for -- and ``duplicated`` is
+        their difference: the capacity spent on storing the *same* content
+        once per address space.  Counted over the whole run (warmup
+        included): duplication is a footprint property, not a rate, so it is
+        deliberately not reset at the measurement boundary.
+        """
+        counts: dict[str, dict[str, int]] = {}
+        for structure, distinct in self._alloc_distinct.items():
+            tagged = self._alloc_tagged[structure]
+            counts[structure] = {
+                "distinct": len(distinct),
+                "tag_distinct": len(tagged),
+                "duplicated": len(tagged) - len(distinct),
+            }
+        return counts
 
     def record_read(self, structure: str = "main") -> None:
         """Count one read access of ``structure`` (used by the energy model)."""
@@ -246,6 +295,30 @@ class BTBBase(abc.ABC):
             f"{type(self).__name__}(entries={self.capacity_entries()}, "
             f"storage={self.storage_kib():.2f}KiB)"
         )
+
+
+def partition_ranges(total: int, weights: Sequence[int]) -> list[tuple[int, int]]:
+    """Contiguous ``(base, count)`` slices apportioning ``total`` by ``weights``."""
+    counts = apportion_set_counts(total, weights)
+    ranges: list[tuple[int, int]] = []
+    base = 0
+    for count in counts:
+        ranges.append((base, count))
+        base += count
+    return ranges
+
+
+def partition_ranges_or_shared(total: int, weights: Sequence[int]) -> list[tuple[int, int]] | None:
+    """Like :func:`partition_ranges`, but fall back to sharing when too small.
+
+    A structure with fewer sets/entries than tenants cannot give everyone a
+    slice; it stays shared instead (``None``), exactly like BTB-X's companion
+    -- its entries are still ASID-colored/tagged, so sharing is false-hit
+    free and the only cross-tenant effect is eviction pressure.
+    """
+    if total < len(weights):
+        return None
+    return partition_ranges(total, weights)
 
 
 def partial_tag(pc: int, index_bits_consumed: int, tag_bits: int, alignment_bits: int) -> int:

@@ -126,6 +126,7 @@ class BTBXC(BTBBase):
 
     def update(self, instruction: Instruction) -> None:
         """Insert/refresh; direct-mapped, so the indexed entry is overwritten."""
+        self.record_allocation("companion", instruction.pc)
         index, tag = self._locate(instruction.pc)
         entry = self._entries[index]
         if entry.valid and entry.tag != tag:
@@ -255,6 +256,20 @@ class BTBX(BTBBase):
         else:
             self.companion.configure_partitions(weights)
 
+    def secondary_partition_counts(self) -> dict[str, list[int]]:
+        """Per-tenant companion slices, when the companion is partitioned."""
+        if self.companion is None:
+            return {}
+        counts = self.companion.partition_set_counts()
+        return {} if counts is None else {"companion": counts}
+
+    def duplication_counts(self) -> dict[str, dict[str, int]]:
+        """Main-BTB duplication plus the companion's, under one report."""
+        counts = super().duplication_counts()
+        if self.companion is not None:
+            counts.update(self.companion.duplication_counts())
+        return counts
+
     def _recover_target(self, pc: int, entry: _Entry) -> int:
         """Concatenate the branch PC's high bits with the stored offset.
 
@@ -320,6 +335,7 @@ class BTBX(BTBBase):
                 self.companion.update(instruction)
             return
 
+        self.record_allocation("main", instruction.pc)
         index, tag = self._locate(instruction.pc)
         entries = self._sets[index]
         payload = self._offset_payload(instruction, required)

@@ -116,6 +116,7 @@ class ConventionalBTB(BTBBase):
         """Insert or refresh the committed taken branch ``instruction``."""
         if not instruction.is_branch:
             return
+        self.record_allocation("main", instruction.pc)
         index, tag = self._locate(instruction.pc)
         entries = self._sets[index]
         for way, entry in enumerate(entries):

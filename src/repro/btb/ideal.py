@@ -50,6 +50,7 @@ class IdealBTB(BTBBase):
         if not instruction.is_branch:
             return
         self.record_write("main")
+        self.record_allocation("main", instruction.pc)
         self._entries[(self.active_asid, instruction.pc)] = (
             instruction.branch_type,
             instruction.target,

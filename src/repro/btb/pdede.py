@@ -25,7 +25,7 @@ Consequences modelled here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence
 
 from repro.common.bitutils import log2_ceil, mask
 from repro.common.config import ISAStyle
@@ -34,7 +34,13 @@ from repro.common.lru import LRUState
 from repro.common.stats import Stats
 from repro.isa.branch import BranchType
 from repro.isa.instruction import Instruction
-from repro.btb.base import BTBBase, BTBLookupResult, index_bits_of, partial_tag
+from repro.btb.base import (
+    BTBBase,
+    BTBLookupResult,
+    index_bits_of,
+    partial_tag,
+    partition_ranges_or_shared,
+)
 
 VALID_BITS = 1
 TAG_BITS = 12
@@ -59,16 +65,27 @@ class _MainEntry:
     region_pointer: int = 0
 
 
+# NOTE on the ``asid`` fields below: page/region numbers are exact-matched
+# content (they rebuild targets), so ASID disambiguation needs a real field
+# rather than the main tag's hash *coloring*.  Its storage is deliberately
+# not charged in page_entry_bits()/region_entry_bits(): budget-sized
+# geometries stay identical across ASID modes (and match the paper's
+# untagged Table IV accounting), at the cost of making tagged-mode
+# PDede/R-BTB results an optimistic bound -- real hardware would spend a few
+# bits per entry or a small ASID-remap table.  The same free-coloring
+# convention already applies to every main structure's tags.
 @dataclass
 class _PageEntry:
     valid: bool = False
     page_number: int = 0  # the REGION_PAGE_BITS-wide page number within a region
+    asid: int = 0         # owning address space under tagged/partitioned retention
 
 
 @dataclass
 class _RegionEntry:
     valid: bool = False
     region_number: int = 0
+    asid: int = 0
 
 
 class PDedeBTB(BTBBase):
@@ -117,6 +134,11 @@ class PDedeBTB(BTBBase):
         self._page_lru = [LRUState(self.page_associativity) for _ in range(self._page_sets)]
         self._regions = [_RegionEntry() for _ in range(region_entries)]
         self._region_lru = LRUState(region_entries)
+        # Secondary-structure partitioning (``ASIDMode.PARTITIONED``): slices
+        # of Page-BTB *sets* and Region-BTB *entries* per tenant, or ``None``
+        # when the structure is shared (including the too-small fallback).
+        self._page_partition_ranges: List[tuple[int, int]] | None = None
+        self._region_partition_ranges: List[tuple[int, int]] | None = None
 
     # -- geometry ----------------------------------------------------------
 
@@ -190,20 +212,68 @@ class PDedeBTB(BTBBase):
 
     # -- page / region BTB management ----------------------------------------
 
+    def configure_partitions(self, weights: Sequence[int] | None) -> None:
+        """Partition the Main-BTB sets *and* both deduplication structures.
+
+        The Page-BTB is sliced by sets and the Region-BTB by entries, both
+        weight-proportionally like the Main-BTB.  A structure with fewer
+        sets/entries than tenants falls back to sharing (still ASID-tagged),
+        mirroring BTB-X's companion fallback -- the four-entry Region-BTB
+        does this whenever more than four tenants consolidate.
+        """
+        super().configure_partitions(weights)
+        if weights is None:
+            self._page_partition_ranges = None
+            self._region_partition_ranges = None
+            return
+        self._page_partition_ranges = partition_ranges_or_shared(self._page_sets, weights)
+        self._region_partition_ranges = partition_ranges_or_shared(
+            self.region_entries, weights
+        )
+
+    def secondary_partition_counts(self) -> dict[str, list[int]]:
+        """Per-tenant Page-BTB set counts and Region-BTB entry counts."""
+        counts: dict[str, list[int]] = {}
+        if self._page_partition_ranges is not None:
+            counts["page"] = [count for _, count in self._page_partition_ranges]
+        if self._region_partition_ranges is not None:
+            counts["region"] = [count for _, count in self._region_partition_ranges]
+        return counts
+
     def _page_set_index(self, page_number: int, region_number: int) -> int:
-        return (page_number ^ region_number) % self._page_sets
+        ranges = self._page_partition_ranges
+        if ranges is None:
+            return (page_number ^ region_number) % self._page_sets
+        base, count = ranges[self.active_asid % len(ranges)]
+        return base + (page_number ^ region_number) % count
+
+    def _region_slice(self) -> tuple[int, int]:
+        ranges = self._region_partition_ranges
+        if ranges is None:
+            return 0, self.region_entries
+        return ranges[self.active_asid % len(ranges)]
 
     def _find_page(self, page_number: int, set_index_: int) -> int | None:
         base = set_index_ * self.page_associativity
+        asid = self.active_asid
         for way in range(self.page_associativity):
             entry = self._pages[base + way]
-            if entry.valid and entry.page_number == page_number:
+            if entry.valid and entry.page_number == page_number and entry.asid == asid:
                 return base + way
         return None
 
     def _allocate_page(self, page_number: int, region_number: int) -> int:
-        """Find or install a page number; restricted to one Page-BTB set."""
+        """Find or install a page number; restricted to one Page-BTB set.
+
+        The duplication key is the *full* target page (region plus in-region
+        page number): that is the content the Page-/Region-BTB pair jointly
+        deduplicates, and recording it at reference time keeps the counters a
+        pure function of the update stream (the 16-bit stored page number
+        alone aliases across regions, which would make install-time counts
+        depend on eviction order).
+        """
         self.record_search("page")
+        self.record_allocation("page", (region_number << REGION_PAGE_BITS) | page_number)
         set_index_ = self._page_set_index(page_number, region_number)
         slot = self._find_page(page_number, set_index_)
         if slot is not None:
@@ -221,23 +291,37 @@ class PDedeBTB(BTBBase):
         slot = base + way
         self._pages[slot].valid = True
         self._pages[slot].page_number = page_number
+        self._pages[slot].asid = self.active_asid
         self._page_lru[set_index_].touch(way)
         self.record_write("page")
         return slot
 
     def _allocate_region(self, region_number: int) -> int:
-        """Find or install a region number in the tiny fully-associative Region-BTB."""
-        for slot, entry in enumerate(self._regions):
-            if entry.valid and entry.region_number == region_number:
+        """Find or install a region number in the tiny fully-associative Region-BTB.
+
+        Under partitioned retention the search, free-slot scan and victim
+        selection are all confined to the active tenant's entry slice; with no
+        partitions the slice is the whole structure and the behaviour is
+        identical to the historical shared scan.
+        """
+        self.record_allocation("region", region_number)
+        base, count = self._region_slice()
+        asid = self.active_asid
+        for slot in range(base, base + count):
+            entry = self._regions[slot]
+            if entry.valid and entry.region_number == region_number and entry.asid == asid:
                 self._region_lru.touch(slot)
                 return slot
-        slot = next((i for i, entry in enumerate(self._regions) if not entry.valid), None)
+        slot = next(
+            (i for i in range(base, base + count) if not self._regions[i].valid), None
+        )
         if slot is None:
-            slot = self._region_lru.victim()
+            slot = self._region_lru.victim(range(base, base + count))
             self._invalidate_region_pointers(slot)
             self.stats.inc("region_evictions")
         self._regions[slot].valid = True
         self._regions[slot].region_number = region_number
+        self._regions[slot].asid = asid
         self._region_lru.touch(slot)
         self.record_write("region")
         return slot
@@ -338,6 +422,7 @@ class PDedeBTB(BTBBase):
         """Insert/refresh the branch; may allocate Page-/Region-BTB entries."""
         if not instruction.is_branch:
             return
+        self.record_allocation("main", instruction.pc)
         index, tag = self._locate(instruction.pc)
         entries = self._sets[index]
         region_number, page_number, page_offset_full = self._split_target(instruction.target)

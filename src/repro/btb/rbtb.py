@@ -18,7 +18,7 @@ safe interpretation of the hardware, which would mis-fetch instead).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence
 
 from repro.common.bitutils import log2_ceil, mask
 from repro.common.config import ISAStyle
@@ -27,7 +27,13 @@ from repro.common.lru import LRUState
 from repro.common.stats import Stats
 from repro.isa.branch import BranchType
 from repro.isa.instruction import Instruction
-from repro.btb.base import BTBBase, BTBLookupResult, index_bits_of, partial_tag
+from repro.btb.base import (
+    BTBBase,
+    BTBLookupResult,
+    index_bits_of,
+    partial_tag,
+    partition_ranges_or_shared,
+)
 
 VALID_BITS = 1
 TAG_BITS = 12
@@ -50,6 +56,10 @@ class _MainEntry:
 class _PageEntry:
     valid: bool = False
     page_number: int = 0
+    # Owning address space under tagged/partitioned retention.  Exact-matched
+    # but deliberately not charged in page_entry_bits(): geometries stay
+    # identical across ASID modes (see the equivalent note in pdede.py).
+    asid: int = 0
 
 
 class ReducedBTB(BTBBase):
@@ -85,6 +95,9 @@ class ReducedBTB(BTBBase):
         self._lru = [LRUState(associativity) for _ in range(self.num_sets)]
         self._pages = [_PageEntry() for _ in range(page_entries)]
         self._page_lru = LRUState(page_entries)
+        # Page-BTB entry slices per tenant (``ASIDMode.PARTITIONED``); ``None``
+        # when the structure is shared (including the too-small fallback).
+        self._page_partition_ranges: List[tuple[int, int]] | None = None
 
     # -- geometry ----------------------------------------------------------
 
@@ -122,26 +135,62 @@ class ReducedBTB(BTBBase):
 
     # -- page BTB helpers ---------------------------------------------------
 
+    def configure_partitions(self, weights: Sequence[int] | None) -> None:
+        """Partition the Main-BTB sets and the Page-BTB's entries per tenant.
+
+        The fully-associative Page-BTB is sliced by entries, weight-
+        proportionally; when it has fewer entries than tenants it falls back
+        to sharing (still ASID-tagged), like BTB-X's companion.
+        """
+        super().configure_partitions(weights)
+        if weights is None:
+            self._page_partition_ranges = None
+            return
+        self._page_partition_ranges = partition_ranges_or_shared(self.page_entries, weights)
+
+    def secondary_partition_counts(self) -> dict[str, list[int]]:
+        """Per-tenant Page-BTB entry counts, when partitioned."""
+        if self._page_partition_ranges is None:
+            return {}
+        return {"page": [count for _, count in self._page_partition_ranges]}
+
+    def _page_slice(self) -> tuple[int, int]:
+        ranges = self._page_partition_ranges
+        if ranges is None:
+            return 0, self.page_entries
+        return ranges[self.active_asid % len(ranges)]
+
     def _find_page(self, page_number: int) -> int | None:
-        for slot, entry in enumerate(self._pages):
-            if entry.valid and entry.page_number == page_number:
+        base, count = self._page_slice()
+        asid = self.active_asid
+        for slot in range(base, base + count):
+            entry = self._pages[slot]
+            if entry.valid and entry.page_number == page_number and entry.asid == asid:
                 return slot
         return None
 
     def _allocate_page(self, page_number: int) -> int:
-        """Find or install ``page_number``; invalidates stale pointers on evict."""
+        """Find or install ``page_number``; invalidates stale pointers on evict.
+
+        The search, free-slot scan and victim selection are confined to the
+        active tenant's slice under partitioned retention; the shared case
+        scans the whole structure exactly as before.
+        """
         self.record_search("page")
+        self.record_allocation("page", page_number)
         slot = self._find_page(page_number)
         if slot is not None:
             self._page_lru.touch(slot)
             return slot
-        slot = next((i for i, entry in enumerate(self._pages) if not entry.valid), None)
+        base, count = self._page_slice()
+        slot = next((i for i in range(base, base + count) if not self._pages[i].valid), None)
         if slot is None:
-            slot = self._page_lru.victim()
+            slot = self._page_lru.victim(range(base, base + count))
             self._invalidate_pointers(slot)
             self.stats.inc("page_evictions")
         self._pages[slot].valid = True
         self._pages[slot].page_number = page_number
+        self._pages[slot].asid = self.active_asid
         self._page_lru.touch(slot)
         self.record_write("page")
         return slot
@@ -204,6 +253,7 @@ class ReducedBTB(BTBBase):
         """Insert/refresh the branch; finds or allocates its target page."""
         if not instruction.is_branch:
             return
+        self.record_allocation("main", instruction.pc)
         index, tag = self._locate(instruction.pc)
         entries = self._sets[index]
         page_number = instruction.target >> PAGE_BITS

@@ -9,6 +9,7 @@ Examples::
     btbx-repro scenario list
     btbx-repro scenario run consolidated_server --scale smoke --json scenario.json
     btbx-repro sweep scenarios --preset consolidated_server --json sweep.json --csv sweep.csv
+    btbx-repro sweep shared --preset shared_services --json shared.json --csv shared.csv
     btbx-repro cache stats --cache-dir results/cache
     btbx-repro cache prune --cache-dir results/cache --max-age-days 30
 
@@ -51,6 +52,7 @@ EXPERIMENTS: Dict[str, str] = {
     "ablation_ways": "repro.experiments.ablation_ways",
     "scenario_study": "repro.experiments.scenario_study",
     "scenario_sweep": "repro.experiments.scenario_sweep",
+    "shared_footprint": "repro.experiments.shared_footprint",
 }
 
 _SCALES = {"smoke": SMOKE_SCALE, "quick": QUICK_SCALE, "full": FULL_SCALE}
@@ -169,6 +171,41 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_scenarios.add_argument("--json", dest="json_path", help="dump the raw result as JSON")
     sweep_scenarios.add_argument("--csv", dest="csv_path", help="dump flat per-point rows as CSV")
 
+    sweep_shared = sweep_sub.add_parser(
+        "shared",
+        help="MPKI + duplication vs shared-code overlap fraction "
+        "(ASID tagging's duplication cost)",
+    )
+    sweep_shared.add_argument(
+        "--preset",
+        default="shared_services",
+        help="scenario preset to sweep (default: shared_services)",
+    )
+    _add_engine_arguments(sweep_shared)
+    sweep_shared.add_argument(
+        "--fractions",
+        help="comma-separated overlap fractions in [0, 1] (default: 0,0.25,0.5,0.75,1)",
+    )
+    sweep_shared.add_argument(
+        "--styles",
+        help="comma-separated BTB styles (conventional,rbtb,pdede,btbx,ideal; "
+        "default: conventional,pdede,rbtb)",
+    )
+    sweep_shared.add_argument(
+        "--asid-modes",
+        dest="asid_modes",
+        help="comma-separated ASID modes (flush,tagged,partitioned; default: all three)",
+    )
+    sweep_shared.add_argument(
+        "--budget-kib",
+        dest="budget_kib",
+        type=float,
+        default=None,
+        help="BTB storage budget in KiB (default: the paper's 14.5)",
+    )
+    sweep_shared.add_argument("--json", dest="json_path", help="dump the raw result as JSON")
+    sweep_shared.add_argument("--csv", dest="csv_path", help="dump flat per-point rows as CSV")
+
     cache_parser = sub.add_parser("cache", help="inspect or prune the on-disk result cache")
     cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
     cache_stats = cache_sub.add_parser("stats", help="entry count, total bytes, age range")
@@ -263,6 +300,22 @@ def _write_timings(path: str, summary: Dict[str, object], workers: int) -> None:
         json.dump(record, handle, indent=2)
 
 
+def _write_result_outputs(
+    result: Dict[str, object],
+    json_path: str | None,
+    csv_path: str | None = None,
+    write_csv=None,
+) -> None:
+    """Dump a driver result to the requested ``--json``/``--csv`` side files."""
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, default=str)
+        print(f"\n(raw result written to {json_path})")
+    if csv_path and write_csv is not None:
+        write_csv(result, csv_path)
+        print(f"(per-point CSV written to {csv_path})")
+
+
 def run_scenario_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     """Handle ``scenario list`` and ``scenario run``."""
     from repro.common.errors import ConfigurationError
@@ -301,10 +354,7 @@ def run_scenario_command(args: argparse.Namespace, parser: argparse.ArgumentPars
         scale, scenarios=[args.scenario], asid_modes=asid_modes, engine=engine
     )
     print(scenario_study.format_report(result))
-    if args.json_path:
-        with open(args.json_path, "w", encoding="utf-8") as handle:
-            json.dump(result, handle, indent=2, default=str)
-        print(f"\n(raw result written to {args.json_path})")
+    _write_result_outputs(result, args.json_path)
     return 0
 
 
@@ -323,13 +373,94 @@ def _parse_int_list(text: str, flag: str, parser: argparse.ArgumentParser) -> Li
     return values
 
 
-def run_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
-    """Handle ``sweep scenarios``."""
+def _parse_float_list(text: str, flag: str, parser: argparse.ArgumentParser) -> List[float]:
+    """Parse a comma-separated list of floats in [0, 1] or parser.error out."""
+    values: List[float] = []
+    for token in text.split(","):
+        token = token.strip()
+        try:
+            value = float(token)
+        except ValueError:
+            parser.error(f"{flag} expects comma-separated numbers, got {token!r}")
+        if not 0.0 <= value <= 1.0:
+            parser.error(f"{flag} values must be within [0, 1], got {value}")
+        values.append(value)
+    return values
+
+
+def _parse_styles(text: str, parser: argparse.ArgumentParser) -> list:
     from repro.common.config import BTBStyle
+
+    try:
+        return [BTBStyle(token.strip()) for token in text.split(",")]
+    except ValueError as exc:
+        parser.error(f"--styles: {exc}")
+
+
+def _parse_asid_modes(text: str, parser: argparse.ArgumentParser) -> List[ASIDMode]:
+    try:
+        return [ASIDMode(token.strip()) for token in text.split(",")]
+    except ValueError as exc:
+        parser.error(f"--asid-modes: {exc}")
+
+
+def run_shared_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Handle ``sweep shared``."""
+    from repro.common.errors import ConfigurationError
+    from repro.experiments import shared_footprint
+    from repro.experiments.config import DEFAULT_BUDGET_KIB
+    from repro.scenarios.presets import get_scenario
+
+    try:
+        get_scenario(args.preset)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+    fractions = (
+        _parse_float_list(args.fractions, "--fractions", parser)
+        if args.fractions
+        else shared_footprint.DEFAULT_FRACTIONS
+    )
+    styles = (
+        _parse_styles(args.styles, parser)
+        if args.styles
+        else list(shared_footprint.SWEEP_STYLES)
+    )
+    asid_modes = (
+        _parse_asid_modes(args.asid_modes, parser)
+        if args.asid_modes
+        else list(shared_footprint.SWEEP_ASID_MODES)
+    )
+    if args.budget_kib is not None and args.budget_kib <= 0:
+        parser.error(f"--budget-kib must be positive, got {args.budget_kib}")
+    try:
+        engine = make_engine(workers=args.workers, cache_dir=args.cache_dir)
+    except OSError as exc:
+        parser.error(f"cannot use cache directory {args.cache_dir!r}: {exc}")
+    result = shared_footprint.run(
+        resolve_scale(args.scale),
+        budget_kib=args.budget_kib if args.budget_kib is not None else DEFAULT_BUDGET_KIB,
+        preset=args.preset,
+        fractions=fractions,
+        styles=styles,
+        asid_modes=asid_modes,
+        engine=engine,
+    )
+    print(shared_footprint.format_report(result))
+    _write_result_outputs(
+        result, args.json_path, args.csv_path, shared_footprint.write_csv
+    )
+    return 0
+
+
+def run_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Handle ``sweep scenarios`` and ``sweep shared``."""
     from repro.common.errors import ConfigurationError
     from repro.experiments import scenario_sweep
     from repro.experiments.config import DEFAULT_BUDGET_KIB
     from repro.scenarios.presets import get_scenario
+
+    if args.sweep_command == "shared":
+        return run_shared_sweep_command(args, parser)
 
     presets = args.presets
     if presets:
@@ -349,20 +480,16 @@ def run_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser)
         if args.tenant_counts
         else None
     )
-    if args.styles:
-        try:
-            styles = [BTBStyle(token.strip()) for token in args.styles.split(",")]
-        except ValueError as exc:
-            parser.error(f"--styles: {exc}")
-    else:
-        styles = list(scenario_sweep.SWEEP_STYLES)
-    if args.asid_modes:
-        try:
-            asid_modes = [ASIDMode(token.strip()) for token in args.asid_modes.split(",")]
-        except ValueError as exc:
-            parser.error(f"--asid-modes: {exc}")
-    else:
-        asid_modes = list(scenario_sweep.SWEEP_ASID_MODES)
+    styles = (
+        _parse_styles(args.styles, parser)
+        if args.styles
+        else list(scenario_sweep.SWEEP_STYLES)
+    )
+    asid_modes = (
+        _parse_asid_modes(args.asid_modes, parser)
+        if args.asid_modes
+        else list(scenario_sweep.SWEEP_ASID_MODES)
+    )
 
     if args.budget_kib is not None and args.budget_kib <= 0:
         parser.error(f"--budget-kib must be positive, got {args.budget_kib}")
@@ -382,13 +509,7 @@ def run_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser)
         engine=engine,
     )
     print(scenario_sweep.format_report(result))
-    if args.json_path:
-        with open(args.json_path, "w", encoding="utf-8") as handle:
-            json.dump(result, handle, indent=2, default=str)
-        print(f"\n(raw result written to {args.json_path})")
-    if args.csv_path:
-        scenario_sweep.write_csv(result, args.csv_path)
-        print(f"(per-point CSV written to {args.csv_path})")
+    _write_result_outputs(result, args.json_path, args.csv_path, scenario_sweep.write_csv)
     return 0
 
 
@@ -486,10 +607,7 @@ def main(argv: list[str] | None = None) -> int:
     result = run_experiment(args.experiment, args.scale, engine=engine)
     module = importlib.import_module(EXPERIMENTS[args.experiment])
     print(module.format_report(result))
-    if args.json_path:
-        with open(args.json_path, "w", encoding="utf-8") as handle:
-            json.dump(result, handle, indent=2, default=str)
-        print(f"\n(raw result written to {args.json_path})")
+    _write_result_outputs(result, args.json_path)
     return 0
 
 

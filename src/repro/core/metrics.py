@@ -117,6 +117,17 @@ class ScenarioResult:
     #: Sets each tenant received under ``ASIDMode.PARTITIONED`` (tenant name ->
     #: set count, in scheduling order); ``None`` when capacity was shared.
     partition_sets: Dict[str, int] | None = None
+    #: Per-tenant capacity of each partitioned *secondary* structure (PDede's
+    #: Page-/Region-BTB, R-BTB's Page-BTB, BTB-X's companion): structure name
+    #: -> tenant name -> sets/entries.  ``None`` when nothing secondary was
+    #: partitioned (shared modes, or every structure fell back to sharing).
+    secondary_partition_sets: Dict[str, Dict[str, int]] | None = None
+    #: Duplication accounting per BTB structure: structure name ->
+    #: ``{"distinct", "tag_distinct", "duplicated"}`` allocations (see
+    #: :meth:`repro.btb.base.BTBBase.duplication_counts`).  The ``duplicated``
+    #: gap is the storage ASID tagging spends on branches/pages that tenants
+    #: share.  ``None`` for results that predate the counters (old caches).
+    duplication: Dict[str, Dict[str, int]] | None = None
 
     @property
     def tenant_names(self) -> list[str]:
@@ -124,12 +135,21 @@ class ScenarioResult:
         return list(self.per_tenant)
 
     def to_dict(self) -> Dict[str, object]:
-        """Flatten for reporting/serialization (headline metrics only)."""
+        """Flatten for reporting/serialization (headline metrics only).
+
+        Every scenario-level field of this class must appear here: the JSON
+        and CSV emitters (and the engine's cache payload) all feed off this
+        dict, so an omitted field silently vanishes from every report.  A
+        schema regression test (``test_to_dict_covers_every_field``) enforces
+        the invariant.
+        """
         return {
             "scenario": self.scenario,
             "asid_mode": self.asid_mode,
             "context_switches": self.context_switches,
             "partition_sets": self.partition_sets,
+            "secondary_partition_sets": self.secondary_partition_sets,
+            "duplication": self.duplication,
             "aggregate": self.aggregate.to_dict(),
             "per_tenant": {name: result.to_dict() for name, result in self.per_tenant.items()},
         }

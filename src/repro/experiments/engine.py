@@ -48,7 +48,11 @@ from repro.traces.trace import Trace
 #: v2: scenario jobs (multi-tenant payloads carry per-tenant results).
 #: v3: partitioned ASID mode (scenario payloads carry partition_sets; BTB set
 #: indexing gained the partition remap, which shifts some aliasing patterns).
-CACHE_FORMAT_VERSION = 3
+#: v4: shared code footprints (specs carry shared_fraction, payloads carry
+#: duplication counters and secondary_partition_sets) and ASID-tagged /
+#: partitionable Page-/Region-BTBs, which change PDede and R-BTB results in
+#: multi-tenant tagged/partitioned runs.
+CACHE_FORMAT_VERSION = 4
 
 #: SimulationResult fields carried through the payload (everything but stats).
 _RESULT_FIELDS = (
@@ -247,6 +251,8 @@ def _execute_scenario_job(job: ScenarioJob,
             "asid_mode": scenario_result.asid_mode,
             "context_switches": scenario_result.context_switches,
             "partition_sets": scenario_result.partition_sets,
+            "secondary_partition_sets": scenario_result.secondary_partition_sets,
+            "duplication": scenario_result.duplication,
             "per_tenant": {
                 name: _result_to_payload(result)
                 for name, result in scenario_result.per_tenant.items()
@@ -267,6 +273,8 @@ def _payload_to_scenario(payload: Mapping[str, object]) -> ScenarioResult:
             for name, tenant in scenario["per_tenant"].items()
         },
         partition_sets=scenario.get("partition_sets"),
+        secondary_partition_sets=scenario.get("secondary_partition_sets"),
+        duplication=scenario.get("duplication"),
     )
 
 

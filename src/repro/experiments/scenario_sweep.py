@@ -117,9 +117,12 @@ def run(
     engine = engine or get_active_engine()
     names = list(presets) if presets is not None else scenario_names()
     # A repeated preset would append duplicate points onto the same curves;
-    # repeated axis values would duplicate points within one.
+    # repeated axis values would duplicate points within one, and repeated
+    # styles/modes would append extra points onto one curve key.
     names = list(dict.fromkeys(names))
     quanta = list(dict.fromkeys(quanta))
+    styles = list(dict.fromkeys(styles))
+    asid_modes = list(dict.fromkeys(asid_modes))
     if tenant_counts is not None:
         tenant_counts = list(dict.fromkeys(tenant_counts))
 

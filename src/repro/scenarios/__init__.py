@@ -11,7 +11,7 @@ This package opens that axis:
   instruction)`` stream without materializing the merge;
 * :mod:`repro.scenarios.presets` -- the built-in scenario registry
   (``solo_baseline``, ``consolidated_server``, ``microservice_churn``,
-  ``noisy_neighbor``) plus :func:`register_scenario`;
+  ``shared_services``, ``noisy_neighbor``) plus :func:`register_scenario`;
 * :mod:`repro.scenarios.run`     -- :func:`execute_scenario`, the one-call
   bridge from a spec to a :class:`~repro.core.metrics.ScenarioResult`.
 
@@ -22,7 +22,7 @@ capacity set-partitioned among the tenants (weight-proportionally), which
 separates cross-tenant pollution from cold-start misses.
 """
 
-from repro.scenarios.compose import TraceComposer
+from repro.scenarios.compose import TraceComposer, remap_tenant_trace, tenant_code_pages
 from repro.scenarios.presets import (
     PRESET_NAMES,
     get_scenario,
@@ -36,6 +36,8 @@ __all__ = [
     "ScenarioSpec",
     "TenantSpec",
     "TraceComposer",
+    "remap_tenant_trace",
+    "tenant_code_pages",
     "PRESET_NAMES",
     "scenario_names",
     "get_scenario",

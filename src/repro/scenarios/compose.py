@@ -20,6 +20,33 @@ ASID assignment implements the spec's switch semantics:
 Consecutive turns of the *same* tenant under ``warm`` semantics keep the same
 ASID and therefore cause no context switch (the scheduler just keeps running
 the tenant), which is why a one-tenant warm scenario never switches at all.
+
+Shared code footprints (``spec.shared_fraction > 0``) are modelled by a
+page-granular remap applied to each tenant's trace before scheduling:
+
+* every tenant's code pages (pages touched by a PC, fall-through or branch
+  target) are sorted; the first ``floor(shared_fraction * pages)`` of them --
+  the low-address prefix, i.e. the shared-library image -- are remapped by
+  rank onto a **shared region**.  Shared regions are scoped *per workload*
+  (one slot per distinct binary, in tenant order): tenants running the same
+  binary map the same branches at the same shared addresses, while tenants
+  running different binaries share nothing -- two unrelated programs do not
+  map each other's libraries, and colliding their code would report fake
+  "duplication" for content that was never the same;
+* the remaining pages are remapped by rank into a **private region** at a
+  per-tenant-index stride, so private footprints are disjoint across tenants
+  (the historical layout, where every workload image starts at the same base
+  address, overlaps them incidentally);
+* the remap is order-preserving over each tenant's sorted page set and keeps
+  page offsets, so same-page branches stay same-page, branch ordering is
+  kept, and call fall-throughs stay consistent with their returns (boundary
+  instructions get a stretched ``size`` so ``pc + size`` lands on the next
+  mapped page).
+
+With ``shared_fraction == 0.0`` no remap object is ever built and the input
+traces are streamed as-is, bit-identical to the historical composer.  The
+remap is a pure function of (trace, tenant index, fraction), so composed
+streams stay deterministic across processes and worker counts.
 """
 
 from __future__ import annotations
@@ -30,6 +57,102 @@ from repro.common.errors import ConfigurationError
 from repro.isa.instruction import Instruction
 from repro.scenarios.spec import ScenarioSpec
 from repro.traces.trace import Trace, TraceCursor
+
+#: 4 KiB pages, matching the page/region granularity of PDede and R-BTB.
+PAGE_SHIFT = 12
+_PAGE_MASK = (1 << PAGE_SHIFT) - 1
+
+#: Base of shared slot 0 (each distinct workload gets its own shared region,
+#: one stride higher per slot).  Below the private bases so the remap is
+#: order-preserving (shared pages are each tenant's lowest pages).
+SHARED_BASE_PAGE = 0x4000_0000_0000 >> PAGE_SHIFT
+
+#: Pages between consecutive workloads' shared regions (16 GiB of VA each).
+SHARED_SLOT_STRIDE_PAGES = (1 << 34) >> PAGE_SHIFT
+
+#: Base of tenant 0's private region; tenant *i* starts ``i`` strides higher.
+PRIVATE_BASE_PAGE = 0x6000_0000_0000 >> PAGE_SHIFT
+
+#: Pages between consecutive tenants' private regions (16 GiB of VA each).
+PRIVATE_TENANT_STRIDE_PAGES = (1 << 34) >> PAGE_SHIFT
+
+#: Remapped addresses must stay within the modelled 48-bit address space
+#: (and every shared slot must stay below the private bases).
+_MAX_REMAP_TENANTS = ((1 << 47) - 0x6000_0000_0000) // (1 << 34)
+
+
+def tenant_code_pages(trace: Trace) -> list[int]:
+    """Sorted page numbers touched by the trace (PCs, fall-throughs, targets)."""
+    pages = set()
+    for instruction in trace:
+        pages.add(instruction.pc >> PAGE_SHIFT)
+        pages.add(instruction.fall_through >> PAGE_SHIFT)
+        if instruction.is_branch:
+            pages.add(instruction.target >> PAGE_SHIFT)
+    return sorted(pages)
+
+
+def shared_page_split(page_count: int, shared_fraction: float) -> int:
+    """Number of pages of a ``page_count``-page footprint that are shared."""
+    return int(page_count * shared_fraction)
+
+
+def remap_tenant_trace(
+    trace: Trace, tenant_index: int, shared_fraction: float, shared_slot: int = 0
+) -> Trace:
+    """Remap ``trace`` for the tenant at ``tenant_index`` (see module docs).
+
+    ``shared_slot`` selects the shared region the tenant's shared prefix lands
+    in -- the composer assigns one slot per distinct *workload*, so only
+    tenants replaying the same binary coincide.  Pure and deterministic:
+    equal arguments always produce an identical trace, and two tenants
+    replaying the same workload get identical *shared* mappings (their shared
+    prefixes land on the same addresses) while their private pages land in
+    disjoint per-tenant windows.
+    """
+    if tenant_index >= _MAX_REMAP_TENANTS or shared_slot >= _MAX_REMAP_TENANTS:
+        raise ConfigurationError(
+            f"shared-footprint remapping supports at most {_MAX_REMAP_TENANTS} "
+            f"tenants/workloads within the 48-bit address space, got "
+            f"index {tenant_index} / slot {shared_slot}"
+        )
+    pages = tenant_code_pages(trace)
+    shared_count = shared_page_split(len(pages), shared_fraction)
+    shared_base = SHARED_BASE_PAGE + shared_slot * SHARED_SLOT_STRIDE_PAGES
+    private_base = PRIVATE_BASE_PAGE + tenant_index * PRIVATE_TENANT_STRIDE_PAGES
+    page_map: Dict[int, int] = {}
+    for rank, page in enumerate(pages):
+        if rank < shared_count:
+            page_map[page] = shared_base + rank
+        else:
+            page_map[page] = private_base + (rank - shared_count)
+
+    def remap(address: int) -> int:
+        return (page_map[address >> PAGE_SHIFT] << PAGE_SHIFT) | (address & _PAGE_MASK)
+
+    instructions = []
+    for instruction in trace:
+        pc = remap(instruction.pc)
+        # Keep fall-throughs consistent with the remapped return targets: the
+        # remap is order-preserving, so the stretched size is always positive.
+        size = remap(instruction.fall_through) - pc
+        if instruction.is_branch:
+            instructions.append(
+                Instruction(
+                    pc=pc,
+                    size=size,
+                    branch_type=instruction.branch_type,
+                    taken=instruction.taken,
+                    target=remap(instruction.target),
+                )
+            )
+        else:
+            instructions.append(Instruction(pc=pc, size=size))
+    metadata = dict(trace.metadata)
+    metadata["shared_fraction"] = shared_fraction
+    metadata["shared_pages"] = shared_count
+    metadata["private_pages"] = len(pages) - shared_count
+    return Trace(trace.name, instructions, isa=trace.isa, metadata=metadata)
 
 
 class TraceComposer:
@@ -50,6 +173,52 @@ class TraceComposer:
         self.spec = spec
         self.isa = next(iter(isas))
         self._traces: Dict[str, Trace] = {t.workload: traces[t.workload] for t in spec.tenants}
+        # One trace per tenant, in scheduling order.  With a shared footprint
+        # each tenant gets its own remapped copy: tenants replaying the same
+        # workload share one shared-region slot (their shared prefixes
+        # coincide) but never a private window; with shared_fraction == 0 the
+        # input traces are used untouched.
+        if spec.shared_fraction > 0.0:
+            slots: Dict[str, int] = {}
+            for tenant in spec.tenants:
+                slots.setdefault(tenant.workload, len(slots))
+            self._tenant_traces: List[Trace] = [
+                remap_tenant_trace(
+                    self._traces[tenant.workload],
+                    index,
+                    spec.shared_fraction,
+                    shared_slot=slots[tenant.workload],
+                )
+                for index, tenant in enumerate(spec.tenants)
+            ]
+        else:
+            self._tenant_traces = [self._traces[tenant.workload] for tenant in spec.tenants]
+
+    def tenant_trace(self, tenant_index: int) -> Trace:
+        """The (possibly remapped) trace the given tenant replays."""
+        return self._tenant_traces[tenant_index]
+
+    def code_page_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant page accounting of the composed footprint.
+
+        Maps tenant name to ``{"pages", "shared_pages", "private_pages"}``
+        computed over the tenant's *replayed* (remapped when shared) trace.
+        Walks every tenant trace once, so call it for reports and tests, not
+        per instruction.
+        """
+        stats: Dict[str, Dict[str, int]] = {}
+        for tenant, trace in zip(self.spec.tenants, self._tenant_traces):
+            pages = tenant_code_pages(trace)
+            shared = sum(1 for page in pages if page < PRIVATE_BASE_PAGE)
+            if self.spec.shared_fraction <= 0.0:
+                # No remap: the historical layout has no shared region.
+                shared = 0
+            stats[tenant.name] = {
+                "pages": len(pages),
+                "shared_pages": shared,
+                "private_pages": len(pages) - shared,
+            }
+        return stats
 
     # -- scheduling ---------------------------------------------------------
 
@@ -70,7 +239,7 @@ class TraceComposer:
             raise ConfigurationError("composed stream length cannot be negative")
         spec = self.spec
         tenants = spec.tenants
-        cursors = [TraceCursor(self._traces[tenant.workload]) for tenant in tenants]
+        cursors = [TraceCursor(trace) for trace in self._tenant_traces]
         quanta = self.turn_lengths()
         cold = spec.switch_semantics == "cold"
 

@@ -1,6 +1,6 @@
 """The built-in scenario presets (and a registry for user-defined ones).
 
-Four presets span the consolidation questions the paper's single-trace
+Five presets span the consolidation questions the paper's single-trace
 evaluation cannot ask:
 
 * ``solo_baseline``      -- one tenant, no switches: must reproduce the plain
@@ -11,6 +11,10 @@ evaluation cannot ask:
 * ``microservice_churn`` -- short quanta and *cold* switch semantics (every
   turn is a fresh address space): retention can never help, flushing and
   tagging only differ in how the dead state hurts;
+* ``shared_services``    -- three instances of the same service binary with
+  half their code pages remapped onto a common shared-library region: makes
+  ASID tagging's *duplication* cost (the same branch stored once per address
+  space) measurable;
 * ``noisy_neighbor``     -- one BTB-hungry server tenant with a large weight
   sharing the machine with two light client tenants under weighted
   round-robin: who pays the thrashing cost?
@@ -95,6 +99,23 @@ register_scenario(
         policy="round_robin",
         switch_semantics="cold",
         description="Short-lived instances: every scheduling turn is a fresh address space.",
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="shared_services",
+        tenants=(
+            TenantSpec("svc_a", "server_009"),
+            TenantSpec("svc_b", "server_009"),
+            TenantSpec("svc_c", "server_009"),
+        ),
+        quantum_instructions=4_096,
+        policy="round_robin",
+        switch_semantics="warm",
+        shared_fraction=0.5,
+        description="Three instances of one service binary mapping half their "
+        "code pages onto a shared-library region.",
     )
 )
 

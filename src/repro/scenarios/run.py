@@ -53,7 +53,11 @@ def execute_scenario(
     tenants before the run, proportionally to the spec's scheduling weights
     (see :meth:`~repro.scenarios.spec.ScenarioSpec.partition_weights`); the
     resulting per-tenant set counts are reported on the
-    :class:`~repro.core.metrics.ScenarioResult`.
+    :class:`~repro.core.metrics.ScenarioResult`, as are any partitioned
+    secondary structures (PDede's Page-/Region-BTB, R-BTB's Page-BTB, BTB-X's
+    companion) and the BTB's duplication counters -- the tag-distinct versus
+    distinct allocations that make shared-code duplication measurable when
+    ``spec.shared_fraction > 0``.
     """
     spec = resolve_scenario(scenario)
     store = trace_store or default_store()
@@ -77,4 +81,11 @@ def execute_scenario(
     counts = btb.partition_set_counts()
     if counts is not None:
         result.partition_sets = dict(zip(spec.tenant_names, counts))
+    secondary = btb.secondary_partition_counts()
+    if secondary:
+        result.secondary_partition_sets = {
+            structure: dict(zip(spec.tenant_names, structure_counts))
+            for structure, structure_counts in secondary.items()
+        }
+    result.duplication = btb.duplication_counts()
     return result

@@ -50,13 +50,23 @@ class TenantSpec:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """A complete, hashable description of one consolidation scenario."""
+    """A complete, hashable description of one consolidation scenario.
+
+    ``shared_fraction`` models shared libraries: that fraction of every
+    tenant's code pages (the low-address prefix of its sorted page set) is
+    remapped onto one region of addresses common to all tenants, while the
+    remaining pages move to per-tenant disjoint private regions.  ``0.0``
+    (the default) disables remapping entirely and reproduces the historical
+    composer output bit-for-bit; see
+    :mod:`repro.scenarios.compose` for the remapping rules.
+    """
 
     name: str
     tenants: Tuple[TenantSpec, ...]
     quantum_instructions: int = 8_192
     policy: str = "round_robin"
     switch_semantics: str = "warm"
+    shared_fraction: float = 0.0
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -78,6 +88,17 @@ class ScenarioSpec:
                 f"unknown switch semantics {self.switch_semantics!r}; "
                 f"expected one of {SWITCH_SEMANTICS}"
             )
+        if (
+            isinstance(self.shared_fraction, bool)
+            or not isinstance(self.shared_fraction, (int, float))
+            or not 0.0 <= self.shared_fraction <= 1.0
+        ):
+            raise ConfigurationError(
+                f"scenario {self.name!r}: shared_fraction must be a number within "
+                f"[0, 1], got {self.shared_fraction!r}"
+            )
+        # Normalize so 0 and 0.0 hash/serialize identically (cache identity).
+        object.__setattr__(self, "shared_fraction", float(self.shared_fraction))
 
     @property
     def tenant_names(self) -> Tuple[str, ...]:
@@ -116,4 +137,5 @@ class ScenarioSpec:
             "quantum_instructions": self.quantum_instructions,
             "policy": self.policy,
             "switch_semantics": self.switch_semantics,
+            "shared_fraction": self.shared_fraction,
         }

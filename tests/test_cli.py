@@ -199,6 +199,54 @@ class TestSweepCommand:
         assert csv_path.read_text().startswith("sweep,preset,axis_value")
 
 
+class TestSharedSweepCommand:
+    def test_shared_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "shared", "--preset", "shared_services",
+             "--fractions", "0,0.5,1", "--styles", "pdede,rbtb",
+             "--asid-modes", "tagged", "--budget-kib", "7.25",
+             "--json", "shared.json", "--csv", "shared.csv"]
+        )
+        assert args.command == "sweep"
+        assert args.sweep_command == "shared"
+        assert args.preset == "shared_services"
+        assert args.fractions == "0,0.5,1"
+        assert args.json_path == "shared.json"
+        assert args.csv_path == "shared.csv"
+
+    def test_bad_shared_sweep_flags_exit_2(self, capsys):
+        for flags in (["--fractions", "0.5,banana"], ["--fractions", "1.5"],
+                      ["--fractions", "-0.25"], ["--styles", "warp-drive"],
+                      ["--asid-modes", "lukewarm"], ["--budget-kib", "0"],
+                      ["--preset", "no_such_preset"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["sweep", "shared"] + flags)
+            assert excinfo.value.code == 2
+
+    def test_shared_sweep_end_to_end_writes_json_and_csv(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        json_path, csv_path = tmp_path / "shared.json", tmp_path / "shared.csv"
+        exit_code = main(
+            ["sweep", "shared", "--fractions", "0.5,1",
+             "--styles", "rbtb", "--asid-modes", "flush,tagged",
+             "--json", str(json_path), "--csv", str(csv_path)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Shared-footprint sweep" in out
+        assert "duplicated allocations" in out
+        record = json.loads(json_path.read_text())
+        assert record["experiment"] == "shared_footprint"
+        assert record["axis"] == [0.5, 1.0]
+        assert set(record["curves"]) == {"R-BTB/flush", "R-BTB/tagged"}
+        tagged = record["curves"]["R-BTB/tagged"]
+        for point in tagged["duplication"]:
+            assert point["page"]["tag_distinct"] > point["page"]["distinct"]
+        assert csv_path.read_text().startswith("preset,shared_fraction,style")
+
+
 class TestCacheCommands:
     def test_stats_reports_entries_and_bytes(self, tmp_path, capsys):
         expected = _seed_cache(tmp_path)

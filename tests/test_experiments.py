@@ -120,7 +120,13 @@ class TestTraceDrivers:
 
 class TestCLI:
     def test_experiment_registry_complete(self):
-        assert {"fig09_mpki", "table4_capacity", "table5_energy"} <= set(EXPERIMENTS)
+        assert {
+            "fig09_mpki",
+            "table4_capacity",
+            "table5_energy",
+            "scenario_sweep",
+            "shared_footprint",
+        } <= set(EXPERIMENTS)
 
     def test_parser_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):

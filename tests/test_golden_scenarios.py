@@ -41,6 +41,14 @@ GOLDEN_INSTRUCTIONS = 8_000
 GOLDEN_WARMUP = 2_000
 GOLDEN_BUDGET_KIB = 14.5
 
+#: Extra cells pinning the ASID-tagged/partitionable *secondary* structures:
+#: PDede's Page-/Region-BTB and R-BTB's Page-BTB only matter under retention
+#: modes, and the shared-footprint preset is what makes their duplication
+#: behaviour visible.
+SECONDARY_STYLES = (BTBStyle.PDEDE, BTBStyle.REDUCED)
+SECONDARY_PRESETS = ("consolidated_server", "shared_services")
+SECONDARY_ASID_MODES = (ASIDMode.TAGGED, ASIDMode.PARTITIONED)
+
 #: Aggregate counters pinned bit-exactly (ints and one exact float).
 AGGREGATE_FIELDS = (
     "instructions",
@@ -61,12 +69,19 @@ TENANT_FIELDS = ("instructions", "btb_misses_taken", "branches", "cycles")
 
 def golden_cells() -> list[tuple[str, BTBStyle, ASIDMode]]:
     """The (preset, style, asid_mode) grid the fixture must cover exactly."""
-    return [
+    cells = [
         (preset, style, mode)
         for preset in PRESET_NAMES
         for style in GOLDEN_STYLES
         for mode in GOLDEN_ASID_MODES
     ]
+    cells += [
+        (preset, style, mode)
+        for preset in SECONDARY_PRESETS
+        for style in SECONDARY_STYLES
+        for mode in SECONDARY_ASID_MODES
+    ]
+    return cells
 
 
 def cell_key(preset: str, style: BTBStyle, mode: ASIDMode) -> str:
@@ -74,7 +89,13 @@ def cell_key(preset: str, style: BTBStyle, mode: ASIDMode) -> str:
 
 
 def compute_cell(preset: str, style: BTBStyle, mode: ASIDMode) -> dict:
-    """Simulate one golden cell and distill it to the pinned counters."""
+    """Simulate one golden cell and distill it to the pinned counters.
+
+    Secondary-structure cells (PDede, R-BTB) additionally pin the duplication
+    counters and the secondary partition maps -- the behaviour those cells
+    exist to lock down.  The legacy Conv-BTB/BTB-X cells keep their original
+    schema so the pre-existing fixture entries stay byte-identical.
+    """
     result = execute_scenario(
         preset,
         style=style,
@@ -83,7 +104,7 @@ def compute_cell(preset: str, style: BTBStyle, mode: ASIDMode) -> dict:
         instructions=GOLDEN_INSTRUCTIONS,
         warmup_instructions=GOLDEN_WARMUP,
     )
-    return {
+    cell = {
         "context_switches": result.context_switches,
         "partition_sets": result.partition_sets,
         "aggregate": {name: getattr(result.aggregate, name) for name in AGGREGATE_FIELDS},
@@ -93,6 +114,10 @@ def compute_cell(preset: str, style: BTBStyle, mode: ASIDMode) -> dict:
             for tenant, tenant_result in result.per_tenant.items()
         },
     }
+    if style in SECONDARY_STYLES:
+        cell["secondary_partition_sets"] = result.secondary_partition_sets
+        cell["duplication"] = result.duplication
+    return cell
 
 
 def load_fixture() -> dict:

@@ -117,6 +117,7 @@ class TestScenarioSpec:
             "solo_baseline",
             "consolidated_server",
             "microservice_churn",
+            "shared_services",
             "noisy_neighbor",
         }
         for name in scenario_names():

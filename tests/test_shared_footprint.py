@@ -1,0 +1,403 @@
+"""Property tests for the shared-footprint remap and its sweep driver.
+
+The remap's structural contracts, checked with hypothesis where randomization
+helps (the golden suite and the differential matrix own bit-exactness):
+
+* per tenant, the remapped shared and private page sets are disjoint -- and
+  the private sets of *different* tenants are disjoint too, while the shared
+  sets nest (rank-based, so tenants running the same binary coincide);
+* remapping never changes instruction counts or the per-tenant schedule
+  shares of the composed stream;
+* remapping is deterministic across engine worker counts (scenario cells
+  with a shared footprint stay bit-identical, duplication counters included);
+* the sweep driver reports aligned curves, duplication monotone in the
+  overlap fraction over the remapped cells, and replays from a warm cache
+  with zero simulations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import ASIDMode, BTBStyle
+from repro.common.errors import ConfigurationError
+from repro.experiments.config import ExperimentScale
+from repro.experiments.engine import ExperimentEngine, ScenarioJob, _result_to_payload
+from repro.experiments.runner import clear_trace_cache
+from repro.experiments import shared_footprint
+from repro.experiments.shared_footprint import shared_variant
+from repro.scenarios.compose import (
+    PAGE_SHIFT,
+    PRIVATE_BASE_PAGE,
+    PRIVATE_TENANT_STRIDE_PAGES,
+    SHARED_BASE_PAGE,
+    SHARED_SLOT_STRIDE_PAGES,
+    TraceComposer,
+    remap_tenant_trace,
+    shared_page_split,
+    tenant_code_pages,
+)
+from repro.scenarios.presets import get_scenario
+from repro.scenarios.spec import ScenarioSpec, TenantSpec
+from repro.traces.store import default_store
+
+
+@pytest.fixture(autouse=True)
+def _bounded_traces():
+    yield
+    clear_trace_cache()
+
+
+_WORKLOADS = ("server_001", "server_009", "client_001", "client_002")
+
+TINY = ExperimentScale(
+    name="tiny", instructions=6_000, warmup_fraction=0.25,
+    server_workloads=1, client_workloads=1,
+)
+
+
+def _spec(fraction: float, tenant_count: int = 2, quantum: int = 512) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"prop_shared@{fraction:g}x{tenant_count}",
+        tenants=tuple(
+            TenantSpec(f"t{i}", _WORKLOADS[i % len(_WORKLOADS)]) for i in range(tenant_count)
+        ),
+        quantum_instructions=quantum,
+        shared_fraction=fraction,
+    )
+
+
+def _region_of(page: int, tenant_index: int) -> str:
+    private_base = PRIVATE_BASE_PAGE + tenant_index * PRIVATE_TENANT_STRIDE_PAGES
+    if SHARED_BASE_PAGE <= page < PRIVATE_BASE_PAGE:
+        return "shared"
+    if private_base <= page < private_base + PRIVATE_TENANT_STRIDE_PAGES:
+        return "private"
+    return "foreign"
+
+
+class TestRemapPageProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        fraction=st.floats(min_value=0.01, max_value=1.0),
+        tenant_count=st.integers(min_value=1, max_value=3),
+    )
+    def test_shared_and_private_page_sets_are_disjoint(self, fraction, tenant_count):
+        store = default_store()
+        per_tenant_pages = []
+        for index in range(tenant_count):
+            trace = store.get(_WORKLOADS[index % len(_WORKLOADS)], 2_048)
+            original_pages = tenant_code_pages(trace)
+            remapped = remap_tenant_trace(trace, index, fraction, shared_slot=index)
+            pages = set(tenant_code_pages(remapped))
+            # Bijection: the footprint never grows or shrinks.
+            assert len(pages) == len(original_pages)
+            shared = {page for page in pages if _region_of(page, index) == "shared"}
+            private = pages - shared
+            # Every page lands in the tenant's own window or the shared region.
+            assert all(_region_of(page, index) == "private" for page in private)
+            assert shared.isdisjoint(private)
+            assert len(shared) == shared_page_split(len(original_pages), fraction)
+            # Rank-based shared mapping: a contiguous run from the slot's base.
+            slot_base = SHARED_BASE_PAGE + index * SHARED_SLOT_STRIDE_PAGES
+            assert shared == {slot_base + rank for rank in range(len(shared))}
+            per_tenant_pages.append((shared, private))
+        # Private windows never collide across tenants, and neither do the
+        # shared regions of tenants in different slots (different binaries).
+        for left in range(tenant_count):
+            for right in range(left + 1, tenant_count):
+                assert per_tenant_pages[left][1].isdisjoint(per_tenant_pages[right][1])
+                assert per_tenant_pages[left][0].isdisjoint(per_tenant_pages[right][0])
+
+    @settings(max_examples=10, deadline=None)
+    @given(fraction=st.floats(min_value=0.01, max_value=1.0))
+    def test_same_workload_tenants_share_the_shared_mapping(self, fraction):
+        store = default_store()
+        trace = store.get("server_009", 2_048)
+        left = remap_tenant_trace(trace, 0, fraction)
+        right = remap_tenant_trace(trace, 1, fraction)
+        shared_left = {p for p in tenant_code_pages(left) if p < PRIVATE_BASE_PAGE}
+        shared_right = {p for p in tenant_code_pages(right) if p < PRIVATE_BASE_PAGE}
+        assert shared_left == shared_right
+
+    @settings(max_examples=10, deadline=None)
+    @given(fraction=st.floats(min_value=0.01, max_value=1.0))
+    def test_remap_preserves_branch_structure(self, fraction):
+        """Branch mix, taken-ness, ordering and same-pageness all survive."""
+        store = default_store()
+        trace = store.get("client_001", 2_048)
+        remapped = remap_tenant_trace(trace, 0, fraction)
+        assert len(remapped) == len(trace)
+        for before, after in zip(trace, remapped):
+            assert before.branch_type == after.branch_type
+            assert before.taken == after.taken
+            assert (before.pc & 0xFFF) == (after.pc & 0xFFF)
+            if before.is_branch:
+                same_before = (before.pc >> PAGE_SHIFT) == (before.target >> PAGE_SHIFT)
+                same_after = (after.pc >> PAGE_SHIFT) == (after.target >> PAGE_SHIFT)
+                assert same_before == same_after
+
+    def test_composer_scopes_shared_regions_per_workload(self):
+        """Tenants share pages only with tenants mapping the same binary:
+        a heterogeneous preset must report zero cross-workload 'sharing',
+        so its duplication counters never call unrelated code duplicated."""
+        store = default_store()
+        spec = ScenarioSpec(
+            name="hetero_vs_homo",
+            tenants=(
+                TenantSpec("a1", "server_001"),
+                TenantSpec("b1", "client_001"),
+                TenantSpec("a2", "server_001"),
+            ),
+            quantum_instructions=512,
+            shared_fraction=0.5,
+        )
+        traces = {w: store.get(w, 2_048) for w in set(spec.workloads)}
+        composer = TraceComposer(spec, traces)
+        shared_sets = []
+        for index in range(3):
+            pages = tenant_code_pages(composer.tenant_trace(index))
+            shared_sets.append({p for p in pages if p < PRIVATE_BASE_PAGE})
+        # Same binary (a1/a2): identical shared mapping.  Different binary
+        # (b1): a disjoint shared slot.
+        assert shared_sets[0] == shared_sets[2]
+        assert shared_sets[0] and shared_sets[1]
+        assert shared_sets[0].isdisjoint(shared_sets[1])
+        # The composer's own accounting agrees with the raw page walk.
+        stats = composer.code_page_stats()
+        assert set(stats) == {"a1", "b1", "a2"}
+        assert stats["a1"] == stats["a2"]
+        assert stats["a1"]["shared_pages"] == len(shared_sets[0])
+        assert stats["b1"]["shared_pages"] == len(shared_sets[1])
+        for tenant_stats in stats.values():
+            assert tenant_stats["pages"] == (
+                tenant_stats["shared_pages"] + tenant_stats["private_pages"]
+            )
+
+    def test_code_page_stats_reports_no_sharing_without_remap(self):
+        store = default_store()
+        spec = ScenarioSpec(
+            name="no_remap_stats",
+            tenants=(TenantSpec("a", "server_001"), TenantSpec("b", "server_001")),
+            quantum_instructions=512,
+            shared_fraction=0.0,
+        )
+        traces = {w: store.get(w, 2_048) for w in set(spec.workloads)}
+        stats = TraceComposer(spec, traces).code_page_stats()
+        for tenant_stats in stats.values():
+            assert tenant_stats["shared_pages"] == 0
+            assert tenant_stats["pages"] == tenant_stats["private_pages"] > 0
+
+    def test_remap_is_deterministic(self):
+        store = default_store()
+        trace = store.get("server_001", 2_048)
+        first = remap_tenant_trace(trace, 1, 0.4)
+        second = remap_tenant_trace(trace, 1, 0.4)
+        assert [i.pc for i in first] == [i.pc for i in second]
+        assert [i.target for i in first] == [i.target for i in second]
+
+
+class TestRemapScheduleProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        fraction=st.floats(min_value=0.01, max_value=1.0),
+        quantum=st.integers(min_value=32, max_value=512),
+        total=st.integers(min_value=1, max_value=3_000),
+    )
+    def test_schedule_shares_unchanged_by_remapping(self, fraction, quantum, total):
+        store = default_store()
+        plain = _spec(0.0, tenant_count=2, quantum=quantum)
+        shared = _spec(fraction, tenant_count=2, quantum=quantum)
+        traces = {w: store.get(w, 2_048) for w in set(plain.workloads)}
+        def shares(spec):
+            counts: dict[str, int] = {}
+            asids = []
+            for asid, tenant, _ in TraceComposer(spec, traces).stream(total):
+                counts[tenant] = counts.get(tenant, 0) + 1
+                asids.append(asid)
+            return counts, asids
+        plain_counts, plain_asids = shares(plain)
+        shared_counts, shared_asids = shares(shared)
+        assert plain_counts == shared_counts
+        assert plain_asids == shared_asids
+
+    def test_remapped_cells_identical_across_worker_counts(self):
+        spec = shared_variant(get_scenario("shared_services"), 0.75)
+        jobs = [
+            ScenarioJob(
+                scenario=spec.name,
+                instructions=TINY.instructions,
+                warmup_instructions=TINY.warmup_instructions,
+                style=style,
+                asid_mode=ASIDMode.TAGGED,
+                budget_kib=14.5,
+                spec=spec,
+            )
+            for style in (BTBStyle.PDEDE, BTBStyle.REDUCED)
+        ]
+        serial = ExperimentEngine(workers=1).run_jobs(jobs)
+        parallel = ExperimentEngine(workers=2).run_jobs(jobs)
+        for left, right in zip(serial, parallel):
+            assert _result_to_payload(left.result) == _result_to_payload(right.result)
+            assert left.scenario.duplication == right.scenario.duplication
+            assert left.scenario.to_dict() == right.scenario.to_dict()
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("fraction", [-0.1, 1.5, True, "half", None])
+    def test_bad_shared_fractions_rejected_naming_the_field(self, fraction):
+        with pytest.raises(ConfigurationError, match="shared_fraction"):
+            ScenarioSpec(
+                name="bad_fraction",
+                tenants=(TenantSpec("t0", "server_001"),),
+                shared_fraction=fraction,
+            )
+
+    def test_shared_fraction_normalized_to_float(self):
+        assert _spec(0).shared_fraction == 0.0
+        assert isinstance(_spec(0).shared_fraction, float)
+        assert _spec(1).shared_fraction == 1.0
+
+    def test_shared_fraction_in_config_dict_and_hash(self):
+        base = _spec(0.0)
+        shared = _spec(0.5)
+        assert base.config_dict()["shared_fraction"] == 0.0
+        assert shared.config_dict()["shared_fraction"] == 0.5
+
+    def test_shared_variant_reuses_spec_at_its_own_fraction(self):
+        """The preset's own coordinate must stay cache-identical."""
+        spec = get_scenario("shared_services")
+        assert shared_variant(spec, spec.shared_fraction) is spec
+        other = shared_variant(spec, 0.25)
+        assert other.name == "shared_services@s0.25"
+        assert other.shared_fraction == 0.25
+        with pytest.raises(ConfigurationError):
+            shared_variant(spec, 1.5)
+
+
+# -- the sweep driver ---------------------------------------------------------
+
+
+def _tiny_sweep(engine, **overrides):
+    settings_ = dict(
+        preset="shared_services",
+        fractions=(0.25, 0.5, 1.0),
+        styles=(BTBStyle.PDEDE,),
+        asid_modes=(ASIDMode.FLUSH, ASIDMode.TAGGED),
+        engine=engine,
+    )
+    settings_.update(overrides)
+    return shared_footprint.run(TINY, **settings_)
+
+
+class TestSharedFootprintSweep:
+    def test_result_structure_and_duplication_monotonicity(self):
+        result = _tiny_sweep(ExperimentEngine(workers=1))
+        assert result["axis"] == [0.25, 0.5, 1.0]
+        assert set(result["curves"]) == {"PDede/flush", "PDede/tagged"}
+        for curve in result["curves"].values():
+            for series in ("aggregate_mpki", "aggregate_ipc", "context_switches",
+                           "duplication", "per_tenant_mpki"):
+                assert len(curve[series]) == 3
+        tagged = result["curves"]["PDede/tagged"]
+        duplicated = [point["page"]["duplicated"] for point in tagged["duplication"]]
+        # Acceptance: more overlap, more duplicated page allocations -- and a
+        # strict excess of tag-distinct over distinct as soon as code is shared.
+        assert duplicated == sorted(duplicated)
+        for point in tagged["duplication"]:
+            assert point["page"]["tag_distinct"] > point["page"]["distinct"]
+        # Flush never retags across tenants, so it never duplicates.
+        flush = result["curves"]["PDede/flush"]
+        assert all(point["page"]["duplicated"] == 0 for point in flush["duplication"])
+
+    def test_partitioned_curve_reports_secondary_partitions(self):
+        result = _tiny_sweep(
+            ExperimentEngine(workers=1), asid_modes=(ASIDMode.PARTITIONED,)
+        )
+        curve = result["curves"]["PDede/partitioned"]
+        for secondary in curve["secondary_partition_sets"]:
+            assert set(secondary) == {"page", "region"}
+            assert set(secondary["page"]) == {"svc_a", "svc_b", "svc_c"}
+        for partitions in curve["partition_sets"]:
+            assert set(partitions) == {"svc_a", "svc_b", "svc_c"}
+
+    def test_warm_cache_replays_sweep_with_zero_simulations(self, tmp_path):
+        cold_engine = ExperimentEngine(workers=1, cache_dir=tmp_path)
+        cold = _tiny_sweep(cold_engine)
+        assert cold_engine.stats()["executed"] > 0
+        warm_engine = ExperimentEngine(workers=1, cache_dir=tmp_path)
+        warm = _tiny_sweep(warm_engine)
+        assert warm_engine.stats()["executed"] == 0
+        assert warm_engine.stats()["disk_hits"] > 0
+        # Duplication and secondary partitions survive the disk round-trip.
+        assert warm == cold
+
+    def test_csv_rows_cover_aggregates_tenants_and_duplication(self, tmp_path):
+        import csv
+
+        result = _tiny_sweep(ExperimentEngine(workers=1))
+        path = tmp_path / "shared.csv"
+        shared_footprint.write_csv(result, str(path))
+        with open(path, newline="", encoding="utf-8") as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows and set(rows[0]) == set(shared_footprint.CSV_FIELDS)
+        records = {row["record"] for row in rows}
+        assert "(aggregate)" in records
+        # At the tiny scale only the first two tenants ever get scheduled.
+        assert {"svc_a", "svc_b"} <= records
+        assert {"dup:main", "dup:page", "dup:region"} <= records
+        dup_rows = [row for row in rows if row["record"].startswith("dup:")]
+        assert all(row["tag_distinct"] != "" and row["distinct"] != "" for row in dup_rows)
+
+    def test_format_report_mentions_duplication(self):
+        result = _tiny_sweep(ExperimentEngine(workers=1))
+        report = shared_footprint.format_report(result)
+        assert "duplicated allocations" in report
+        assert "PDede/tagged" in report
+
+
+class TestResultSchema:
+    """Small-fix satellite: to_dict/payload must round-trip every new field."""
+
+    def test_to_dict_covers_every_field(self):
+        import dataclasses
+
+        from repro.core.metrics import ScenarioResult
+
+        field_names = {field.name for field in dataclasses.fields(ScenarioResult)}
+        job = ScenarioJob(
+            scenario="shared_services",
+            instructions=4_000,
+            warmup_instructions=1_000,
+            style=BTBStyle.REDUCED,
+            asid_mode=ASIDMode.PARTITIONED,
+            budget_kib=14.5,
+        )
+        outcome = ExperimentEngine(workers=1).run_job(job)
+        flattened = outcome.scenario.to_dict()
+        assert field_names <= set(flattened), (
+            "ScenarioResult.to_dict() dropped fields: "
+            f"{sorted(field_names - set(flattened))}"
+        )
+        assert flattened["duplication"] is not None
+        assert flattened["secondary_partition_sets"] is not None
+        assert flattened["partition_sets"] is not None
+
+    def test_payload_round_trips_new_counters(self, tmp_path):
+        job = ScenarioJob(
+            scenario="shared_services",
+            instructions=4_000,
+            warmup_instructions=1_000,
+            style=BTBStyle.PDEDE,
+            asid_mode=ASIDMode.PARTITIONED,
+            budget_kib=14.5,
+        )
+        first = ExperimentEngine(workers=1, cache_dir=tmp_path).run_job(job)
+        second = ExperimentEngine(workers=1, cache_dir=tmp_path).run_job(job)
+        assert second.scenario.duplication == first.scenario.duplication
+        assert (
+            second.scenario.secondary_partition_sets
+            == first.scenario.secondary_partition_sets
+        )
+        assert second.scenario.to_dict() == first.scenario.to_dict()
