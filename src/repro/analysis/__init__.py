@@ -1,7 +1,8 @@
-"""Analysis helpers: offset distributions, MPKI aggregation, speedup summaries."""
+"""Analysis helpers: offset distributions, MPKI aggregation, sweep plotting."""
 
 from repro.analysis.offset_analysis import OffsetDistribution, offset_distribution, combined_distribution
 from repro.analysis.aggregate import geometric_mean, summarize_results
+from repro.analysis.plotting import PlotSchemaError, detect_schema, plot_csv, render_svg
 
 __all__ = [
     "OffsetDistribution",
@@ -9,4 +10,8 @@ __all__ = [
     "combined_distribution",
     "geometric_mean",
     "summarize_results",
+    "PlotSchemaError",
+    "detect_schema",
+    "plot_csv",
+    "render_svg",
 ]

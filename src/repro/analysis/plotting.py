@@ -1,0 +1,351 @@
+"""Sweep-aware plotting: turn the sweep CSVs into committed figures.
+
+``btbx-repro sweep scenarios|shared|caches --csv`` emit flat, plot-ready rows;
+this module recognises which sweep a CSV came from by its header and renders
+one line chart per (sweep-axis, metric) combination, each with one series per
+``style/mode`` configuration (aggregate rows only -- per-tenant curves are a
+``--json`` analysis, not a headline figure).
+
+Two backends:
+
+* **svg** -- a small built-in renderer writing hand-rolled SVG.  It has no
+  dependencies and its output is *deterministic* (pure function of the rows),
+  so figures can be committed and diffed like golden results;
+* **mpl** -- matplotlib PNGs, when matplotlib is installed.  The container
+  images used by CI deliberately do not ship it, so ``auto`` falls back to
+  the SVG renderer rather than failing.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+class PlotSchemaError(ValueError):
+    """The CSV header does not match any known sweep schema."""
+
+
+#: Header signature -> (schema name, x-axis column, series-key columns,
+#: metric columns plotted, row filter column/value).
+_SCHEMAS: Dict[str, Dict[str, object]] = {
+    "scenario_sweep": {
+        "required": {"sweep", "preset", "axis_value", "style", "asid_mode", "tenant", "btb_mpki"},
+        "x": "axis_value",
+        "series": ("style", "asid_mode"),
+        "metrics": ("btb_mpki", "ipc"),
+        "aggregate": ("tenant", "(aggregate)"),
+        "facets": ("sweep", "preset"),
+    },
+    "shared_footprint": {
+        "required": {"preset", "shared_fraction", "style", "asid_mode", "record", "btb_mpki"},
+        "x": "shared_fraction",
+        "series": ("style", "asid_mode"),
+        "metrics": ("btb_mpki", "ipc"),
+        "aggregate": ("record", "(aggregate)"),
+        "facets": ("preset",),
+    },
+    "cache_interference": {
+        "required": {"sweep", "preset", "axis_value", "style", "cache_mode", "tenant", "l1i_mpki"},
+        "x": "axis_value",
+        "series": ("style", "cache_mode"),
+        "metrics": ("l1i_mpki", "l2_mpki"),
+        "aggregate": ("tenant", "(aggregate)"),
+        "facets": ("sweep", "preset"),
+    },
+}
+
+
+def detect_schema(header: Sequence[str]) -> str:
+    """Name of the sweep schema a CSV header belongs to.
+
+    Checked most-specific first (cache_interference's header is a superset
+    test away from scenario_sweep's shape but uses different metric columns).
+    """
+    columns = set(header)
+    for name in ("cache_interference", "shared_footprint", "scenario_sweep"):
+        if _SCHEMAS[name]["required"] <= columns:
+            return name
+    raise PlotSchemaError(
+        "unrecognised sweep CSV header: expected columns of 'sweep scenarios', "
+        f"'sweep shared' or 'sweep caches' output, got {sorted(columns)}"
+    )
+
+
+@dataclass
+class LineChart:
+    """One renderable chart: named series of (x, y) points."""
+
+    title: str
+    x_label: str
+    y_label: str
+    #: Series label -> ordered (x, y) points.
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+
+def _rows_to_charts(schema_name: str, rows: List[Dict[str, str]]) -> List[LineChart]:
+    """Group aggregate rows into one chart per (facet-values, metric)."""
+    schema = _SCHEMAS[schema_name]
+    filter_column, filter_value = schema["aggregate"]
+    facets: Tuple[str, ...] = schema["facets"]
+    x_column: str = schema["x"]
+    series_columns: Tuple[str, ...] = schema["series"]
+
+    charts: Dict[Tuple[Tuple[str, ...], str], LineChart] = {}
+    for row in rows:
+        if row.get(filter_column) != filter_value:
+            continue
+        facet_values = tuple(row[column] for column in facets)
+        series_key = "/".join(row[column] for column in series_columns)
+        for metric in schema["metrics"]:
+            value = row.get(metric, "")
+            if value in ("", None):
+                continue
+            chart_key = (facet_values, metric)
+            chart = charts.get(chart_key)
+            if chart is None:
+                facet_label = " ".join(facet_values)
+                chart = charts[chart_key] = LineChart(
+                    title=f"{facet_label}: {metric}",
+                    x_label=x_column,
+                    y_label=metric,
+                )
+            chart.series.setdefault(series_key, []).append(
+                (float(row[x_column]), float(value))
+            )
+    ordered = list(charts.values())
+    for chart in ordered:
+        for points in chart.series.values():
+            points.sort(key=lambda point: point[0])
+    return ordered
+
+
+def _chart_slug(chart: LineChart) -> str:
+    slug = chart.title.lower()
+    for bad in (":", "/", " "):
+        slug = slug.replace(bad, "_")
+    while "__" in slug:
+        slug = slug.replace("__", "_")
+    return slug.strip("_")
+
+
+# -- the built-in SVG renderer -------------------------------------------------
+
+#: Categorical series colors (Okabe-Ito, colorblind-safe, stable order).
+_COLORS = (
+    "#0072B2",
+    "#D55E00",
+    "#009E73",
+    "#CC79A7",
+    "#E69F00",
+    "#56B4E9",
+    "#F0E442",
+    "#000000",
+)
+
+_WIDTH, _HEIGHT = 720, 440
+_MARGIN_LEFT, _MARGIN_RIGHT = 72, 200
+_MARGIN_TOP, _MARGIN_BOTTOM = 48, 56
+
+
+def _ticks(low: float, high: float, count: int = 5) -> List[float]:
+    """Evenly spaced axis ticks (deterministic, no "nice number" rounding)."""
+    if high == low:
+        return [low]
+    step = (high - low) / (count - 1)
+    return [low + index * step for index in range(count)]
+
+
+def _format_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def render_svg(chart: LineChart) -> str:
+    """Render one chart as a standalone SVG document (deterministic)."""
+    plot_width = _WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_height = _HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM
+    all_points = [point for points in chart.series.values() for point in points]
+    xs = [x for x, _ in all_points] or [0.0]
+    ys = [y for _, y in all_points] or [0.0]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(min(ys), 0.0), max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    def sx(value: float) -> float:
+        return _MARGIN_LEFT + (value - x_low) / (x_high - x_low) * plot_width
+
+    def sy(value: float) -> float:
+        return _MARGIN_TOP + plot_height - (value - y_low) / (y_high - y_low) * plot_height
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" height="{_HEIGHT}" '
+        f'viewBox="0 0 {_WIDTH} {_HEIGHT}" font-family="Helvetica, Arial, sans-serif">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_MARGIN_LEFT}" y="24" font-size="15" font-weight="bold">'
+        f"{_escape(chart.title)}</text>",
+    ]
+    # Axes, gridlines, ticks.
+    for tick in _ticks(y_low, y_high):
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{y:.2f}" x2="{_MARGIN_LEFT + plot_width}" '
+            f'y2="{y:.2f}" stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 8}" y="{y + 4:.2f}" font-size="11" '
+            f'text-anchor="end">{_format_tick(tick)}</text>'
+        )
+    for tick in _ticks(x_low, x_high):
+        x = sx(tick)
+        parts.append(
+            f'<line x1="{x:.2f}" y1="{_MARGIN_TOP + plot_height}" x2="{x:.2f}" '
+            f'y2="{_MARGIN_TOP + plot_height + 5}" stroke="#333333" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{x:.2f}" y="{_MARGIN_TOP + plot_height + 20}" font-size="11" '
+            f'text-anchor="middle">{_format_tick(tick)}</text>'
+        )
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP}" x2="{_MARGIN_LEFT}" '
+        f'y2="{_MARGIN_TOP + plot_height}" stroke="#333333" stroke-width="1"/>'
+    )
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP + plot_height}" '
+        f'x2="{_MARGIN_LEFT + plot_width}" y2="{_MARGIN_TOP + plot_height}" '
+        f'stroke="#333333" stroke-width="1"/>'
+    )
+    # Axis labels.
+    parts.append(
+        f'<text x="{_MARGIN_LEFT + plot_width / 2:.2f}" y="{_HEIGHT - 12}" '
+        f'font-size="12" text-anchor="middle">{_escape(chart.x_label)}</text>'
+    )
+    parts.append(
+        f'<text x="18" y="{_MARGIN_TOP + plot_height / 2:.2f}" font-size="12" '
+        f'text-anchor="middle" transform="rotate(-90 18 '
+        f'{_MARGIN_TOP + plot_height / 2:.2f})">{_escape(chart.y_label)}</text>'
+    )
+    # Series polylines + legend (insertion order = CSV order: deterministic).
+    legend_y = _MARGIN_TOP + 6
+    for position, (label, points) in enumerate(chart.series.items()):
+        color = _COLORS[position % len(_COLORS)]
+        coords = " ".join(f"{sx(x):.2f},{sy(y):.2f}" for x, y in points)
+        parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        for x, y in points:
+            parts.append(
+                f'<circle cx="{sx(x):.2f}" cy="{sy(y):.2f}" r="3" fill="{color}"/>'
+            )
+        legend_x = _MARGIN_LEFT + plot_width + 16
+        parts.append(
+            f'<line x1="{legend_x}" y1="{legend_y + 4}" x2="{legend_x + 22}" '
+            f'y2="{legend_y + 4}" stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 28}" y="{legend_y + 8}" font-size="11">'
+            f"{_escape(label)}</text>"
+        )
+        legend_y += 18
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def _escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+# -- backends ------------------------------------------------------------------
+
+
+def _render_mpl(chart: LineChart, path: str) -> None:  # pragma: no cover - optional dep
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    figure, axes = plt.subplots(figsize=(7.2, 4.4))
+    for position, (label, points) in enumerate(chart.series.items()):
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        axes.plot(xs, ys, marker="o", label=label, color=_COLORS[position % len(_COLORS)])
+    axes.set_title(chart.title)
+    axes.set_xlabel(chart.x_label)
+    axes.set_ylabel(chart.y_label)
+    axes.grid(axis="y", alpha=0.4)
+    axes.legend(loc="center left", bbox_to_anchor=(1.02, 0.5), fontsize=8)
+    figure.tight_layout()
+    figure.savefig(path, dpi=120)
+    plt.close(figure)
+
+
+def matplotlib_available() -> bool:
+    """Whether the optional matplotlib backend can be used."""
+    try:  # pragma: no cover - environment-dependent
+        import matplotlib  # noqa: F401
+    except ImportError:
+        return False
+    return True  # pragma: no cover - environment-dependent
+
+
+def resolve_backend(backend: str = "auto") -> str:
+    """Map a requested backend name to a usable one ('svg' or 'mpl')."""
+    if backend == "svg":
+        return "svg"
+    if backend == "mpl":
+        if not matplotlib_available():
+            raise PlotSchemaError(
+                "matplotlib is not installed; use --backend svg (the built-in "
+                "deterministic renderer) instead"
+            )
+        return "mpl"
+    if backend == "auto":
+        return "mpl" if matplotlib_available() else "svg"
+    raise PlotSchemaError(f"unknown plot backend {backend!r}")
+
+
+# -- entry point ---------------------------------------------------------------
+
+
+def plot_csv(
+    csv_path: str,
+    out_dir: str | None = None,
+    backend: str = "auto",
+) -> List[str]:
+    """Render every chart a sweep CSV contains; returns the written paths.
+
+    Figures are named ``<csv stem>_<chart slug>.<ext>`` and written next to
+    the CSV unless ``out_dir`` is given.  The SVG backend's output is a pure
+    function of the CSV rows, so regenerating a committed figure from an
+    unchanged CSV is a no-op diff.
+    """
+    chosen = resolve_backend(backend)
+    with open(csv_path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise PlotSchemaError(f"{csv_path} is empty (no CSV header)")
+        schema_name = detect_schema(reader.fieldnames)
+        rows = list(reader)
+    charts = _rows_to_charts(schema_name, rows)
+
+    directory = out_dir if out_dir is not None else (os.path.dirname(csv_path) or ".")
+    os.makedirs(directory, exist_ok=True)
+    stem = os.path.splitext(os.path.basename(csv_path))[0]
+    extension = "svg" if chosen == "svg" else "png"
+
+    written: List[str] = []
+    for chart in charts:
+        path = os.path.join(directory, f"{stem}_{_chart_slug(chart)}.{extension}")
+        if chosen == "svg":
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(render_svg(chart))
+        else:  # pragma: no cover - optional dep
+            _render_mpl(chart, path)
+        written.append(path)
+    return written

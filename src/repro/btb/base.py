@@ -11,6 +11,11 @@ Every organization implements the same three operations the front end needs:
 The lookup result distinguishes three cases the branch-prediction unit treats
 differently: a miss, a hit whose target is supplied by the BTB, and a hit on a
 return whose target must be read from the return address stack.
+
+Everything ASID-shaped -- tag coloring, capacity partitioning, duplication
+accounting -- is delegated to one :class:`repro.common.asid.AddressSpacePolicy`
+per organization (secondary structures register extra *domains* on the same
+policy), so the context-switch semantics live in exactly one module.
 """
 
 from __future__ import annotations
@@ -19,10 +24,8 @@ import abc
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.common.asid import AddressSpacePolicy
 from repro.common.bitutils import fold_xor
-# Aliased: BTBBase.partition_set_counts() (reports the current map) would
-# otherwise shadow this apportionment helper within the class body.
-from repro.common.config import partition_set_counts as apportion_set_counts
 from repro.common.stats import StatGroup, Stats
 from repro.isa.branch import BranchType
 from repro.isa.instruction import Instruction
@@ -52,24 +55,21 @@ class BTBLookupResult:
 #: Shared immutable miss result, avoiding one allocation per missing lookup.
 _MISS_RESULT = BTBLookupResult(hit=False)
 
-#: Multiplier spreading an ASID over the PC bits folded into partial tags.
-#: ASID 0 colors to the identity, so single-address-space simulations are
-#: bit-identical whether or not tagging is in effect.
-_ASID_SALT = 0x9E3779B97F4A7C15
-
-#: ASID color bits sit above bit 16.  The colored PC feeds ONLY the partial-tag
-#: hash, never set indexing, so tagging changes which entries *match*, not
-#: which set a branch lives in -- exactly how hardware ASID tags behave (this
-#: also holds for non-power-of-two set counts, whose modulo indexing would
-#: otherwise be scrambled by high color bits).
-_ASID_SHIFT = 16
-
 
 class BTBBase(abc.ABC):
     """Abstract base class of every BTB organization."""
 
     #: Short machine-readable name ("conventional", "pdede", "btbx", ...).
     name: str = "btb"
+
+    #: Policy domain of the organization's primary (main) array.
+    _MAIN_DOMAIN = "main"
+
+    #: Whether :meth:`configure_partitions` falls back to (tagged) sharing
+    #: when the structure has fewer sets than tenants.  Primary arrays are
+    #: strict -- a too-small structure is a configuration error -- while tiny
+    #: companion structures (BTB-XC) share instead, like every secondary.
+    _PARTITION_FALLBACK = False
 
     def __init__(self, stats: Stats | None = None) -> None:
         self._stats_registry = stats if stats is not None else Stats()
@@ -80,19 +80,9 @@ class BTBBase(abc.ABC):
         self.reads: dict[str, int] = {}
         self.writes: dict[str, int] = {}
         self.searches: dict[str, int] = {}
-        #: Address-space identifier of the currently scheduled tenant.  Only
-        #: relevant under ASID-tagged retention; stays 0 otherwise.
-        self.active_asid: int = 0
-        #: Per-tenant set partitioning (``ASIDMode.PARTITIONED``): a list of
-        #: ``(first_set, set_count)`` ranges, one per tenant, or ``None`` when
-        #: the whole structure is shared.  See :meth:`configure_partitions`.
-        self._partition_ranges: list[tuple[int, int]] | None = None
-        # Duplication accounting: per structure, the distinct raw keys ever
-        # allocated and the distinct (asid, key) pairs.  The gap between the
-        # two is the storage ASID tagging duplicates when tenants share code
-        # (the same branch/page living once per address space).
-        self._alloc_distinct: dict[str, set] = {}
-        self._alloc_tagged: dict[str, set] = {}
+        #: All ASID machinery (tag coloring, partitioning, duplication
+        #: accounting) for this organization and its secondary structures.
+        self.asid_policy = AddressSpacePolicy()
 
     # -- mandatory interface ----------------------------------------------
 
@@ -118,6 +108,11 @@ class BTBBase(abc.ABC):
 
     # -- shared helpers ----------------------------------------------------
 
+    @property
+    def active_asid(self) -> int:
+        """Address-space identifier of the currently scheduled tenant."""
+        return self.asid_policy.active_asid
+
     def set_active_asid(self, asid: int) -> None:
         """Switch the address space the BTB tags its entries with.
 
@@ -126,7 +121,7 @@ class BTBBase(abc.ABC):
         another while all tenants share the same storage.  ASID 0 is the
         neutral color: with it, tagging is a no-op.
         """
-        self.active_asid = asid
+        self.asid_policy.activate(asid)
 
     def configure_partitions(self, weights: Sequence[int] | None) -> None:
         """Split this organization's sets among tenants (``None`` to share).
@@ -146,12 +141,13 @@ class BTBBase(abc.ABC):
         (including back to shared): entries installed under a different map
         would be unreachable or, worse, reachable from the wrong slice.
         """
-        if weights is None:
-            if self._partition_ranges is not None:
-                self._partition_ranges = None
+        if weights is None or (
+            self._PARTITION_FALLBACK and self._partitionable_sets() < len(weights)
+        ):
+            if self.asid_policy.clear(self._MAIN_DOMAIN):
                 self.invalidate_all()
             return
-        self._partition_ranges = partition_ranges(self._partitionable_sets(), weights)
+        self.asid_policy.configure(self._MAIN_DOMAIN, self._partitionable_sets(), weights)
         self.invalidate_all()
 
     def _partitionable_sets(self) -> int:
@@ -167,9 +163,7 @@ class BTBBase(abc.ABC):
 
     def partition_set_counts(self) -> list[int] | None:
         """Sets per tenant partition (``None`` when the structure is shared)."""
-        if self._partition_ranges is None:
-            return None
-        return [count for _, count in self._partition_ranges]
+        return self.asid_policy.domain_counts(self._MAIN_DOMAIN)
 
     def secondary_partition_counts(self) -> dict[str, list[int]]:
         """Per-tenant capacity of each partitioned *secondary* structure.
@@ -178,9 +172,11 @@ class BTBBase(abc.ABC):
         R-BTB's Page-BTB, BTB-X's companion) report the per-tenant slice sizes
         of every secondary structure they actually partitioned; structures
         that fell back to sharing (fewer sets/entries than tenants) are
-        omitted.  The base implementation has no secondary structures.
+        omitted.  The base implementation reports every partitioned policy
+        domain other than the main array, which covers any organization that
+        registers its secondaries as extra domains.
         """
-        return {}
+        return self.asid_policy.partition_report(exclude=(self._MAIN_DOMAIN,))
 
     def partitioned_set_index(self, pc: int, num_sets: int, alignment_bits: int) -> int:
         """Set index for ``pc``, confined to the active tenant's partition.
@@ -190,11 +186,7 @@ class BTBBase(abc.ABC):
         active slice and is offset to the slice's base, so lookups and updates
         of different tenants can never touch the same set.
         """
-        ranges = self._partition_ranges
-        if ranges is None:
-            return set_index(pc, num_sets, alignment_bits)
-        base, count = ranges[self.active_asid % len(ranges)]
-        return base + set_index(pc, count, alignment_bits)
+        return self.asid_policy.set_index(self._MAIN_DOMAIN, pc, num_sets, alignment_bits)
 
     def asid_colored(self, pc: int) -> int:
         """``pc`` with the active ASID mixed into the bits the tag hash folds.
@@ -203,10 +195,7 @@ class BTBBase(abc.ABC):
         set indexing and target recovery (BTB-X offset concatenation, PDede
         same-page rebuild) must keep using the raw PC.
         """
-        asid = self.active_asid
-        if not asid:
-            return pc
-        return pc ^ ((asid * _ASID_SALT) << _ASID_SHIFT)
+        return self.asid_policy.colored(pc)
 
     def storage_kib(self) -> float:
         """Storage requirement in KiB."""
@@ -215,40 +204,19 @@ class BTBBase(abc.ABC):
     def record_allocation(self, structure: str, key: int) -> None:
         """Note that ``structure`` was asked to track ``key`` (duplication stats).
 
-        ``key`` identifies the allocated content (a branch PC for main
-        structures, a full target page or region number for the deduplication
-        structures); the active ASID is folded in automatically.  Called at
-        *reference* time -- on every update that wants the content resident --
-        not at install time, so the recorded sets are a pure function of the
-        update stream: eviction dynamics, partial-tag aliasing and partition
-        layouts cannot perturb them.  Pure bookkeeping: never affects
-        lookup/update behaviour.
+        Delegates to :meth:`repro.common.asid.AddressSpacePolicy.record_allocation`;
+        see there for the reference-time semantics.
         """
-        self._alloc_distinct.setdefault(structure, set()).add(key)
-        self._alloc_tagged.setdefault(structure, set()).add((self.active_asid, key))
+        self.asid_policy.record_allocation(structure, key)
 
     def duplication_counts(self) -> dict[str, dict[str, int]]:
         """Distinct vs tag-distinct allocations per structure.
 
-        Maps structure name to ``{"distinct", "tag_distinct", "duplicated"}``:
-        ``distinct`` counts unique contents the structure was ever asked to
-        track (branch PCs, target pages, regions), ``tag_distinct`` counts
-        unique ``(asid, content)`` pairs -- the entries an ASID-tagged
-        organization actually has to provide for -- and ``duplicated`` is
-        their difference: the capacity spent on storing the *same* content
-        once per address space.  Counted over the whole run (warmup
-        included): duplication is a footprint property, not a rate, so it is
-        deliberately not reset at the measurement boundary.
+        See :meth:`repro.common.asid.AddressSpacePolicy.duplication_counts`
+        for the counter semantics; organizations whose secondaries keep their
+        own policy (BTB-X's companion) merge the reports.
         """
-        counts: dict[str, dict[str, int]] = {}
-        for structure, distinct in self._alloc_distinct.items():
-            tagged = self._alloc_tagged[structure]
-            counts[structure] = {
-                "distinct": len(distinct),
-                "tag_distinct": len(tagged),
-                "duplicated": len(tagged) - len(distinct),
-            }
-        return counts
+        return self.asid_policy.duplication_counts()
 
     def record_read(self, structure: str = "main") -> None:
         """Count one read access of ``structure`` (used by the energy model)."""
@@ -280,6 +248,17 @@ class BTBBase(abc.ABC):
             counts[f"searches.{structure}"] = counts.get(f"searches.{structure}", 0.0) + count
         return counts
 
+    def energy_access_counts(self) -> dict[str, float]:
+        """Access counters exactly as the energy model consumes them.
+
+        The one authoritative merge point for organizations whose secondary
+        structures keep their own counters (BTB-X's companion overrides
+        this): both :meth:`repro.energy.btb_energy.BTBEnergyModel.energy_from_btb`
+        and the scenario runner's exported ``btb_access_counts`` consume this
+        method, so the two can never drift apart.
+        """
+        return {key: float(value) for key, value in self.access_counts().items()}
+
     def reset_stats(self) -> None:
         """Zero all access counters (used between warmup and measurement)."""
         prefix = self.stats.prefix + "."
@@ -297,30 +276,6 @@ class BTBBase(abc.ABC):
         )
 
 
-def partition_ranges(total: int, weights: Sequence[int]) -> list[tuple[int, int]]:
-    """Contiguous ``(base, count)`` slices apportioning ``total`` by ``weights``."""
-    counts = apportion_set_counts(total, weights)
-    ranges: list[tuple[int, int]] = []
-    base = 0
-    for count in counts:
-        ranges.append((base, count))
-        base += count
-    return ranges
-
-
-def partition_ranges_or_shared(total: int, weights: Sequence[int]) -> list[tuple[int, int]] | None:
-    """Like :func:`partition_ranges`, but fall back to sharing when too small.
-
-    A structure with fewer sets/entries than tenants cannot give everyone a
-    slice; it stays shared instead (``None``), exactly like BTB-X's companion
-    -- its entries are still ASID-colored/tagged, so sharing is false-hit
-    free and the only cross-tenant effect is eviction pressure.
-    """
-    if total < len(weights):
-        return None
-    return partition_ranges(total, weights)
-
-
 def partial_tag(pc: int, index_bits_consumed: int, tag_bits: int, alignment_bits: int) -> int:
     """Hash the PC down to a partial tag.
 
@@ -336,20 +291,6 @@ def partial_tag(pc: int, index_bits_consumed: int, tag_bits: int, alignment_bits
     del index_bits_consumed  # see docstring: always fold the full PC
     high = pc >> alignment_bits
     return fold_xor(high, tag_bits) if high else 0
-
-
-def set_index(pc: int, num_sets: int, alignment_bits: int) -> int:
-    """Set index for a PC: low-order PC bits above the alignment bits.
-
-    Non-power-of-two set counts (which arise when matching a storage budget
-    exactly, e.g. a 1856-entry conventional BTB) use modulo indexing.
-    """
-    if num_sets <= 0:
-        raise ValueError("a BTB needs at least one set")
-    shifted = pc >> alignment_bits
-    if num_sets & (num_sets - 1) == 0:
-        return shifted & (num_sets - 1)
-    return shifted % num_sets
 
 
 def index_bits_of(num_sets: int) -> int:

@@ -82,6 +82,10 @@ class BTBXC(BTBBase):
 
     name = "btbxc"
 
+    # The companion can be as small as a single entry; with fewer entries
+    # than tenants it stays shared (still ASID-colored) instead of erroring.
+    _PARTITION_FALLBACK = True
+
     def __init__(
         self,
         entries: int,
@@ -249,11 +253,7 @@ class BTBX(BTBBase):
         sliver of capacity).
         """
         super().configure_partitions(weights)
-        if self.companion is None:
-            return
-        if weights is not None and self.companion.num_sets < len(weights):
-            self.companion.configure_partitions(None)
-        else:
+        if self.companion is not None:
             self.companion.configure_partitions(weights)
 
     def secondary_partition_counts(self) -> dict[str, list[int]]:
@@ -269,6 +269,32 @@ class BTBX(BTBBase):
         if self.companion is not None:
             counts.update(self.companion.duplication_counts())
         return counts
+
+    def energy_access_counts(self) -> dict[str, float]:
+        """Main counters plus the companion's read/write/search traffic.
+
+        Only the access-counter keys are merged: the companion's *event*
+        counters (hits/misses) are already folded into the main BTB's stats
+        by :meth:`lookup`, so summing those as well would double-count.
+        """
+        counts = super().energy_access_counts()
+        if self.companion is not None:
+            for key, value in self.companion.access_counts().items():
+                if key.startswith(("reads.", "writes.", "searches.")):
+                    counts[key] = counts.get(key, 0.0) + float(value)
+        return counts
+
+    def reset_stats(self) -> None:
+        """Zero the main counters *and* the companion's.
+
+        The companion is a separate :class:`BTBBase` with its own counter
+        dicts and stats prefix; without this override a warmup/measurement
+        boundary would reset the main BTB only, leaving warmup traffic in
+        the companion's counters (and so in the exported energy numbers).
+        """
+        super().reset_stats()
+        if self.companion is not None:
+            self.companion.reset_stats()
 
     def _recover_target(self, pc: int, entry: _Entry) -> int:
         """Concatenate the branch PC's high bits with the stored offset.

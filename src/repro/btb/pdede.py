@@ -34,13 +34,7 @@ from repro.common.lru import LRUState
 from repro.common.stats import Stats
 from repro.isa.branch import BranchType
 from repro.isa.instruction import Instruction
-from repro.btb.base import (
-    BTBBase,
-    BTBLookupResult,
-    index_bits_of,
-    partial_tag,
-    partition_ranges_or_shared,
-)
+from repro.btb.base import BTBBase, BTBLookupResult, index_bits_of, partial_tag
 
 VALID_BITS = 1
 TAG_BITS = 12
@@ -134,11 +128,6 @@ class PDedeBTB(BTBBase):
         self._page_lru = [LRUState(self.page_associativity) for _ in range(self._page_sets)]
         self._regions = [_RegionEntry() for _ in range(region_entries)]
         self._region_lru = LRUState(region_entries)
-        # Secondary-structure partitioning (``ASIDMode.PARTITIONED``): slices
-        # of Page-BTB *sets* and Region-BTB *entries* per tenant, or ``None``
-        # when the structure is shared (including the too-small fallback).
-        self._page_partition_ranges: List[tuple[int, int]] | None = None
-        self._region_partition_ranges: List[tuple[int, int]] | None = None
 
     # -- geometry ----------------------------------------------------------
 
@@ -223,35 +212,21 @@ class PDedeBTB(BTBBase):
         """
         super().configure_partitions(weights)
         if weights is None:
-            self._page_partition_ranges = None
-            self._region_partition_ranges = None
+            self.asid_policy.clear("page")
+            self.asid_policy.clear("region")
             return
-        self._page_partition_ranges = partition_ranges_or_shared(self._page_sets, weights)
-        self._region_partition_ranges = partition_ranges_or_shared(
-            self.region_entries, weights
+        self.asid_policy.configure("page", self._page_sets, weights, fallback_to_shared=True)
+        self.asid_policy.configure(
+            "region", self.region_entries, weights, fallback_to_shared=True
         )
 
-    def secondary_partition_counts(self) -> dict[str, list[int]]:
-        """Per-tenant Page-BTB set counts and Region-BTB entry counts."""
-        counts: dict[str, list[int]] = {}
-        if self._page_partition_ranges is not None:
-            counts["page"] = [count for _, count in self._page_partition_ranges]
-        if self._region_partition_ranges is not None:
-            counts["region"] = [count for _, count in self._region_partition_ranges]
-        return counts
-
     def _page_set_index(self, page_number: int, region_number: int) -> int:
-        ranges = self._page_partition_ranges
-        if ranges is None:
-            return (page_number ^ region_number) % self._page_sets
-        base, count = ranges[self.active_asid % len(ranges)]
-        return base + (page_number ^ region_number) % count
+        return self.asid_policy.modulo_index(
+            "page", page_number ^ region_number, self._page_sets
+        )
 
     def _region_slice(self) -> tuple[int, int]:
-        ranges = self._region_partition_ranges
-        if ranges is None:
-            return 0, self.region_entries
-        return ranges[self.active_asid % len(ranges)]
+        return self.asid_policy.entry_slice("region", self.region_entries)
 
     def _find_page(self, page_number: int, set_index_: int) -> int | None:
         base = set_index_ * self.page_associativity

@@ -27,13 +27,7 @@ from repro.common.lru import LRUState
 from repro.common.stats import Stats
 from repro.isa.branch import BranchType
 from repro.isa.instruction import Instruction
-from repro.btb.base import (
-    BTBBase,
-    BTBLookupResult,
-    index_bits_of,
-    partial_tag,
-    partition_ranges_or_shared,
-)
+from repro.btb.base import BTBBase, BTBLookupResult, index_bits_of, partial_tag
 
 VALID_BITS = 1
 TAG_BITS = 12
@@ -95,9 +89,6 @@ class ReducedBTB(BTBBase):
         self._lru = [LRUState(associativity) for _ in range(self.num_sets)]
         self._pages = [_PageEntry() for _ in range(page_entries)]
         self._page_lru = LRUState(page_entries)
-        # Page-BTB entry slices per tenant (``ASIDMode.PARTITIONED``); ``None``
-        # when the structure is shared (including the too-small fallback).
-        self._page_partition_ranges: List[tuple[int, int]] | None = None
 
     # -- geometry ----------------------------------------------------------
 
@@ -144,21 +135,12 @@ class ReducedBTB(BTBBase):
         """
         super().configure_partitions(weights)
         if weights is None:
-            self._page_partition_ranges = None
+            self.asid_policy.clear("page")
             return
-        self._page_partition_ranges = partition_ranges_or_shared(self.page_entries, weights)
-
-    def secondary_partition_counts(self) -> dict[str, list[int]]:
-        """Per-tenant Page-BTB entry counts, when partitioned."""
-        if self._page_partition_ranges is None:
-            return {}
-        return {"page": [count for _, count in self._page_partition_ranges]}
+        self.asid_policy.configure("page", self.page_entries, weights, fallback_to_shared=True)
 
     def _page_slice(self) -> tuple[int, int]:
-        ranges = self._page_partition_ranges
-        if ranges is None:
-            return 0, self.page_entries
-        return ranges[self.active_asid % len(ranges)]
+        return self.asid_policy.entry_slice("page", self.page_entries)
 
     def _find_page(self, page_number: int) -> int | None:
         base, count = self._page_slice()

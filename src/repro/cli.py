@@ -53,6 +53,7 @@ EXPERIMENTS: Dict[str, str] = {
     "scenario_study": "repro.experiments.scenario_study",
     "scenario_sweep": "repro.experiments.scenario_sweep",
     "shared_footprint": "repro.experiments.shared_footprint",
+    "cache_interference": "repro.experiments.cache_interference",
 }
 
 _SCALES = {"smoke": SMOKE_SCALE, "quick": QUICK_SCALE, "full": FULL_SCALE}
@@ -205,6 +206,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_shared.add_argument("--json", dest="json_path", help="dump the raw result as JSON")
     sweep_shared.add_argument("--csv", dest="csv_path", help="dump flat per-point rows as CSV")
+
+    sweep_caches = sweep_sub.add_parser(
+        "caches",
+        help="per-tenant L1-I/L2 MPKI vs quantum and tenant count across cache "
+        "ASID modes (flush/tagged/partitioned hierarchy)",
+    )
+    sweep_caches.add_argument(
+        "--preset",
+        action="append",
+        dest="presets",
+        metavar="NAME",
+        help="scenario preset to sweep (repeatable; default: every registered preset)",
+    )
+    _add_engine_arguments(sweep_caches)
+    sweep_caches.add_argument(
+        "--quanta",
+        help="comma-separated quantum lengths in instructions (default: 1024..16384)",
+    )
+    sweep_caches.add_argument(
+        "--tenant-counts",
+        dest="tenant_counts",
+        help="comma-separated tenant counts (default: 1..len(preset tenants))",
+    )
+    sweep_caches.add_argument(
+        "--style",
+        help="BTB style the sweep runs on (conventional,rbtb,pdede,btbx,ideal; "
+        "default: btbx)",
+    )
+    sweep_caches.add_argument(
+        "--cache-modes",
+        dest="cache_modes",
+        help="comma-separated cache ASID modes (flush,tagged,partitioned; "
+        "default: all three)",
+    )
+    sweep_caches.add_argument(
+        "--budget-kib",
+        dest="budget_kib",
+        type=float,
+        default=None,
+        help="BTB storage budget in KiB (default: the paper's 14.5)",
+    )
+    sweep_caches.add_argument("--json", dest="json_path", help="dump the raw result as JSON")
+    sweep_caches.add_argument("--csv", dest="csv_path", help="dump flat per-point rows as CSV")
+
+    plot_parser = sub.add_parser(
+        "plot", help="render sweep CSV output (scenario/shared/cache sweeps) as figures"
+    )
+    plot_parser.add_argument("csv_path", help="sweep CSV produced by a --csv flag")
+    plot_parser.add_argument(
+        "--out-dir",
+        dest="out_dir",
+        help="directory for the emitted figures (default: next to the CSV)",
+    )
+    plot_parser.add_argument(
+        "--backend",
+        choices=["auto", "svg", "mpl"],
+        default="auto",
+        help="'svg' = built-in deterministic SVG renderer, 'mpl' = matplotlib "
+        "(if installed); 'auto' prefers matplotlib when available",
+    )
 
     cache_parser = sub.add_parser("cache", help="inspect or prune the on-disk result cache")
     cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
@@ -397,11 +458,13 @@ def _parse_styles(text: str, parser: argparse.ArgumentParser) -> list:
         parser.error(f"--styles: {exc}")
 
 
-def _parse_asid_modes(text: str, parser: argparse.ArgumentParser) -> List[ASIDMode]:
+def _parse_asid_modes(
+    text: str, parser: argparse.ArgumentParser, flag: str = "--asid-modes"
+) -> List[ASIDMode]:
     try:
         return [ASIDMode(token.strip()) for token in text.split(",")]
     except ValueError as exc:
-        parser.error(f"--asid-modes: {exc}")
+        parser.error(f"{flag}: {exc}")
 
 
 def run_shared_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -452,8 +515,67 @@ def run_shared_sweep_command(args: argparse.Namespace, parser: argparse.Argument
     return 0
 
 
+def run_cache_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Handle ``sweep caches``."""
+    from repro.common.errors import ConfigurationError
+    from repro.experiments import cache_interference
+    from repro.experiments.config import DEFAULT_BUDGET_KIB
+    from repro.scenarios.presets import get_scenario
+
+    presets = args.presets
+    if presets:
+        for name in presets:
+            try:
+                get_scenario(name)
+            except ConfigurationError as exc:
+                parser.error(str(exc))
+    quanta = (
+        _parse_int_list(args.quanta, "--quanta", parser)
+        if args.quanta
+        else cache_interference.DEFAULT_QUANTA
+    )
+    tenant_counts = (
+        _parse_int_list(args.tenant_counts, "--tenant-counts", parser)
+        if args.tenant_counts
+        else None
+    )
+    if args.style:
+        styles = _parse_styles(args.style, parser)
+        if len(styles) != 1:
+            parser.error(
+                f"--style expects exactly one BTB style, got {len(styles)}: {args.style!r}"
+            )
+        style = styles[0]
+    else:
+        style = cache_interference.DEFAULT_STYLE
+    cache_modes = (
+        _parse_asid_modes(args.cache_modes, parser, flag="--cache-modes")
+        if args.cache_modes
+        else list(cache_interference.SWEEP_CACHE_MODES)
+    )
+    if args.budget_kib is not None and args.budget_kib <= 0:
+        parser.error(f"--budget-kib must be positive, got {args.budget_kib}")
+    try:
+        engine = make_engine(workers=args.workers, cache_dir=args.cache_dir)
+    except OSError as exc:
+        parser.error(f"cannot use cache directory {args.cache_dir!r}: {exc}")
+    result = cache_interference.run(
+        resolve_scale(args.scale),
+        budget_kib=args.budget_kib if args.budget_kib is not None else DEFAULT_BUDGET_KIB,
+        presets=presets,
+        style=style,
+        cache_modes=cache_modes,
+        quanta=quanta,
+        tenant_counts=tenant_counts,
+        engine=engine,
+    )
+    print(cache_interference.format_report(result))
+    _write_result_outputs(result, args.json_path, args.csv_path, cache_interference.write_csv)
+    return 0
+
+
 def run_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
-    """Handle ``sweep scenarios`` and ``sweep shared``."""
+    """Handle ``sweep scenarios``, ``sweep shared`` and ``sweep caches``."""
     from repro.common.errors import ConfigurationError
     from repro.experiments import scenario_sweep
     from repro.experiments.config import DEFAULT_BUDGET_KIB
@@ -461,6 +583,8 @@ def run_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser)
 
     if args.sweep_command == "shared":
         return run_shared_sweep_command(args, parser)
+    if args.sweep_command == "caches":
+        return run_cache_sweep_command(args, parser)
 
     presets = args.presets
     if presets:
@@ -513,6 +637,27 @@ def run_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser)
     return 0
 
 
+def run_plot_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Handle ``plot``: render a sweep CSV into one figure per metric."""
+    import os
+
+    from repro.analysis import plotting
+
+    if not os.path.isfile(args.csv_path):
+        parser.error(f"no such CSV file: {args.csv_path}")
+    try:
+        figures = plotting.plot_csv(
+            args.csv_path, out_dir=args.out_dir, backend=args.backend
+        )
+    except plotting.PlotSchemaError as exc:
+        parser.error(str(exc))
+    for path in figures:
+        print(f"wrote {path}")
+    if not figures:
+        print("nothing to plot (no rows in the CSV)")
+    return 0
+
+
 def run_cache_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     """Handle ``cache stats`` and ``cache prune``.
 
@@ -534,16 +679,31 @@ def run_cache_command(args: argparse.Namespace, parser: argparse.ArgumentParser)
     except OSError as exc:
         parser.error(f"cannot use cache directory {args.cache_dir!r}: {exc}")
 
+    from repro.experiments.engine import CACHE_FORMAT_VERSION
+
     if args.cache_command == "stats":
         stats = cache.stats()
+        versions = cache.format_versions()
         print(f"cache directory : {stats['directory']}")
         print(f"entries         : {stats['entries']}")
         print(f"total bytes     : {stats['total_bytes']}")
+        if versions:
+            rendered = ", ".join(f"v{version}" for version in versions)
+            print(f"format versions : {rendered} (this tool writes v{CACHE_FORMAT_VERSION})")
         if stats["entries"]:
             age_s = time.time() - stats["oldest_mtime"]
             print(f"oldest entry    : {age_s / 86400.0:.2f} days old")
         return 0
 
+    newer = cache.newer_format_than(CACHE_FORMAT_VERSION)
+    if newer is not None:
+        print(
+            f"not pruning {args.cache_dir}: it holds entries written by cache "
+            f"format v{newer}, newer than the v{CACHE_FORMAT_VERSION} this "
+            "tool understands.  A newer btbx-repro is actively using this "
+            "directory; prune with that version instead."
+        )
+        return 0
     max_age_s = None if args.max_age_days is None else args.max_age_days * 86400.0
     removed = cache.prune(max_age_seconds=max_age_s)
     what = "entries" if removed != 1 else "entry"
@@ -571,6 +731,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "sweep":
         return run_sweep_command(args, parser)
+
+    if args.command == "plot":
+        return run_plot_command(args, parser)
 
     if args.command == "cache":
         return run_cache_command(args, parser)

@@ -12,8 +12,16 @@ the code base.  It provides:
 * :mod:`repro.common.lru` -- reusable LRU/pseudo-LRU replacement state shared by
   the caches and the BTB organizations.
 * :mod:`repro.common.errors` -- exception hierarchy for the package.
+* :mod:`repro.common.asid` -- the cross-layer address-space policy (tag
+  coloring, capacity partitioning, duplication accounting) adopted by the BTB
+  organizations, the BPU and the memory hierarchy.
 """
 
+from repro.common.asid import (
+    AddressSpacePolicy,
+    ASIDCheckpointStore,
+    retains_across_switch,
+)
 from repro.common.bitutils import (
     align_down,
     align_up,
@@ -46,6 +54,9 @@ from repro.common.lru import LRUState, TreePLRUState
 from repro.common.stats import StatGroup, Stats
 
 __all__ = [
+    "AddressSpacePolicy",
+    "ASIDCheckpointStore",
+    "retains_across_switch",
     "align_down",
     "align_up",
     "bit_length",

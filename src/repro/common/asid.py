@@ -1,0 +1,322 @@
+"""Cross-layer address-space (ASID) policy shared by every taggable structure.
+
+Context switches touch three different kinds of predictive/cached state in
+this model -- BTB organizations (main arrays plus their Page-/Region-/
+companion secondaries), the branch-prediction unit's RAS, and the memory
+hierarchy's set-associative caches.  All of them need the *same* mechanics:
+
+* **tag coloring** -- fold the active ASID into whatever value the structure
+  tag-matches on, so entries installed by one address space never hit for
+  another while everyone shares storage.  ASID 0 colors to the identity, so a
+  single-address-space run is bit-identical whether or not tagging is in
+  effect;
+* **flush-on-switch** -- the conservative hardware baseline: discard the
+  structure whenever a different address space is scheduled in
+  (:func:`retains_across_switch` is the one place that spells out which
+  :class:`~repro.common.config.ASIDMode` retains);
+* **capacity partitioning** -- split a structure's sets (or a fully
+  associative structure's entries) among tenants proportionally to their
+  scheduling weights, with a deterministic apportionment and, for small
+  secondary structures, a fall-back to (still tagged) sharing when there are
+  fewer sets/entries than tenants;
+* **partition reporting** -- per-tenant slice sizes for results;
+* **duplication accounting** -- distinct contents versus distinct
+  ``(asid, content)`` pairs, the storage tagging spends on shared code.
+
+:class:`AddressSpacePolicy` bundles those mechanics for one structure family:
+a primary array plus any number of named secondary *domains* that share its
+active ASID (PDede registers ``"page"`` and ``"region"`` domains next to its
+``"main"`` one; a cache registers just ``"sets"``).  The structures keep their
+own arrays, LRU state and replacement logic -- the policy owns everything
+ASID-shaped, so the mode semantics live in exactly one module instead of once
+per structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.config import ASIDMode, partition_set_counts
+
+#: Multiplier spreading an ASID over the bits folded into partial tags.
+#: ASID 0 colors to the identity, so single-address-space simulations are
+#: bit-identical whether or not tagging is in effect.
+ASID_SALT = 0x9E3779B97F4A7C15
+
+#: ASID color bits sit above bit 16.  The colored value feeds ONLY tag
+#: matching, never set indexing, so tagging changes which entries *match*,
+#: not which set a key lives in -- exactly how hardware ASID tags behave
+#: (this also holds for non-power-of-two set counts, whose modulo indexing
+#: would otherwise be scrambled by high color bits).
+ASID_SHIFT = 16
+
+
+def retains_across_switch(mode: ASIDMode) -> bool:
+    """Whether predictive/cached state survives a context switch under ``mode``.
+
+    ``FLUSH`` discards; ``TAGGED`` and ``PARTITIONED`` retain (partitioning
+    only changes *indexing*, not retention).  Every adopter -- the BPU, the
+    memory hierarchy -- keys its switch behavior off this one predicate.
+    """
+    return mode is not ASIDMode.FLUSH
+
+
+def partition_ranges(total: int, weights: Sequence[int]) -> List[Tuple[int, int]]:
+    """Contiguous ``(base, count)`` slices apportioning ``total`` by ``weights``."""
+    counts = partition_set_counts(total, weights)
+    ranges: List[Tuple[int, int]] = []
+    base = 0
+    for count in counts:
+        ranges.append((base, count))
+        base += count
+    return ranges
+
+
+def partition_ranges_or_shared(
+    total: int, weights: Sequence[int]
+) -> List[Tuple[int, int]] | None:
+    """Like :func:`partition_ranges`, but fall back to sharing when too small.
+
+    A structure with fewer sets/entries than tenants cannot give everyone a
+    slice; it stays shared instead (``None``), exactly like BTB-X's companion
+    -- its entries are still ASID-colored/tagged, so sharing is false-hit
+    free and the only cross-tenant effect is eviction pressure.
+    """
+    if total < len(weights):
+        return None
+    return partition_ranges(total, weights)
+
+
+def set_index(key: int, num_sets: int, alignment_bits: int) -> int:
+    """Set index for a key: low-order bits above the alignment bits.
+
+    Non-power-of-two set counts (which arise when matching a storage budget
+    exactly, e.g. a 1856-entry conventional BTB) use modulo indexing.
+    """
+    if num_sets <= 0:
+        raise ValueError("a set-associative structure needs at least one set")
+    shifted = key >> alignment_bits
+    if num_sets & (num_sets - 1) == 0:
+        return shifted & (num_sets - 1)
+    return shifted % num_sets
+
+
+class AddressSpacePolicy:
+    """ASID mechanics for one structure family (primary + secondary domains).
+
+    The policy tracks one *active* address space and, per named domain, an
+    optional per-tenant partition map.  Structures delegate four things to it:
+
+    * which tag value to match (:meth:`colored`),
+    * which set/slot range a key may touch (:meth:`set_index`,
+      :meth:`modulo_index`, :meth:`entry_slice`),
+    * what to report (:meth:`domain_counts`, :meth:`partition_report`),
+    * duplication bookkeeping (:meth:`record_allocation`,
+      :meth:`duplication_counts`).
+
+    The policy is deliberately mode-agnostic: *when* to flush or retag is the
+    adopter's decision (driven by :func:`retains_across_switch`); the policy
+    supplies the mechanism so the decision is one line.
+    """
+
+    __slots__ = ("active_asid", "_domains", "_alloc_distinct", "_alloc_tagged")
+
+    def __init__(self) -> None:
+        #: Address-space identifier of the currently scheduled tenant.  Only
+        #: relevant under ASID-tagged retention; stays 0 otherwise.
+        self.active_asid: int = 0
+        # Domain name -> list of (base, count) tenant slices, or None when the
+        # domain is shared (including the too-small fallback).  Insertion
+        # order is configuration order, which partition_report() preserves.
+        self._domains: Dict[str, List[Tuple[int, int]] | None] = {}
+        # Duplication accounting: per structure, the distinct raw keys ever
+        # allocated and the distinct (asid, key) pairs.  The gap between the
+        # two is the storage ASID tagging duplicates when tenants share code
+        # (the same branch/page/line living once per address space).
+        self._alloc_distinct: Dict[str, set] = {}
+        self._alloc_tagged: Dict[str, set] = {}
+
+    # -- active address space ------------------------------------------------
+
+    def activate(self, asid: int) -> None:
+        """Switch the address space subsequent operations are attributed to."""
+        self.active_asid = asid
+
+    def colored(self, value: int) -> int:
+        """``value`` with the active ASID mixed into the bits a tag hash folds.
+
+        Used for tag *matching* only -- set indexing and target recovery
+        (BTB-X offset concatenation, PDede same-page rebuild) must keep using
+        the raw key.  The color constants sit far above any 48-bit virtual
+        address, so structures that match full (unhashed) tags can never see
+        a cross-ASID false hit; partial-tag structures alias exactly as they
+        would between two unrelated PCs.
+        """
+        asid = self.active_asid
+        if not asid:
+            return value
+        return value ^ ((asid * ASID_SALT) << ASID_SHIFT)
+
+    # -- partitioning ---------------------------------------------------------
+
+    def configure(
+        self,
+        domain: str,
+        total: int,
+        weights: Sequence[int],
+        fallback_to_shared: bool = False,
+    ) -> bool:
+        """Partition ``domain``'s ``total`` sets/entries by tenant ``weights``.
+
+        With ``fallback_to_shared`` the domain stays shared (still tagged)
+        when it has fewer sets/entries than tenants -- the right semantics
+        for small secondary structures; without it, a too-small structure is
+        a configuration error (the right semantics for primary arrays).
+        Returns True when the domain actually ended up partitioned.
+        """
+        if fallback_to_shared:
+            ranges = partition_ranges_or_shared(total, weights)
+        else:
+            ranges = partition_ranges(total, weights)
+        self._domains[domain] = ranges
+        return ranges is not None
+
+    def clear(self, domain: str) -> bool:
+        """Return ``domain`` to sharing; True when it had been partitioned."""
+        was_partitioned = self._domains.get(domain) is not None
+        self._domains[domain] = None
+        return was_partitioned
+
+    def domain_counts(self, domain: str) -> List[int] | None:
+        """Sets/entries per tenant in ``domain`` (``None`` when shared)."""
+        ranges = self._domains.get(domain)
+        if ranges is None:
+            return None
+        return [count for _, count in ranges]
+
+    def partition_report(self, exclude: Sequence[str] = ()) -> Dict[str, List[int]]:
+        """Per-tenant counts of every partitioned domain, configuration order.
+
+        Shared domains (including too-small fallbacks) are omitted, so the
+        report is exactly "what is actually partitioned right now".
+        """
+        report: Dict[str, List[int]] = {}
+        for domain, ranges in self._domains.items():
+            if ranges is None or domain in exclude:
+                continue
+            report[domain] = [count for _, count in ranges]
+        return report
+
+    def _slice(self, domain: str) -> Tuple[int, int] | None:
+        ranges = self._domains.get(domain)
+        if ranges is None:
+            return None
+        return ranges[self.active_asid % len(ranges)]
+
+    def set_index(self, domain: str, key: int, num_sets: int, alignment_bits: int) -> int:
+        """Set index for ``key``, confined to the active tenant's partition.
+
+        With ``domain`` shared this is exactly :func:`set_index` over the
+        whole structure; with partitions, the key indexes *within* the active
+        slice and is offset to the slice's base, so lookups and updates of
+        different tenants can never touch the same set.
+        """
+        sliced = self._slice(domain)
+        if sliced is None:
+            return set_index(key, num_sets, alignment_bits)
+        base, count = sliced
+        return base + set_index(key, count, alignment_bits)
+
+    def modulo_index(self, domain: str, value: int, num_sets: int) -> int:
+        """Like :meth:`set_index` for an already-hashed value (plain modulo)."""
+        sliced = self._slice(domain)
+        if sliced is None:
+            return value % num_sets
+        base, count = sliced
+        return base + value % count
+
+    def entry_slice(self, domain: str, total: int) -> Tuple[int, int]:
+        """``(base, count)`` entry range a fully-associative scan may touch."""
+        sliced = self._slice(domain)
+        if sliced is None:
+            return 0, total
+        return sliced
+
+    # -- duplication accounting ----------------------------------------------
+
+    def record_allocation(self, structure: str, key: object) -> None:
+        """Note that ``structure`` was asked to track ``key`` (duplication stats).
+
+        ``key`` identifies the allocated content (a branch PC for main
+        structures, a full target page or region number for the deduplication
+        structures); the active ASID is folded in automatically.  Called at
+        *reference* time -- on every update that wants the content resident --
+        not at install time, so the recorded sets are a pure function of the
+        update stream: eviction dynamics, partial-tag aliasing and partition
+        layouts cannot perturb them.  Pure bookkeeping: never affects
+        lookup/update behaviour.
+        """
+        self._alloc_distinct.setdefault(structure, set()).add(key)
+        self._alloc_tagged.setdefault(structure, set()).add((self.active_asid, key))
+
+    def duplication_counts(self) -> Dict[str, Dict[str, int]]:
+        """Distinct vs tag-distinct allocations per structure.
+
+        Maps structure name to ``{"distinct", "tag_distinct", "duplicated"}``:
+        ``distinct`` counts unique contents the structure was ever asked to
+        track (branch PCs, target pages, regions), ``tag_distinct`` counts
+        unique ``(asid, content)`` pairs -- the entries an ASID-tagged
+        organization actually has to provide for -- and ``duplicated`` is
+        their difference: the capacity spent on storing the *same* content
+        once per address space.  Counted over the whole run (warmup
+        included): duplication is a footprint property, not a rate, so it is
+        deliberately not reset at the measurement boundary.
+        """
+        counts: Dict[str, Dict[str, int]] = {}
+        for structure, distinct in self._alloc_distinct.items():
+            tagged = self._alloc_tagged[structure]
+            counts[structure] = {
+                "distinct": len(distinct),
+                "tag_distinct": len(tagged),
+                "duplicated": len(tagged) - len(distinct),
+            }
+        return counts
+
+
+class ASIDCheckpointStore:
+    """Bounded per-ASID snapshots of unsharable predictive state.
+
+    Some front-end state cannot be tag-colored because it is positional
+    rather than tag-matched -- the return address stack is the example: two
+    tenants' call depths interleave, so retention means checkpointing the
+    stack per address space and restoring it when the tenant is rescheduled.
+
+    The store is LRU-bounded: cold switch semantics mint a fresh ASID every
+    scheduling turn, so without a cap it would grow by one dead entry per
+    turn.  An evicted ASID simply resumes with an empty snapshot, like
+    hardware with a bounded ASID table.
+    """
+
+    __slots__ = ("_checkpoints", "_limit")
+
+    def __init__(self, limit: int = 256) -> None:
+        self._checkpoints: Dict[int, list] = {}
+        self._limit = limit
+
+    def swap(self, outgoing_asid: int, incoming_asid: int, snapshot: list) -> list:
+        """Checkpoint ``outgoing_asid``'s ``snapshot``, restore the incoming one.
+
+        Empty snapshots are not stored (an absent checkpoint already restores
+        to empty), and the incoming checkpoint is consumed -- while an address
+        space is scheduled its live state is the truth, not the store.
+        """
+        checkpoints = self._checkpoints
+        checkpoints.pop(outgoing_asid, None)
+        if snapshot:
+            checkpoints[outgoing_asid] = snapshot
+            while len(checkpoints) > self._limit:
+                checkpoints.pop(next(iter(checkpoints)))
+        return checkpoints.pop(incoming_asid, [])
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)

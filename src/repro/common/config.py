@@ -309,6 +309,12 @@ class MachineConfig:
     memory_latency: int = 200
     #: Context-switch handling of front-end predictive state (scenario runs).
     asid_mode: ASIDMode = ASIDMode.FLUSH
+    #: Context-switch handling of the cache hierarchy.  ``None`` (the
+    #: default) keeps the legacy shared, untagged hierarchy that ignores
+    #: switches entirely; an :class:`ASIDMode` makes every cache level flush,
+    #: ASID-tag (PIPT-style sharing) or set-partition across switches, driven
+    #: by the same :mod:`repro.common.asid` policy as the BTBs.
+    cache_asid_mode: ASIDMode | None = None
 
     def with_btb(self, **btb_overrides: object) -> "MachineConfig":
         """Return a copy of this machine with BTB parameters replaced."""
@@ -321,6 +327,10 @@ class MachineConfig:
     def with_asid_mode(self, mode: ASIDMode) -> "MachineConfig":
         """Return a copy of this machine with the given ASID mode."""
         return replace(self, asid_mode=mode)
+
+    def with_cache_asid_mode(self, mode: ASIDMode | None) -> "MachineConfig":
+        """Return a copy of this machine with the given cache ASID mode."""
+        return replace(self, cache_asid_mode=mode)
 
 
 @dataclass(frozen=True)
@@ -345,16 +355,18 @@ def default_machine_config(
     fdip_enabled: bool = True,
     isa: ISAStyle = ISAStyle.ARM64,
     asid_mode: ASIDMode = ASIDMode.FLUSH,
+    cache_asid_mode: ASIDMode | None = None,
 ) -> MachineConfig:
     """Build the paper's Table II machine with the requested BTB organization.
 
     ``btb_entries`` is interpreted as the branch capacity of the requested
     organization; use :mod:`repro.btb.storage` to convert a storage budget into
-    per-organization entry counts.
+    per-organization entry counts.  ``cache_asid_mode=None`` keeps the legacy
+    ASID-oblivious cache hierarchy.
     """
     associativity = 8 if btb_style is not BTBStyle.IDEAL else 1
     btb = BTBConfig(style=btb_style, entries=btb_entries, associativity=associativity, isa=isa)
-    machine = MachineConfig(btb=btb, asid_mode=asid_mode)
+    machine = MachineConfig(btb=btb, asid_mode=asid_mode, cache_asid_mode=cache_asid_mode)
     return machine.with_fdip(fdip_enabled)
 
 

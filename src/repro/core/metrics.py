@@ -33,6 +33,11 @@ class SimulationResult:
     l1i_accesses: int
     l1i_misses: int
     l1i_misses_covered: int
+    #: Demand L2 traffic of the instruction stream: every L1-I demand miss
+    #: probes the L2 (``l2_accesses``); ``l2_misses`` counts the ones the L2
+    #: could not supply (filled from the LLC or memory).
+    l2_accesses: int = 0
+    l2_misses: int = 0
     stats: Stats = field(repr=False, default_factory=Stats)
 
     # -- derived metrics -----------------------------------------------------
@@ -60,6 +65,13 @@ class SimulationResult:
         if not self.instructions:
             return 0.0
         return 1000.0 * self.l1i_misses / self.instructions
+
+    @property
+    def l2_mpki(self) -> float:
+        """Instruction-side L2 demand misses per kilo-instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.l2_misses / self.instructions
 
     @property
     def flush_rate_pki(self) -> float:
@@ -93,6 +105,7 @@ class SimulationResult:
             "ipc": self.ipc,
             "btb_mpki": self.btb_mpki,
             "l1i_mpki": self.l1i_mpki,
+            "l2_mpki": self.l2_mpki,
             "flush_pki": self.flush_rate_pki,
             "direction_mpki": self.direction_mpki,
         }
@@ -128,6 +141,23 @@ class ScenarioResult:
     #: gap is the storage ASID tagging spends on branches/pages that tenants
     #: share.  ``None`` for results that predate the counters (old caches).
     duplication: Dict[str, Dict[str, int]] | None = None
+    #: Context-switch policy of the cache hierarchy for this run: one of
+    #: ``"flush"``/``"tagged"``/``"partitioned"``, or ``None`` for the legacy
+    #: ASID-oblivious shared hierarchy (and for results predating the field).
+    cache_mode: str | None = None
+    #: Per-tenant set counts of every partitioned cache level (level name ->
+    #: tenant name -> sets); ``None`` unless the hierarchy ran partitioned.
+    cache_partition_sets: Dict[str, Dict[str, int]] | None = None
+    #: The BTB's raw access counters over the whole run (reads/writes/searches
+    #: per structure plus event counters), the input of the Table V energy
+    #: model; ``None`` for results that predate the field.
+    btb_access_counts: Dict[str, float] | None = None
+    #: Per-scenario Table V counterpart: the BTB energy model evaluated on
+    #: this run's access counters -- ``{"design", "total_energy_uj",
+    #: "lookup_latency_ns", "structures": {name: {...}}}``.  ``None`` when no
+    #: energy model exists for the organization (ideal) or the result
+    #: predates the field.
+    energy: Dict[str, object] | None = None
 
     @property
     def tenant_names(self) -> list[str]:
@@ -146,10 +176,14 @@ class ScenarioResult:
         return {
             "scenario": self.scenario,
             "asid_mode": self.asid_mode,
+            "cache_mode": self.cache_mode,
             "context_switches": self.context_switches,
             "partition_sets": self.partition_sets,
             "secondary_partition_sets": self.secondary_partition_sets,
+            "cache_partition_sets": self.cache_partition_sets,
             "duplication": self.duplication,
+            "btb_access_counts": self.btb_access_counts,
+            "energy": self.energy,
             "aggregate": self.aggregate.to_dict(),
             "per_tenant": {name: result.to_dict() for name, result in self.per_tenant.items()},
         }

@@ -52,6 +52,8 @@ class _TenantAccount:
         "l1i_accesses",
         "l1i_misses",
         "l1i_misses_covered",
+        "l2_accesses",
+        "l2_misses",
     )
 
     def __init__(self, timing: TimingModel) -> None:
@@ -66,6 +68,8 @@ class _TenantAccount:
         self.l1i_accesses = 0
         self.l1i_misses = 0
         self.l1i_misses_covered = 0
+        self.l2_accesses = 0
+        self.l2_misses = 0
 
 
 class FrontEndSimulator:
@@ -123,6 +127,8 @@ class FrontEndSimulator:
         l1i_accesses = 0
         l1i_misses = 0
         l1i_misses_covered = 0
+        l2_accesses = 0
+        l2_misses = 0
 
         previous_block = None
         measuring = warmup_instructions == 0
@@ -150,10 +156,12 @@ class FrontEndSimulator:
             stall_cycles = 0.0
             miss = False
             covered = False
+            beyond_l2 = False
             if new_block:
                 fetch = self.hierarchy.fetch(instruction.pc)
                 miss = not fetch.l1i_hit
                 if miss:
+                    beyond_l2 = fetch.level != "L2"
                     coverage = self.fdip.cover_demand_miss(fetch.latency)
                     stall_cycles = coverage.residual_latency
                     covered = coverage.coverage == "full"
@@ -190,6 +198,9 @@ class FrontEndSimulator:
                     l1i_accesses += 1
                     if miss:
                         l1i_misses += 1
+                        l2_accesses += 1
+                        if beyond_l2:
+                            l2_misses += 1
                         if covered:
                             l1i_misses_covered += 1
 
@@ -223,6 +234,8 @@ class FrontEndSimulator:
             l1i_accesses=l1i_accesses,
             l1i_misses=l1i_misses,
             l1i_misses_covered=l1i_misses_covered,
+            l2_accesses=l2_accesses,
+            l2_misses=l2_misses,
             stats=self.stats,
         )
 
@@ -284,8 +297,10 @@ class FrontEndSimulator:
             if asid != current_asid:
                 if current_asid is None:
                     # The machine boots already owned by the first ASID: no
-                    # switch penalty, but tagged BTBs must adopt its color.
+                    # switch penalty, but tagged BTBs and caches must adopt
+                    # its color.
                     self.bpu.context_switch(asid)
+                    self.hierarchy.context_switch(asid)
                 else:
                     if measuring:
                         context_switches += 1
@@ -296,6 +311,7 @@ class FrontEndSimulator:
                             current_account.target_mispredictions += int(now_tgt - tgt_before)
                             dir_before, tgt_before = now_dir, now_tgt
                     self.bpu.context_switch(asid)
+                    self.hierarchy.context_switch(asid)
                     self.fdip.on_stream_break()
                     previous_block = None
                 current_asid = asid
@@ -315,10 +331,12 @@ class FrontEndSimulator:
             stall_cycles = 0.0
             miss = False
             covered = False
+            beyond_l2 = False
             if new_block:
                 fetch = self.hierarchy.fetch(instruction.pc)
                 miss = not fetch.l1i_hit
                 if miss:
+                    beyond_l2 = fetch.level != "L2"
                     coverage = self.fdip.cover_demand_miss(fetch.latency)
                     stall_cycles = coverage.residual_latency
                     covered = coverage.coverage == "full"
@@ -350,6 +368,9 @@ class FrontEndSimulator:
                     account.l1i_accesses += 1
                     if miss:
                         account.l1i_misses += 1
+                        account.l2_accesses += 1
+                        if beyond_l2:
+                            account.l2_misses += 1
                         if covered:
                             account.l1i_misses_covered += 1
 
@@ -363,12 +384,14 @@ class FrontEndSimulator:
             name: self._account_result(name, accounts[name], Stats()) for name in tenant_order
         }
         aggregate = self._aggregate_result(scenario_name, per_tenant)
+        cache_asid_mode = self.machine.cache_asid_mode
         return ScenarioResult(
             scenario=scenario_name,
             asid_mode=self.machine.asid_mode.value,
             context_switches=context_switches,
             aggregate=aggregate,
             per_tenant=per_tenant,
+            cache_mode=None if cache_asid_mode is None else cache_asid_mode.value,
         )
 
     def _account_result(
@@ -398,6 +421,8 @@ class FrontEndSimulator:
             l1i_accesses=account.l1i_accesses,
             l1i_misses=account.l1i_misses,
             l1i_misses_covered=account.l1i_misses_covered,
+            l2_accesses=account.l2_accesses,
+            l2_misses=account.l2_misses,
             stats=stats,
         )
 
@@ -430,6 +455,8 @@ class FrontEndSimulator:
             l1i_accesses=int(total("l1i_accesses")),
             l1i_misses=int(total("l1i_misses")),
             l1i_misses_covered=int(total("l1i_misses_covered")),
+            l2_accesses=int(total("l2_accesses")),
+            l2_misses=int(total("l2_misses")),
             stats=self.stats,
         )
 

@@ -151,13 +151,14 @@ class BTBEnergyModel:
         return report
 
     def energy_from_btb(self, btb: BTBBase) -> DesignEnergy:
-        """Evaluate a simulated BTB instance using its recorded access counts."""
-        design = _design_name(btb)
-        counts = btb.access_counts()
-        if isinstance(btb, BTBX) and btb.companion is not None:
-            for key, value in btb.companion.access_counts().items():
-                counts[key] = counts.get(key, 0.0) + value
-        return self.design_energy(design, counts)
+        """Evaluate a simulated BTB instance using its recorded access counts.
+
+        :meth:`~repro.btb.base.BTBBase.energy_access_counts` is the one
+        merge point for organizations with separately-counted secondaries
+        (BTB-X's companion), so this report and any counters exported
+        alongside it always agree.
+        """
+        return self.design_energy(_design_name(btb), btb.energy_access_counts())
 
     def report(self, access_counts_per_design: Mapping[str, Mapping[str, float]] | None = None) -> BTBEnergyReport:
         """Full Table V style report for the three evaluated organizations."""

@@ -20,6 +20,9 @@ module                    reproduces
 ``fig13_x86``             Figure 13 -- x86 vs Arm64 offset distribution + sizing
 ``ablation_ways``         (extension) BTB-X way-sizing ablation
 ``scenario_study``        (extension) multi-tenant consolidation scenarios
+``scenario_sweep``        (extension) MPKI vs quantum / tenant-count sweeps
+``shared_footprint``      (extension) duplication vs shared-code overlap
+``cache_interference``    (extension) per-tenant L1-I/L2 MPKI vs cache ASID mode
 ========================  ====================================================
 
 The amount of simulated work is controlled by :class:`ExperimentScale`

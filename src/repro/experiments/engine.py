@@ -52,7 +52,12 @@ from repro.traces.trace import Trace
 #: duplication counters and secondary_partition_sets) and ASID-tagged /
 #: partitionable Page-/Region-BTBs, which change PDede and R-BTB results in
 #: multi-tenant tagged/partitioned runs.
-CACHE_FORMAT_VERSION = 4
+#: v5: ASID-aware memory hierarchy (scenario jobs carry cache_asid_mode;
+#: payloads carry l2_accesses/l2_misses, cache_mode, cache_partition_sets,
+#: btb_access_counts and the per-scenario Table V energy report); plain-job
+#: access_counts now merge BTB-X's companion traffic (energy_access_counts)
+#: and reset it at the warmup boundary, changing Table V inputs.
+CACHE_FORMAT_VERSION = 5
 
 #: SimulationResult fields carried through the payload (everything but stats).
 _RESULT_FIELDS = (
@@ -77,6 +82,8 @@ _RESULT_FIELDS = (
     "l1i_accesses",
     "l1i_misses",
     "l1i_misses_covered",
+    "l2_accesses",
+    "l2_misses",
 )
 
 
@@ -141,6 +148,9 @@ class ScenarioJob:
     asid_mode: ASIDMode
     fdip_enabled: bool = True
     budget_kib: float = 14.5
+    #: Context-switch policy of the cache hierarchy; ``None`` is the legacy
+    #: ASID-oblivious shared hierarchy (see MachineConfig.cache_asid_mode).
+    cache_asid_mode: ASIDMode | None = None
     #: Resolved at construction from ``scenario`` when not given explicitly.
     spec: ScenarioSpec | None = None
 
@@ -164,6 +174,9 @@ class ScenarioJob:
         del config["spec"]
         config["style"] = self.style.value
         config["asid_mode"] = self.asid_mode.value
+        config["cache_asid_mode"] = (
+            None if self.cache_asid_mode is None else self.cache_asid_mode.value
+        )
         config["kind"] = "scenario"
         config["scenario_spec"] = self.spec.config_dict()
         config["cache_format"] = CACHE_FORMAT_VERSION
@@ -243,16 +256,21 @@ def _execute_scenario_job(job: ScenarioJob,
         warmup_instructions=job.warmup_instructions,
         fdip_enabled=job.fdip_enabled,
         trace_store=trace_store,
+        cache_mode=job.cache_asid_mode,
     )
     return {
         "result": _result_to_payload(scenario_result.aggregate),
         "scenario": {
             "scenario": scenario_result.scenario,
             "asid_mode": scenario_result.asid_mode,
+            "cache_mode": scenario_result.cache_mode,
             "context_switches": scenario_result.context_switches,
             "partition_sets": scenario_result.partition_sets,
             "secondary_partition_sets": scenario_result.secondary_partition_sets,
+            "cache_partition_sets": scenario_result.cache_partition_sets,
             "duplication": scenario_result.duplication,
+            "btb_access_counts": scenario_result.btb_access_counts,
+            "energy": scenario_result.energy,
             "per_tenant": {
                 name: _result_to_payload(result)
                 for name, result in scenario_result.per_tenant.items()
@@ -275,6 +293,10 @@ def _payload_to_scenario(payload: Mapping[str, object]) -> ScenarioResult:
         partition_sets=scenario.get("partition_sets"),
         secondary_partition_sets=scenario.get("secondary_partition_sets"),
         duplication=scenario.get("duplication"),
+        cache_mode=scenario.get("cache_mode"),
+        cache_partition_sets=scenario.get("cache_partition_sets"),
+        btb_access_counts=scenario.get("btb_access_counts"),
+        energy=scenario.get("energy"),
     )
 
 
@@ -311,9 +333,12 @@ def execute_job(job: "EngineJob", trace: Trace | None = None,
     # next to the result, so they ride along in every payload; that keeps the
     # energy analysis (Table V) on the same cached cells as the MPKI and
     # performance figures instead of forking the cache key.
+    # energy_access_counts() is the same merge point the scenario runner and
+    # BTBEnergyModel use, so BTB-X's companion traffic is priced identically
+    # whichever path computes Table V.
     return {
         "result": _result_to_payload(result),
-        "access_counts": {k: float(v) for k, v in btb.access_counts().items()},
+        "access_counts": btb.energy_access_counts(),
     }
 
 
@@ -413,6 +438,43 @@ class ResultCache:
             "oldest_mtime": oldest,
             "newest_mtime": newest,
         }
+
+    def _entry_format_versions(self) -> Iterator[int]:
+        """Format version of each readable entry, lazily.
+
+        Every entry records the ``cache_format`` its job config was hashed
+        under; pre-versioning entries report as 0, unreadable ones are
+        skipped (like :meth:`get`).
+        """
+        for path in self._entry_paths():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            job = entry.get("job")
+            version = job.get("cache_format", 0) if isinstance(job, dict) else 0
+            yield version if isinstance(version, int) else 0
+
+    def format_versions(self) -> List[int]:
+        """Sorted distinct on-disk format versions of the cached entries.
+
+        A full-content scan, which is fine for the informational ``cache
+        stats`` path (result caches are thousands of small JSON files).
+        """
+        return sorted(set(self._entry_format_versions()))
+
+    def newer_format_than(self, version: int) -> int | None:
+        """First on-disk format newer than ``version``, or None.
+
+        Stops at the first offending entry, so guarding ``prune`` against a
+        newer tool's cache does not pay a whole-directory parse when the
+        very first entry already answers the question.
+        """
+        return next(
+            (found for found in self._entry_format_versions() if found > version),
+            None,
+        )
 
     #: A ``.tmp`` file younger than this is an in-flight atomic write of a
     #: concurrent run, not a crash orphan; prune leaves it alone.

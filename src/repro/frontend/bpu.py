@@ -26,7 +26,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.common.config import ASIDMode, MachineConfig
+from repro.common.asid import ASIDCheckpointStore, retains_across_switch
+from repro.common.config import MachineConfig
 from repro.common.stats import Stats
 from repro.isa.branch import BranchType
 from repro.isa.instruction import Instruction
@@ -86,14 +87,11 @@ class BranchPredictionUnit:
         )
         self.ras = ReturnAddressStack(config.branch_predictor.ras_entries, self._stats_registry)
         # Context-switch state: the currently scheduled ASID and, under tagged
-        # retention, the saved RAS contents of descheduled address spaces.
-        # The checkpoint dict is LRU-bounded: cold switch semantics mint a
-        # fresh ASID every scheduling turn, so without a cap it would grow by
-        # one dead entry per turn.  An evicted ASID simply resumes with an
-        # empty RAS, like hardware with a bounded ASID table.
+        # retention, the saved RAS contents of descheduled address spaces
+        # (the RAS is positional, not tag-matched, so retention means
+        # checkpointing it per address space; see ASIDCheckpointStore).
         self.active_asid = 0
-        self._ras_checkpoints: dict[int, list[int]] = {}
-        self._ras_checkpoint_limit = 256
+        self._ras_checkpoints = ASIDCheckpointStore(limit=256)
 
     # -- context switches ------------------------------------------------------
 
@@ -113,15 +111,10 @@ class BranchPredictionUnit:
         if asid == self.active_asid:
             return
         self.stats.inc("context_switches")
-        if self.config.asid_mode is not ASIDMode.FLUSH:
-            outgoing = self.ras.snapshot()
-            checkpoints = self._ras_checkpoints
-            checkpoints.pop(self.active_asid, None)
-            if outgoing:  # empty stacks need no checkpoint
-                checkpoints[self.active_asid] = outgoing
-                while len(checkpoints) > self._ras_checkpoint_limit:
-                    checkpoints.pop(next(iter(checkpoints)))
-            self.ras.restore(checkpoints.pop(asid, []))
+        if retains_across_switch(self.config.asid_mode):
+            self.ras.restore(
+                self._ras_checkpoints.swap(self.active_asid, asid, self.ras.snapshot())
+            )
             self.btb.set_active_asid(asid)
         else:
             self.btb.invalidate_all()

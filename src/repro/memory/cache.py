@@ -5,13 +5,22 @@ timing metadata (hit latency, MSHR count) for the interval timing model and
 the FDIP prefetch engine.  Writes are modelled as allocate-on-miss like reads;
 dirty state is tracked so write-back traffic can be reported, although the
 front-end experiments never generate dirty lines.
+
+Like the BTB organizations, every cache level adopts a
+:class:`repro.common.asid.AddressSpacePolicy`: lines can be tagged with the
+active address space (PIPT-style sharing without cross-tenant false hits) and
+the sets can be partitioned weight-proportionally among tenants.  With ASID 0
+active and no partitions configured -- the single-tenant and legacy cases --
+every policy operation is the identity and the cache behaves bit-identically
+to the historical untagged model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
+from repro.common.asid import AddressSpacePolicy
 from repro.common.config import CacheConfig
 from repro.common.lru import LRUState
 from repro.common.stats import Stats
@@ -29,12 +38,24 @@ class CacheAccessResult:
 class _Line:
     valid: bool = False
     tag: int = 0
+    #: Raw (uncolored) block address, kept so evictions can report the victim
+    #: without inverting the ASID color or the partition remap.
+    block: int = 0
     dirty: bool = False
     prefetched: bool = False
 
 
-class Cache:
-    """One cache level: geometry from :class:`CacheConfig`, LRU replacement."""
+class SetAssociativeCache:
+    """One cache level: geometry from :class:`CacheConfig`, LRU replacement.
+
+    The stored/compared tag is the ASID-colored *full* block number rather
+    than the block's high bits: in the shared case the two are equivalent
+    (the index bits are redundant with the set), while under partitioned set
+    indexing the full block number is what keeps two blocks that share a
+    slice-relative index distinguishable.  The color constants sit far above
+    any realistic address, so distinct address spaces can never false-hit on
+    each other's lines.
+    """
 
     def __init__(self, config: CacheConfig, stats: Stats | None = None) -> None:
         self.config = config
@@ -51,6 +72,8 @@ class Cache:
         # MSHR occupancy is tracked as a set of outstanding miss block
         # addresses; the functional model clears it when fills complete.
         self._outstanding: Dict[int, int] = {}
+        #: ASID mechanics (tag coloring + set partitioning) for this level.
+        self.asid_policy = AddressSpacePolicy()
 
     # -- address helpers ----------------------------------------------------
 
@@ -60,7 +83,34 @@ class Cache:
 
     def _index_tag(self, addr: int) -> tuple[int, int]:
         block = addr >> self._offset_bits
-        return block & (self.num_sets - 1), block >> (self.num_sets.bit_length() - 1)
+        index = self.asid_policy.modulo_index("sets", block, self.num_sets)
+        return index, self.asid_policy.colored(block)
+
+    # -- address-space handling ---------------------------------------------
+
+    def set_active_asid(self, asid: int) -> None:
+        """Switch the address space new lines are tagged with (retention modes)."""
+        self.asid_policy.activate(asid)
+
+    def configure_partitions(self, weights: Sequence[int] | None) -> None:
+        """Split this level's sets among tenants (``None`` to share).
+
+        Weight-proportional contiguous set slices, exactly like the BTB
+        organizations; a level with fewer sets than tenants falls back to
+        (still tagged) sharing.  The level is invalidated whenever the
+        partition map changes: lines installed under a different map would be
+        unreachable or reachable from the wrong slice.
+        """
+        if weights is None:
+            if self.asid_policy.clear("sets"):
+                self.invalidate_all()
+            return
+        self.asid_policy.configure("sets", self.num_sets, weights, fallback_to_shared=True)
+        self.invalidate_all()
+
+    def partition_set_counts(self) -> List[int] | None:
+        """Sets per tenant partition (``None`` when the level is shared)."""
+        return self.asid_policy.domain_counts("sets")
 
     # -- state queries ------------------------------------------------------
 
@@ -122,13 +172,14 @@ class Cache:
         if victim_way is None:
             victim_way = self._lru[index].victim()
             victim = lines[victim_way]
-            evicted = self._reconstruct_address(index, victim.tag)
+            evicted = victim.block << self._offset_bits
             if victim.dirty:
                 self.stats.inc("writebacks")
             self.stats.inc("evictions")
         line = lines[victim_way]
         line.valid = True
         line.tag = tag
+        line.block = addr >> self._offset_bits
         line.dirty = dirty
         line.prefetched = prefetched
         self._lru[index].touch(victim_way)
@@ -149,17 +200,17 @@ class Cache:
         return True
 
     def invalidate_all(self) -> None:
-        """Drop every line (used between experiments)."""
+        """Drop every line (context-switch flush, between experiments)."""
         for lines in self._sets:
             for line in lines:
                 line.valid = False
                 line.dirty = False
         self._outstanding.clear()
 
-    def _reconstruct_address(self, index: int, tag: int) -> int:
-        set_bits = self.num_sets.bit_length() - 1
-        return ((tag << set_bits) | index) << self._offset_bits
-
     def occupancy(self) -> int:
         """Number of valid lines currently resident."""
         return sum(1 for lines in self._sets for line in lines if line.valid)
+
+
+#: Historical name of the class, kept for callers and tests.
+Cache = SetAssociativeCache

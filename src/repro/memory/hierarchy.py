@@ -14,15 +14,38 @@ Two operations are exposed:
 The L1-D is constructed for completeness (data accesses can be replayed
 through :meth:`MemoryHierarchy.data_access`) but the paper's experiments only
 exercise the instruction side.
+
+Context switches: the hierarchy is a tenant-aware citizen like the BTBs.
+:attr:`MachineConfig.cache_asid_mode` selects what happens when a different
+address space is scheduled in --
+
+* ``None`` (the default) -- the legacy shared, untagged hierarchy: switches
+  are invisible to the caches, so tenants false-share lines whenever their
+  virtual addresses collide.  Every pre-existing result is produced in this
+  mode;
+* ``ASIDMode.FLUSH`` -- every level is invalidated on a switch (hardware
+  without ASID-tagged caches, e.g. VIVT designs);
+* ``ASIDMode.TAGGED`` -- lines are tagged with the owning address space
+  (PIPT-style sharing): capacity is shared, switches cost nothing, and
+  cross-tenant false hits are impossible;
+* ``ASIDMode.PARTITIONED`` -- tagged, plus every level's sets are split
+  weight-proportionally among the tenants (see
+  :meth:`MemoryHierarchy.configure_partitions`), so tenants cannot evict each
+  other's lines.
+
+All four behaviours are driven by the same
+:class:`repro.common.asid.AddressSpacePolicy` the BTB organizations use.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
-from repro.common.config import MachineConfig
+from repro.common.asid import retains_across_switch
+from repro.common.config import ASIDMode, MachineConfig
 from repro.common.stats import Stats
-from repro.memory.cache import Cache
+from repro.memory.cache import SetAssociativeCache
 
 
 @dataclass(frozen=True)
@@ -41,11 +64,69 @@ class MemoryHierarchy:
         self.config = config
         self._stats_registry = stats if stats is not None else Stats()
         self.stats = self._stats_registry.group("memory")
-        self.l1i = Cache(config.l1i, self._stats_registry)
-        self.l1d = Cache(config.l1d, self._stats_registry)
-        self.l2 = Cache(config.l2, self._stats_registry)
-        self.llc = Cache(config.llc, self._stats_registry)
+        self.l1i = SetAssociativeCache(config.l1i, self._stats_registry)
+        self.l1d = SetAssociativeCache(config.l1d, self._stats_registry)
+        self.l2 = SetAssociativeCache(config.l2, self._stats_registry)
+        self.llc = SetAssociativeCache(config.llc, self._stats_registry)
         self.memory_latency = config.memory_latency
+        #: Context-switch policy of the caches; ``None`` is the legacy
+        #: ASID-oblivious hierarchy (see the module docstring).
+        self.asid_mode = config.cache_asid_mode
+        self._active_asid = 0
+
+    def _levels(self) -> tuple[SetAssociativeCache, ...]:
+        return (self.l1i, self.l1d, self.l2, self.llc)
+
+    # -- context switches ------------------------------------------------------
+
+    @property
+    def active_asid(self) -> int:
+        """Address space the hierarchy currently attributes lines to."""
+        return self._active_asid
+
+    def context_switch(self, asid: int) -> None:
+        """Schedule address space ``asid`` in, applying the cache ASID mode.
+
+        A no-op when ``asid`` is already active or the hierarchy runs in
+        legacy (``None``) mode.  ``FLUSH`` invalidates every level; the
+        retention modes only re-color: partitioned indexing keys off the same
+        active-ASID switch, exactly like the BTBs.
+        """
+        if self.asid_mode is None or asid == self._active_asid:
+            self._active_asid = asid
+            return
+        self.stats.inc("context_switches")
+        if retains_across_switch(self.asid_mode):
+            for cache in self._levels():
+                cache.set_active_asid(asid)
+        else:
+            self.invalidate_all()
+        self._active_asid = asid
+
+    def configure_partitions(self, weights: Sequence[int] | None) -> None:
+        """Split every level's sets among tenants (``None`` to share).
+
+        Mirrors :meth:`repro.btb.base.BTBBase.configure_partitions`: slices
+        are weight-proportional and levels with fewer sets than tenants fall
+        back to tagged sharing.  Only meaningful under
+        ``ASIDMode.PARTITIONED``; callers apply it before the run starts.
+        """
+        for cache in self._levels():
+            cache.configure_partitions(weights)
+
+    def partition_report(self) -> Dict[str, List[int]]:
+        """Per-tenant set counts of every partitioned level (may be empty)."""
+        report: Dict[str, List[int]] = {}
+        for name, cache in (
+            ("l1i", self.l1i),
+            ("l1d", self.l1d),
+            ("l2", self.l2),
+            ("llc", self.llc),
+        ):
+            counts = cache.partition_set_counts()
+            if counts is not None:
+                report[name] = counts
+        return report
 
     # -- instruction side -----------------------------------------------------
 
@@ -102,9 +183,13 @@ class MemoryHierarchy:
 
     def invalidate_all(self) -> None:
         """Drop every cached block in every level."""
-        for cache in (self.l1i, self.l1d, self.l2, self.llc):
+        for cache in self._levels():
             cache.invalidate_all()
 
     def line_size(self) -> int:
         """Instruction cache line size in bytes."""
         return self.l1i.line_size
+
+
+#: Re-exported for callers that key off the mode enum alongside the hierarchy.
+__all__ = ["FetchResult", "MemoryHierarchy", "ASIDMode"]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.common.config import ASIDMode, BTBStyle, default_machine_config
 from repro.core.metrics import ScenarioResult
 from repro.core.simulator import FrontEndSimulator
+from repro.btb.base import BTBBase
 from repro.btb.storage import make_btb_for_budget
 from repro.scenarios.compose import TraceComposer
 from repro.scenarios.presets import get_scenario
@@ -26,6 +27,36 @@ def resolve_scenario(scenario: ScenarioSpec | str) -> ScenarioSpec:
     return get_scenario(scenario)
 
 
+def _energy_report(btb: BTBBase, budget_kib: float, isa) -> dict | None:
+    """Table V's per-design energy, evaluated on this run's access counters.
+
+    Returns ``None`` for organizations without an energy model (ideal).
+    """
+    from repro.energy.btb_energy import BTBEnergyModel
+
+    try:
+        design = BTBEnergyModel(budget_kib, isa=isa).energy_from_btb(btb)
+    except ValueError:
+        return None
+    return {
+        "design": design.design,
+        "total_energy_uj": design.total_energy_uj,
+        "lookup_latency_ns": design.lookup_latency_ns,
+        "structures": {
+            name: {
+                "reads": float(entry.reads),
+                "writes": float(entry.writes),
+                "searches": float(entry.searches),
+                "read_energy_pj": entry.read_energy_pj,
+                "write_energy_pj": entry.write_energy_pj,
+                "search_energy_pj": entry.search_energy_pj,
+                "total_energy_uj": entry.total_energy_uj,
+            }
+            for name, entry in design.structures.items()
+        },
+    }
+
+
 def execute_scenario(
     scenario: ScenarioSpec | str,
     style: BTBStyle = BTBStyle.BTBX,
@@ -35,6 +66,7 @@ def execute_scenario(
     warmup_instructions: int = 0,
     fdip_enabled: bool = True,
     trace_store: TraceStore | None = None,
+    cache_mode: ASIDMode | None = None,
 ) -> ScenarioResult:
     """Compose and simulate ``scenario`` for ``instructions`` total instructions.
 
@@ -58,6 +90,14 @@ def execute_scenario(
     companion) and the BTB's duplication counters -- the tag-distinct versus
     distinct allocations that make shared-code duplication measurable when
     ``spec.shared_fraction > 0``.
+
+    ``cache_mode`` selects the memory hierarchy's context-switch behaviour:
+    ``None`` (the default) keeps the legacy shared, untagged hierarchy, while
+    an :class:`ASIDMode` makes every cache level flush, ASID-tag or
+    set-partition across switches -- partitioned cache capacity uses the same
+    scheduling weights as the BTB.  The result also carries the BTB's access
+    counters and their Table V energy evaluation, so consolidation's energy
+    cost reads off the same cell as its MPKI cost.
     """
     spec = resolve_scenario(scenario)
     store = trace_store or default_store()
@@ -68,11 +108,14 @@ def execute_scenario(
         fdip_enabled=fdip_enabled,
         isa=composer.isa,
         asid_mode=asid_mode,
+        cache_asid_mode=cache_mode,
     )
     btb = make_btb_for_budget(style, budget_kib, isa=composer.isa)
     if asid_mode is ASIDMode.PARTITIONED:
         btb.configure_partitions(spec.partition_weights)
     simulator = FrontEndSimulator(machine, btb=btb)
+    if cache_mode is ASIDMode.PARTITIONED:
+        simulator.hierarchy.configure_partitions(spec.partition_weights)
     result = simulator.run_scenario(
         composer.stream(instructions),
         warmup_instructions=warmup_instructions,
@@ -87,5 +130,16 @@ def execute_scenario(
             structure: dict(zip(spec.tenant_names, structure_counts))
             for structure, structure_counts in secondary.items()
         }
+    cache_partitions = simulator.hierarchy.partition_report()
+    if cache_partitions:
+        result.cache_partition_sets = {
+            level: dict(zip(spec.tenant_names, level_counts))
+            for level, level_counts in cache_partitions.items()
+        }
     result.duplication = btb.duplication_counts()
+    # One merge point with the energy model: BTB-X's companion counters are
+    # folded in by energy_access_counts(), so re-deriving energy from these
+    # exported counters reproduces the energy field exactly.
+    result.btb_access_counts = btb.energy_access_counts()
+    result.energy = _energy_report(btb, budget_kib, composer.isa)
     return result

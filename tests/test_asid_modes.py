@@ -183,6 +183,121 @@ class TestRemapOffInvariance:
         assert result_fingerprint(left) == result_fingerprint(right)
 
 
+#: Cache hierarchy context-switch modes (``None`` = the legacy shared,
+#: untagged hierarchy that ignores switches entirely).
+CACHE_MATRIX_MODES = (None, ASIDMode.FLUSH, ASIDMode.TAGGED, ASIDMode.PARTITIONED)
+
+
+class TestCacheModeInvariance:
+    """The cache-mode counterpart of the BTB matrix: solo runs must not be
+    able to tell the hierarchy modes apart, and retention must never *add*
+    instruction-supply misses over flushing."""
+
+    @pytest.mark.parametrize("preset", PRESET_NAMES)
+    def test_solo_tenants_bit_exact_across_cache_modes(self, preset):
+        """A lone tenant must be indistinguishable across hierarchy modes.
+
+        Warm presets keep ASID 0 for the whole run, so all three cache modes
+        *and* the legacy hierarchy have literally nothing to flush, tag or
+        partition: every result is bit-exact (tagged == legacy is the
+        single-ASID acceptance criterion).  Cold presets mint a fresh ASID
+        per scheduling turn even solo -- flushing and legacy sharing then
+        legitimately differ from tagging -- but ``tagged`` and
+        ``partitioned`` must still agree bit-exactly (a single tenant's
+        partition is the whole hierarchy).
+        """
+        spec = solo_variant(preset)
+        cold = spec.switch_semantics == "cold"
+        fingerprints = {}
+        for cache_mode in CACHE_MATRIX_MODES:
+            result = execute_scenario(
+                spec,
+                style=BTBStyle.BTBX,
+                asid_mode=ASIDMode.TAGGED,
+                instructions=INSTRUCTIONS,
+                warmup_instructions=WARMUP,
+                cache_mode=cache_mode,
+            )
+            fingerprints[cache_mode] = result_fingerprint(result)
+        assert fingerprints[ASIDMode.PARTITIONED] == fingerprints[ASIDMode.TAGGED], (
+            f"{preset}: solo partitioned hierarchy diverged from tagged"
+        )
+        if not cold:
+            assert all(fp == fingerprints[None] for fp in fingerprints.values()), (
+                f"{preset}: solo cache modes diverged from the legacy hierarchy"
+            )
+
+    def test_tagged_equals_legacy_shared_hierarchy_with_single_asid(self):
+        """Acceptance: with one ASID, the tagged (PIPT-style) hierarchy is
+        bit-exactly the legacy shared one -- tagging with the neutral color
+        is the identity, so the L1-I/L2 numbers cannot move."""
+        result_legacy = execute_scenario(
+            "solo_baseline",
+            style=BTBStyle.BTBX,
+            asid_mode=ASIDMode.TAGGED,
+            instructions=INSTRUCTIONS,
+            warmup_instructions=WARMUP,
+            cache_mode=None,
+        )
+        result_tagged = execute_scenario(
+            "solo_baseline",
+            style=BTBStyle.BTBX,
+            asid_mode=ASIDMode.TAGGED,
+            instructions=INSTRUCTIONS,
+            warmup_instructions=WARMUP,
+            cache_mode=ASIDMode.TAGGED,
+        )
+        assert result_tagged.cache_mode == "tagged"
+        assert result_legacy.cache_mode is None
+        assert result_fingerprint(result_tagged) == result_fingerprint(result_legacy)
+
+    @pytest.mark.parametrize("preset", ("consolidated_server", "shared_services"))
+    def test_flush_never_beats_retention_on_l1i_misses(self, preset):
+        """Flushing every level on every switch can only lose instruction
+        supply relative to tagged retention: the tagged hierarchy sees the
+        same per-tenant access streams with strictly more lines surviving."""
+        misses = {}
+        for cache_mode in (ASIDMode.FLUSH, ASIDMode.TAGGED):
+            result = execute_scenario(
+                preset,
+                style=BTBStyle.BTBX,
+                asid_mode=ASIDMode.TAGGED,
+                instructions=8_000,
+                warmup_instructions=2_000,
+                cache_mode=cache_mode,
+            )
+            misses[cache_mode] = result.aggregate.l1i_misses
+        assert misses[ASIDMode.FLUSH] >= misses[ASIDMode.TAGGED], misses
+
+    def test_partitioned_hierarchy_reports_per_level_slices(self):
+        result = execute_scenario(
+            "noisy_neighbor",
+            style=BTBStyle.BTBX,
+            asid_mode=ASIDMode.TAGGED,
+            instructions=INSTRUCTIONS,
+            warmup_instructions=WARMUP,
+            cache_mode=ASIDMode.PARTITIONED,
+        )
+        assert result.cache_partition_sets is not None
+        assert set(result.cache_partition_sets) == {"l1i", "l1d", "l2", "llc"}
+        spec = get_scenario("noisy_neighbor")
+        weights = dict(zip(spec.tenant_names, spec.partition_weights))
+        for level, slices in result.cache_partition_sets.items():
+            assert set(slices) == set(spec.tenant_names)
+            # Weight-proportional: the heavy tenant gets the biggest slice.
+            assert slices["noisy"] == max(slices.values()), (level, slices)
+        # Non-partitioned modes report nothing.
+        tagged = execute_scenario(
+            "noisy_neighbor",
+            style=BTBStyle.BTBX,
+            asid_mode=ASIDMode.TAGGED,
+            instructions=INSTRUCTIONS,
+            warmup_instructions=WARMUP,
+            cache_mode=ASIDMode.TAGGED,
+        )
+        assert tagged.cache_partition_sets is None
+
+
 class TestDuplicationFloor:
     """Full overlap can only concentrate the footprint, never shrink the
     per-ASID working sets the tagged structures must provide for."""

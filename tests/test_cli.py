@@ -247,6 +247,99 @@ class TestSharedSweepCommand:
         assert csv_path.read_text().startswith("preset,shared_fraction,style")
 
 
+class TestCacheSweepCommand:
+    def test_cache_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "caches", "--preset", "consolidated_server",
+             "--quanta", "1024,4096", "--tenant-counts", "1,2",
+             "--style", "btbx", "--cache-modes", "flush,tagged",
+             "--budget-kib", "7.25", "--json", "c.json", "--csv", "c.csv"]
+        )
+        assert args.command == "sweep"
+        assert args.sweep_command == "caches"
+        assert args.presets == ["consolidated_server"]
+        assert args.cache_modes == "flush,tagged"
+        assert args.json_path == "c.json"
+        assert args.csv_path == "c.csv"
+
+    def test_bad_cache_sweep_flags_exit_2(self, capsys):
+        for flags in (["--quanta", "0"], ["--cache-modes", "lukewarm"],
+                      ["--style", "warp-drive"], ["--budget-kib", "0"],
+                      ["--preset", "no_such_preset"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["sweep", "caches"] + flags)
+            assert excinfo.value.code == 2
+
+    def test_multiple_styles_rejected_not_silently_truncated(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "caches", "--style", "conventional,btbx"])
+        assert excinfo.value.code == 2
+        assert "exactly one BTB style" in capsys.readouterr().err
+
+    def test_bad_cache_modes_error_names_the_right_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "caches", "--cache-modes", "lukewarm"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--cache-modes" in err
+        assert "--asid-modes" not in err
+
+    def test_cache_sweep_end_to_end_writes_json_and_csv(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        json_path, csv_path = tmp_path / "caches.json", tmp_path / "caches.csv"
+        exit_code = main(
+            ["sweep", "caches", "--preset", "consolidated_server",
+             "--quanta", "1024,4096", "--tenant-counts", "1",
+             "--cache-modes", "flush,tagged",
+             "--json", str(json_path), "--csv", str(csv_path)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Cache-interference sweep" in out
+        assert "L1-I MPKI vs scheduling quantum" in out
+        record = json.loads(json_path.read_text())
+        assert record["experiment"] == "cache_interference"
+        section = record["quantum_sweep"]["consolidated_server"]
+        assert section["axis"] == [1024, 4096]
+        assert set(section["curves"]) == {"BTB-X/cache-flush", "BTB-X/cache-tagged"}
+        flush = section["curves"]["BTB-X/cache-flush"]["aggregate_l1i_mpki"]
+        tagged = section["curves"]["BTB-X/cache-tagged"]["aggregate_l1i_mpki"]
+        assert all(f >= t for f, t in zip(flush, tagged)), (flush, tagged)
+        assert csv_path.read_text().startswith("sweep,preset,axis_value")
+
+
+class TestPlotCommand:
+    def test_plot_missing_file_exits_2(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["plot", str(tmp_path / "missing.csv")])
+        assert excinfo.value.code == 2
+        assert "no such CSV file" in capsys.readouterr().err
+
+    def test_plot_unrecognised_csv_exits_2(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.csv"
+        bogus.write_text("foo,bar\n1,2\n", encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["plot", str(bogus)])
+        assert excinfo.value.code == 2
+        assert "unrecognised" in capsys.readouterr().err
+
+    def test_plot_renders_committed_smoke_csv(self, tmp_path, capsys):
+        import pathlib
+
+        smoke = pathlib.Path(__file__).parent.parent / "results" / "shared_footprint_smoke.csv"
+        exit_code = main(
+            ["plot", str(smoke), "--out-dir", str(tmp_path), "--backend", "svg"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        written = list(tmp_path.glob("*.svg"))
+        assert written, "plot command produced no figures"
+        assert any("btb_mpki" in path.name for path in written)
+
+
 class TestCacheCommands:
     def test_stats_reports_entries_and_bytes(self, tmp_path, capsys):
         expected = _seed_cache(tmp_path)
@@ -305,6 +398,41 @@ class TestCacheCommands:
         cache = ResultCache(tmp_path)
         assert cache.prune(max_age_seconds=86400.0) == expected
         assert len(cache) == 0
+
+    def test_stats_reports_on_disk_format_version(self, tmp_path, capsys):
+        from repro.experiments.engine import CACHE_FORMAT_VERSION
+
+        _seed_cache(tmp_path)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"format versions : v{CACHE_FORMAT_VERSION}" in out
+        assert f"(this tool writes v{CACHE_FORMAT_VERSION})" in out
+
+    @staticmethod
+    def _forge_newer_entry(tmp_path) -> None:
+        import os
+
+        entry_name = next(n for n in os.listdir(tmp_path) if n.endswith(".json"))
+        entry = json.loads((tmp_path / entry_name).read_text())
+        entry["job"]["cache_format"] = 999
+        (tmp_path / "forged_newer.json").write_text(json.dumps(entry))
+
+    def test_prune_refuses_newer_format_caches_with_friendly_exit_0(
+        self, tmp_path, capsys
+    ):
+        expected = _seed_cache(tmp_path)
+        self._forge_newer_entry(tmp_path)
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "not pruning" in out and "v999" in out
+        # Nothing was deleted -- neither the newer entry nor the older ones.
+        assert len(ResultCache(tmp_path)) == expected + 1
+
+    def test_stats_still_works_on_newer_format_caches(self, tmp_path, capsys):
+        _seed_cache(tmp_path)
+        self._forge_newer_entry(tmp_path)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "v999" in capsys.readouterr().out
 
 
 class TestRunAllResilience:

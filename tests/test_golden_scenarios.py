@@ -49,6 +49,19 @@ SECONDARY_STYLES = (BTBStyle.PDEDE, BTBStyle.REDUCED)
 SECONDARY_PRESETS = ("consolidated_server", "shared_services")
 SECONDARY_ASID_MODES = (ASIDMode.TAGGED, ASIDMode.PARTITIONED)
 
+#: Extra cells pinning the ASID-aware *cache hierarchy*: per-tenant L1-I and
+#: L2 MPKI under flush/tagged/partitioned cache modes (the BTB itself runs in
+#: tagged retention so only the hierarchy varies across these cells).
+CACHE_PRESETS = ("consolidated_server", "shared_services")
+CACHE_CELL_STYLES = (BTBStyle.BTBX,)
+CACHE_CELL_MODES = (ASIDMode.FLUSH, ASIDMode.TAGGED, ASIDMode.PARTITIONED)
+#: Two baseline-organization cells keep the Conv-BTB path covered without
+#: doubling the grid.
+CACHE_EXTRA_CELLS = (
+    ("consolidated_server", BTBStyle.CONVENTIONAL, ASIDMode.FLUSH),
+    ("shared_services", BTBStyle.CONVENTIONAL, ASIDMode.TAGGED),
+)
+
 #: Aggregate counters pinned bit-exactly (ints and one exact float).
 AGGREGATE_FIELDS = (
     "instructions",
@@ -84,8 +97,24 @@ def golden_cells() -> list[tuple[str, BTBStyle, ASIDMode]]:
     return cells
 
 
+def cache_golden_cells() -> list[tuple[str, BTBStyle, ASIDMode]]:
+    """The (preset, style, cache_mode) grid of the hierarchy cells."""
+    cells = [
+        (preset, style, cache_mode)
+        for preset in CACHE_PRESETS
+        for style in CACHE_CELL_STYLES
+        for cache_mode in CACHE_CELL_MODES
+    ]
+    cells += list(CACHE_EXTRA_CELLS)
+    return cells
+
+
 def cell_key(preset: str, style: BTBStyle, mode: ASIDMode) -> str:
     return f"{preset}/{style.value}/{mode.value}"
+
+
+def cache_cell_key(preset: str, style: BTBStyle, cache_mode: ASIDMode) -> str:
+    return f"{preset}/{style.value}/cache-{cache_mode.value}"
 
 
 def compute_cell(preset: str, style: BTBStyle, mode: ASIDMode) -> dict:
@@ -120,6 +149,48 @@ def compute_cell(preset: str, style: BTBStyle, mode: ASIDMode) -> dict:
     return cell
 
 
+def compute_cache_cell(preset: str, style: BTBStyle, cache_mode: ASIDMode) -> dict:
+    """Simulate one hierarchy cell and distill it to the pinned counters.
+
+    These cells exist to lock down the ASID-aware memory hierarchy, so they
+    pin what the main grid does not: per-tenant L1-I and L2 miss counts and
+    MPKI, the reported cache mode and the per-level partition maps.
+    """
+    result = execute_scenario(
+        preset,
+        style=style,
+        asid_mode=ASIDMode.TAGGED,
+        budget_kib=GOLDEN_BUDGET_KIB,
+        instructions=GOLDEN_INSTRUCTIONS,
+        warmup_instructions=GOLDEN_WARMUP,
+        cache_mode=cache_mode,
+    )
+    return {
+        "cache_mode": result.cache_mode,
+        "context_switches": result.context_switches,
+        "cache_partition_sets": result.cache_partition_sets,
+        "aggregate": {
+            "instructions": result.aggregate.instructions,
+            "l1i_misses": result.aggregate.l1i_misses,
+            "l2_accesses": result.aggregate.l2_accesses,
+            "l2_misses": result.aggregate.l2_misses,
+            "cycles": result.aggregate.cycles,
+        },
+        "aggregate_l1i_mpki": result.aggregate.l1i_mpki,
+        "aggregate_l2_mpki": result.aggregate.l2_mpki,
+        "per_tenant": {
+            tenant: {
+                "instructions": tenant_result.instructions,
+                "l1i_misses": tenant_result.l1i_misses,
+                "l2_misses": tenant_result.l2_misses,
+                "l1i_mpki": tenant_result.l1i_mpki,
+                "l2_mpki": tenant_result.l2_mpki,
+            }
+            for tenant, tenant_result in result.per_tenant.items()
+        },
+    }
+
+
 def load_fixture() -> dict:
     if not FIXTURE_PATH.exists():  # pragma: no cover - repo invariant
         pytest.fail(
@@ -138,6 +209,7 @@ def fixture() -> dict:
 def test_fixture_matches_the_current_grid(fixture):
     """Adding/removing presets, styles or modes must force a regeneration."""
     expected = {cell_key(*cell) for cell in golden_cells()}
+    expected |= {cache_cell_key(*cell) for cell in cache_golden_cells()}
     assert set(fixture["cells"]) == expected, (
         "golden fixture covers a different grid than the code; regenerate it "
         "(see TESTING.md) and review the diff"
@@ -163,6 +235,22 @@ def test_golden_cell_is_bit_exact(fixture, preset, style, mode):
     )
 
 
+@pytest.mark.golden
+@pytest.mark.parametrize(
+    "preset,style,cache_mode",
+    cache_golden_cells(),
+    ids=[cache_cell_key(*cell) for cell in cache_golden_cells()],
+)
+def test_cache_golden_cell_is_bit_exact(fixture, preset, style, cache_mode):
+    pinned = fixture["cells"][cache_cell_key(preset, style, cache_mode)]
+    actual = compute_cache_cell(preset, style, cache_mode)
+    assert actual == pinned, (
+        f"hierarchy results drifted for {cache_cell_key(preset, style, cache_mode)}; "
+        "if the change is intentional, regenerate tests/golden/scenario_golden.json "
+        "(see TESTING.md) and commit the new fixture with your change"
+    )
+
+
 def regenerate() -> None:  # pragma: no cover - developer tool
     """Recompute every golden cell and rewrite the fixture."""
     cells = {}
@@ -170,6 +258,10 @@ def regenerate() -> None:  # pragma: no cover - developer tool
         key = cell_key(preset, style, mode)
         print(f"  {key} ...", flush=True)
         cells[key] = compute_cell(preset, style, mode)
+    for preset, style, cache_mode in cache_golden_cells():
+        key = cache_cell_key(preset, style, cache_mode)
+        print(f"  {key} ...", flush=True)
+        cells[key] = compute_cache_cell(preset, style, cache_mode)
     fixture = {
         "format": 1,
         "instructions": GOLDEN_INSTRUCTIONS,

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from repro.common.config import CacheConfig, MachineConfig
-from repro.memory.cache import Cache
+from repro.common.config import ASIDMode, CacheConfig, MachineConfig
+from repro.memory.cache import Cache, SetAssociativeCache
 from repro.memory.hierarchy import MemoryHierarchy
 
 
@@ -75,6 +75,128 @@ class TestCache:
         cache.invalidate_all()
         assert not cache.contains(0x4000)
         assert cache.occupancy() == 0
+
+
+class TestCacheASIDPolicy:
+    """ASID tagging and set partitioning on a single level."""
+
+    def test_cache_is_the_set_associative_cache(self):
+        # The historical name must keep working.
+        assert Cache is SetAssociativeCache
+
+    def test_tagged_lines_do_not_cross_address_spaces(self):
+        cache = _small_cache()
+        cache.fill(0x1000)
+        assert cache.access(0x1000).hit
+        cache.set_active_asid(1)
+        assert not cache.access(0x1000).hit
+        assert not cache.contains(0x1000)
+        cache.fill(0x1000)
+        assert cache.access(0x1000).hit
+        cache.set_active_asid(0)
+        assert cache.access(0x1000).hit  # ASID 0's line survived untouched
+
+    def test_asid_zero_is_the_identity_color(self):
+        """With ASID 0 active the tagged cache is bit-identical to the
+        untagged one: same hits, same evictions, same victims."""
+        plain = _small_cache(size=4 * 64, assoc=4)
+        tagged = _small_cache(size=4 * 64, assoc=4)
+        tagged.set_active_asid(0)
+        addresses = [i * 64 for i in (0, 1, 2, 3, 4, 1, 0, 5)]
+        for addr in addresses:
+            left = plain.access(addr).hit
+            right = tagged.access(addr).hit
+            assert left == right
+            if not left:
+                assert plain.fill(addr) == tagged.fill(addr)
+
+    def test_partitioned_sets_isolate_tenants(self):
+        cache = _small_cache(size=8 * 64, assoc=1)  # 8 direct-mapped sets
+        cache.configure_partitions((1, 1))
+        assert cache.partition_set_counts() == [4, 4]
+        # Tenant 0 fills its slice full of blocks; tenant 1's fills must not
+        # evict any of them (disjoint set ranges).
+        for i in range(4):
+            cache.fill(i * 64)
+        cache.set_active_asid(1)
+        for i in range(8):
+            cache.fill((100 + i) * 64)
+        cache.set_active_asid(0)
+        for i in range(4):
+            assert cache.contains(i * 64), f"tenant 0 lost block {i} to tenant 1"
+
+    def test_partition_reconfiguration_invalidates(self):
+        cache = _small_cache()
+        cache.fill(0x2000)
+        cache.configure_partitions((1, 1))
+        assert not cache.contains(0x2000)
+        cache.fill(0x2000)
+        cache.configure_partitions(None)
+        assert not cache.contains(0x2000)
+
+    def test_too_small_cache_falls_back_to_sharing(self):
+        cache = _small_cache(size=2 * 64, assoc=1)  # 2 sets
+        cache.configure_partitions((1, 1, 1))
+        assert cache.partition_set_counts() is None  # shared (still tagged)
+
+    def test_eviction_reports_raw_victim_address_under_tagging(self):
+        cache = _small_cache(size=1 * 64, assoc=1)
+        cache.set_active_asid(3)
+        cache.fill(0x40)
+        evicted = cache.fill(0x40 + 64 * cache.num_sets)
+        assert evicted == 0x40  # the raw block address, not the colored tag
+
+
+class TestHierarchyASIDModes:
+    """Context-switch behaviour of the whole hierarchy."""
+
+    @staticmethod
+    def _hierarchy(mode: ASIDMode | None) -> MemoryHierarchy:
+        return MemoryHierarchy(MachineConfig(cache_asid_mode=mode))
+
+    def test_legacy_mode_ignores_switches(self):
+        hierarchy = self._hierarchy(None)
+        hierarchy.fetch(0x400000)
+        hierarchy.context_switch(1)
+        assert hierarchy.fetch(0x400000).l1i_hit  # false sharing, as before
+
+    def test_flush_mode_invalidates_every_level(self):
+        hierarchy = self._hierarchy(ASIDMode.FLUSH)
+        hierarchy.fetch(0x400000)
+        hierarchy.context_switch(1)
+        assert not hierarchy.l1i.contains(0x400000)
+        assert not hierarchy.l2.contains(0x400000)
+        assert not hierarchy.llc.contains(0x400000)
+        result = hierarchy.fetch(0x400000)
+        assert result.level == "DRAM"
+
+    def test_tagged_mode_keeps_lines_per_address_space(self):
+        hierarchy = self._hierarchy(ASIDMode.TAGGED)
+        hierarchy.fetch(0x400000)
+        hierarchy.context_switch(1)
+        # Tenant 1 misses on the same VA (no false sharing)...
+        assert not hierarchy.fetch(0x400000).l1i_hit
+        hierarchy.context_switch(0)
+        # ...while tenant 0's line survived the switches.
+        assert hierarchy.fetch(0x400000).l1i_hit
+
+    def test_repeated_switch_to_same_asid_is_a_noop(self):
+        hierarchy = self._hierarchy(ASIDMode.FLUSH)
+        hierarchy.context_switch(2)
+        hierarchy.fetch(0x500000)
+        hierarchy.context_switch(2)
+        assert hierarchy.fetch(0x500000).l1i_hit
+        assert hierarchy.stats.get("context_switches") == 1
+
+    def test_partition_report_covers_every_level(self):
+        hierarchy = self._hierarchy(ASIDMode.PARTITIONED)
+        hierarchy.configure_partitions((3, 1))
+        report = hierarchy.partition_report()
+        assert set(report) == {"l1i", "l1d", "l2", "llc"}
+        for level, counts in report.items():
+            assert len(counts) == 2
+            assert counts[0] > counts[1], (level, counts)  # weight-proportional
+        assert self._hierarchy(ASIDMode.TAGGED).partition_report() == {}
 
 
 class TestHierarchy:

@@ -1,0 +1,108 @@
+"""Tests for the sweep-aware plotting module (``btbx-repro plot``)."""
+
+from __future__ import annotations
+
+import pathlib
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.analysis import plotting
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+SMOKE_CSV = REPO_ROOT / "results" / "shared_footprint_smoke.csv"
+COMMITTED_FIGURE = REPO_ROOT / "results" / "shared_footprint_smoke_shared_services_btb_mpki.svg"
+
+
+class TestSchemaDetection:
+    def test_detects_all_three_sweep_schemas(self):
+        from repro.experiments import cache_interference, scenario_sweep, shared_footprint
+
+        assert plotting.detect_schema(scenario_sweep.CSV_FIELDS) == "scenario_sweep"
+        assert plotting.detect_schema(shared_footprint.CSV_FIELDS) == "shared_footprint"
+        assert plotting.detect_schema(cache_interference.CSV_FIELDS) == "cache_interference"
+
+    def test_unknown_header_raises(self):
+        with pytest.raises(plotting.PlotSchemaError, match="unrecognised"):
+            plotting.detect_schema(["foo", "bar"])
+
+
+def _tiny_csv(tmp_path) -> str:
+    path = tmp_path / "sweep.csv"
+    path.write_text(
+        "sweep,preset,axis_value,style,asid_mode,tenant,btb_mpki,ipc,"
+        "context_switches,partition_sets\n"
+        "quantum,demo,1024,BTB-X,flush,(aggregate),10.5,1.1,4,\n"
+        "quantum,demo,1024,BTB-X,flush,t0,12.0,,4,\n"
+        "quantum,demo,2048,BTB-X,flush,(aggregate),8.25,1.2,2,\n"
+        "quantum,demo,1024,BTB-X,tagged,(aggregate),6.0,1.3,4,\n"
+        "quantum,demo,2048,BTB-X,tagged,(aggregate),5.5,1.35,2,\n",
+        encoding="utf-8",
+    )
+    return str(path)
+
+
+class TestSvgRendering:
+    def test_plot_csv_writes_valid_svg_per_metric(self, tmp_path):
+        figures = plotting.plot_csv(_tiny_csv(tmp_path), backend="svg")
+        assert len(figures) == 2  # btb_mpki + ipc
+        for figure in figures:
+            root = ElementTree.parse(figure).getroot()
+            assert root.tag.endswith("svg")
+            text = pathlib.Path(figure).read_text(encoding="utf-8")
+            assert "polyline" in text
+            # Per-tenant rows are not plotted; only aggregates become series.
+            assert "BTB-X/flush" in text and "BTB-X/tagged" in text
+            assert "t0" not in text
+
+    def test_output_is_deterministic(self, tmp_path):
+        csv_path = _tiny_csv(tmp_path)
+        first = [pathlib.Path(p).read_text() for p in plotting.plot_csv(csv_path, backend="svg")]
+        second = [pathlib.Path(p).read_text() for p in plotting.plot_csv(csv_path, backend="svg")]
+        assert first == second
+
+    def test_out_dir_is_respected(self, tmp_path):
+        out = tmp_path / "figures"
+        figures = plotting.plot_csv(_tiny_csv(tmp_path), out_dir=str(out), backend="svg")
+        assert all(pathlib.Path(p).parent == out for p in figures)
+
+    def test_empty_csv_raises_schema_error(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("", encoding="utf-8")
+        with pytest.raises(plotting.PlotSchemaError):
+            plotting.plot_csv(str(empty))
+
+
+class TestCommittedFigure:
+    """The committed smoke figure must stay in lockstep with its CSV."""
+
+    def test_committed_figure_matches_its_csv(self, tmp_path):
+        assert SMOKE_CSV.exists() and COMMITTED_FIGURE.exists()
+        figures = plotting.plot_csv(str(SMOKE_CSV), out_dir=str(tmp_path), backend="svg")
+        regenerated = {pathlib.Path(p).name: pathlib.Path(p).read_text() for p in figures}
+        assert COMMITTED_FIGURE.name in regenerated
+        assert COMMITTED_FIGURE.read_text() == regenerated[COMMITTED_FIGURE.name], (
+            "results/shared_footprint_smoke_*.svg drifted from its CSV; "
+            "regenerate it with 'btbx-repro plot results/shared_footprint_smoke.csv'"
+        )
+
+    def test_committed_figure_is_valid_svg(self):
+        root = ElementTree.parse(COMMITTED_FIGURE).getroot()
+        assert root.tag.endswith("svg")
+
+
+class TestBackendResolution:
+    def test_svg_backend_always_available(self):
+        assert plotting.resolve_backend("svg") == "svg"
+
+    def test_auto_resolves_to_an_available_backend(self):
+        assert plotting.resolve_backend("auto") in ("svg", "mpl")
+
+    def test_mpl_requested_without_matplotlib_raises(self, monkeypatch):
+        monkeypatch.setattr(plotting, "matplotlib_available", lambda: False)
+        with pytest.raises(plotting.PlotSchemaError, match="matplotlib"):
+            plotting.resolve_backend("mpl")
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(plotting.PlotSchemaError, match="unknown plot backend"):
+            plotting.resolve_backend("gnuplot")

@@ -383,6 +383,16 @@ class TestResultSchema:
         assert flattened["duplication"] is not None
         assert flattened["secondary_partition_sets"] is not None
         assert flattened["partition_sets"] is not None
+        # Scenario-aware energy accounting: the BTB's access counters and
+        # their Table V evaluation must ride along on every scenario cell.
+        assert flattened["btb_access_counts"], "BTB access counters missing"
+        assert flattened["btb_access_counts"]["reads.total"] > 0
+        assert flattened["energy"] is not None
+        assert flattened["energy"]["total_energy_uj"] > 0
+        assert set(flattened["energy"]["structures"]) >= {"main", "page"}
+        # Per-tenant cache metrics: every tenant row carries l2_mpki.
+        for tenant_payload in flattened["per_tenant"].values():
+            assert "l2_mpki" in tenant_payload
 
     def test_payload_round_trips_new_counters(self, tmp_path):
         job = ScenarioJob(
@@ -400,4 +410,6 @@ class TestResultSchema:
             second.scenario.secondary_partition_sets
             == first.scenario.secondary_partition_sets
         )
+        assert second.scenario.btb_access_counts == first.scenario.btb_access_counts
+        assert second.scenario.energy == first.scenario.energy
         assert second.scenario.to_dict() == first.scenario.to_dict()
