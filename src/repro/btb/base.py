@@ -83,6 +83,13 @@ class BTBBase(abc.ABC):
         #: All ASID machinery (tag coloring, partitioning, duplication
         #: accounting) for this organization and its secondary structures.
         self.asid_policy = AddressSpacePolicy()
+        #: Batched-backend fast path: the last chunk-vectorized ``(pc, index,
+        #: tag)`` handed out by a batch plan's lookup.  ``update`` consults it
+        #: through :meth:`_locate_for_update` so a commit-time insertion
+        #: reuses the lookup's set index and partial tag instead of re-hashing
+        #: -- valid because the pc->location mapping only changes with the
+        #: active ASID or the partition map, both of which clear the hint.
+        self._update_hint: tuple[int, int, int] | None = None
 
     # -- mandatory interface ----------------------------------------------
 
@@ -121,6 +128,7 @@ class BTBBase(abc.ABC):
         another while all tenants share the same storage.  ASID 0 is the
         neutral color: with it, tagging is a no-op.
         """
+        self._update_hint = None
         self.asid_policy.activate(asid)
 
     def configure_partitions(self, weights: Sequence[int] | None) -> None:
@@ -141,6 +149,7 @@ class BTBBase(abc.ABC):
         (including back to shared): entries installed under a different map
         would be unreachable or, worse, reachable from the wrong slice.
         """
+        self._update_hint = None
         if weights is None or (
             self._PARTITION_FALLBACK and self._partitionable_sets() < len(weights)
         ):
@@ -164,6 +173,18 @@ class BTBBase(abc.ABC):
     def partition_set_counts(self) -> list[int] | None:
         """Sets per tenant partition (``None`` when the structure is shared)."""
         return self.asid_policy.domain_counts(self._MAIN_DOMAIN)
+
+    def _locate_for_update(self, pc: int) -> tuple[int, int]:
+        """``_locate(pc)``, short-circuited by the batch plan's lookup hint.
+
+        Scalar-path behaviour is unchanged (the hint is only ever set by a
+        batch plan); with a hint for the same ``pc`` the commit-time update
+        reuses the chunk-vectorized set index and partial tag bit-for-bit.
+        """
+        hint = self._update_hint
+        if hint is not None and hint[0] == pc:
+            return hint[1], hint[2]
+        return self._locate(pc)  # type: ignore[attr-defined]
 
     def secondary_partition_counts(self) -> dict[str, list[int]]:
         """Per-tenant capacity of each partitioned *secondary* structure.
@@ -200,6 +221,45 @@ class BTBBase(abc.ABC):
     def storage_kib(self) -> float:
         """Storage requirement in KiB."""
         return self.storage_bits() / 8.0 / 1024.0
+
+    # -- batched backend hooks ---------------------------------------------
+
+    def batch_plan(self, pcs, taken_branch_pcs) -> "object | None":
+        """Plan one scheduling chunk's lookups over the ``pcs`` array.
+
+        Supported organizations return a plan object with two members the
+        batched engine consumes:
+
+        * ``guaranteed_miss`` -- a boolean array marking PCs that *provably*
+          miss for the whole chunk: their lookup key is neither resident now
+          nor among the keys any taken branch of the chunk
+          (``taken_branch_pcs``) could install.  Within a chunk the active
+          ASID -- hence coloring and partition slice -- is constant, updates
+          install only at taken-branch keys and evictions only remove
+          entries, so the filter is static and exact;
+        * ``lookup(position, pc)`` -- perform the real lookup for the chunk's
+          ``position``-th instruction using the plan's pre-vectorized set
+          index and partial tag (identical integers to ``_locate``, so the
+          result, LRU movement and counters match the scalar path bit for
+          bit).
+
+        The default returns ``None``: the engine then runs every instruction
+        through the ordinary scalar path, which keeps organizations with
+        richer lookup behaviour (PDede's two-cycle page probes, R-BTB,
+        ideal) exact without a vectorized twin.
+        """
+        del pcs, taken_branch_pcs
+        return None
+
+    def note_skipped_miss_lookups(self, count: int) -> None:
+        """Account ``count`` lookups the batched engine proved to be misses.
+
+        The engine never performs those probes; this applies their only
+        architectural footprint -- read-access and miss counters (a missing
+        lookup touches no LRU state).  Only meaningful for organizations
+        whose :meth:`batch_plan` can mark guaranteed misses.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no batched miss path")
 
     def record_allocation(self, structure: str, key: int) -> None:
         """Note that ``structure`` was asked to track ``key`` (duplication stats).
@@ -274,6 +334,39 @@ class BTBBase(abc.ABC):
             f"{type(self).__name__}(entries={self.capacity_entries()}, "
             f"storage={self.storage_kib():.2f}KiB)"
         )
+
+
+def batch_locate(btb: "BTBBase", pcs, num_sets: int):
+    """Vectorized twin of the ``_locate`` used by conventional-style arrays.
+
+    Computes the set index and partial tag of every PC in the uint64 array
+    ``pcs`` for ``btb``'s *current* ASID state -- the same
+    :class:`~repro.common.asid.AddressSpacePolicy` slice and color the scalar
+    ``_locate`` consults per call, hoisted out because both are constant
+    within a scheduling chunk.  The arithmetic is element-wise identical:
+    raw-PC set indexing (confined to the active partition slice) and an
+    XOR-folded tag over the ASID-colored PC.  Color constants can exceed 64
+    bits (cold-semantics ASIDs), so the constant is folded in arbitrary
+    precision and XORed into the vectorized fold -- exact, because XOR-folding
+    is XOR-linear.
+    """
+    from repro.traces.batch import fold_xor_array, np, set_index_array
+
+    align = btb.isa.alignment_bits
+    shifted = pcs >> np.uint64(align)
+    sliced = btb.asid_policy.active_slice(btb._MAIN_DOMAIN)
+    if sliced is None:
+        index = set_index_array(shifted, num_sets)
+    else:
+        base, count = sliced
+        index = set_index_array(shifted, count)
+        if base:
+            index = index + np.uint64(base)
+    tags = fold_xor_array(shifted, btb.tag_bits)
+    color = btb.asid_policy.color_constant()
+    if color:
+        tags = tags ^ np.uint64(fold_xor(color >> align, btb.tag_bits))
+    return index, tags
 
 
 def partial_tag(pc: int, index_bits_consumed: int, tag_bits: int, alignment_bits: int) -> int:

@@ -30,7 +30,7 @@ from repro.common.lru import LRUState
 from repro.common.stats import Stats
 from repro.isa.branch import BranchType
 from repro.isa.instruction import Instruction
-from repro.btb.base import BTBBase, BTBLookupResult, index_bits_of, partial_tag
+from repro.btb.base import BTBBase, BTBLookupResult, batch_locate, index_bits_of, partial_tag
 from repro.btb.offsets import stored_offset_bits
 
 #: Per-way offset widths for Arm64 (Figure 8) and x86 (Section VI-G).
@@ -55,7 +55,7 @@ def default_way_offsets(isa: ISAStyle) -> Tuple[int, ...]:
     return BTBX_WAY_OFFSET_BITS_X86
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry:
     valid: bool = False
     tag: int = 0
@@ -64,7 +64,7 @@ class _Entry:
     offset_width: int = 0  # stored-bit width actually used (<= way width)
 
 
-@dataclass
+@dataclass(slots=True)
 class _CompanionEntry:
     valid: bool = False
     tag: int = 0
@@ -113,8 +113,12 @@ class BTBXC(BTBBase):
 
     def lookup(self, pc: int) -> BTBLookupResult:
         """Direct-mapped probe; accessed in parallel with BTB-X."""
-        self.record_read("companion")
         index, tag = self._locate(pc)
+        return self.lookup_prelocated(pc, index, tag)
+
+    def lookup_prelocated(self, pc: int, index: int, tag: int) -> BTBLookupResult:
+        """The probe proper, with index and tag precomputed (batched backend)."""
+        self.record_read("companion")
         entry = self._entries[index]
         if entry.valid and entry.tag == tag:
             self.stats.inc("hits")
@@ -154,6 +158,20 @@ class BTBXC(BTBBase):
         for entry in self._entries:
             entry.valid = False
 
+    def _resident_lookup_keys(self) -> List[int]:
+        """``(slot << tag_bits) | tag`` of every valid entry (miss filtering)."""
+        tag_bits = self.tag_bits
+        return [
+            (index << tag_bits) | entry.tag
+            for index, entry in enumerate(self._entries)
+            if entry.valid
+        ]
+
+    def note_skipped_miss_lookups(self, count: int) -> None:
+        """Bulk-account ``count`` proven-miss probes the engine skipped."""
+        self.reads["companion"] = self.reads.get("companion", 0) + count
+        self.stats.inc("misses", count)
+
 
 class BTBX(BTBBase):
     """BTB-X proper: skewed-width offset ways plus the BTB-XC companion."""
@@ -186,10 +204,11 @@ class BTBX(BTBBase):
         self.associativity = associativity
         self.num_sets = entries // associativity
         self._index_bits = index_bits_of(self.num_sets)
-        self._sets: List[List[_Entry]] = [
-            [_Entry() for _ in range(associativity)] for _ in range(self.num_sets)
-        ]
-        self._lru = [LRUState(associativity) for _ in range(self.num_sets)]
+        # Sets materialize lazily on first install (see
+        # SetAssociativeCache.__init__ for the bit-exactness argument): a
+        # probe of an unmaterialized set is a miss with nothing to scan.
+        self._sets: List[List[_Entry] | None] = [None] * self.num_sets
+        self._lru: List[LRUState | None] = [None] * self.num_sets
         # Per-way hit/allocation counters (kept as plain lists for speed; they
         # are exposed through way_hit_counts()/way_allocation_counts()).
         self._way_hits = [0] * associativity
@@ -309,9 +328,26 @@ class BTBX(BTBBase):
 
     def lookup(self, pc: int) -> BTBLookupResult:
         """Probe all ways (and BTB-XC) in parallel with the PC."""
-        self.record_read("main")
         index, tag = self._locate(pc)
-        for way, entry in enumerate(self._sets[index]):
+        return self.lookup_prelocated(pc, index, tag, None, None)
+
+    def lookup_prelocated(
+        self,
+        pc: int,
+        index: int,
+        tag: int,
+        companion_index: int | None,
+        companion_tag: int | None,
+    ) -> BTBLookupResult:
+        """The probe proper, with main (and optionally companion) pre-located.
+
+        ``companion_index=None`` locates the companion lazily, preserving the
+        scalar path's behaviour of only computing it when the main ways miss;
+        the batched backend passes both pairs from its chunk-vectorized
+        arrays.
+        """
+        self.record_read("main")
+        for way, entry in enumerate(self._sets[index] or ()):
             if entry.valid and entry.tag == tag:
                 self._lru[index].touch(way)
                 self.stats.inc("hits")
@@ -331,7 +367,12 @@ class BTBX(BTBBase):
                     structure=f"way{way}",
                 )
         if self.companion is not None:
-            companion_result = self.companion.lookup(pc)
+            if companion_index is None:
+                companion_result = self.companion.lookup(pc)
+            else:
+                companion_result = self.companion.lookup_prelocated(
+                    pc, companion_index, companion_tag
+                )
             if companion_result.hit:
                 self.stats.inc("hits")
                 self.stats.inc("hits.companion")
@@ -362,8 +403,10 @@ class BTBX(BTBBase):
             return
 
         self.record_allocation("main", instruction.pc)
-        index, tag = self._locate(instruction.pc)
+        index, tag = self._locate_for_update(instruction.pc)
         entries = self._sets[index]
+        if entries is None:
+            entries = self._materialize(index)
         payload = self._offset_payload(instruction, required)
 
         # Refresh an existing entry if the branch is already present and its
@@ -405,6 +448,13 @@ class BTBX(BTBBase):
         self.stats.inc("allocations")
         self._way_allocations[victim] += 1
 
+    def _materialize(self, index: int) -> List[_Entry]:
+        """Allocate the ways (and LRU state) of set ``index`` on first install."""
+        entries = [_Entry() for _ in range(self.associativity)]
+        self._sets[index] = entries
+        self._lru[index] = LRUState(self.associativity)
+        return entries
+
     def _offset_payload(self, instruction: Instruction, required_bits: int) -> int:
         """The stored offset payload: low target bits above the alignment bits."""
         if required_bits == 0:
@@ -421,8 +471,97 @@ class BTBX(BTBBase):
 
     def invalidate_all(self) -> None:
         """Clear every entry, including the companion (tests/warmup control)."""
-        for entries in self._sets:
-            for entry in entries:
-                entry.valid = False
+        self._sets = [None] * self.num_sets
+        self._lru = [None] * self.num_sets
         if self.companion is not None:
             self.companion.invalidate_all()
+
+    # -- batched backend ---------------------------------------------------
+
+    def _resident_lookup_keys(self) -> List[int]:
+        """``(set << tag_bits) | tag`` of every valid main entry (miss filter)."""
+        keys: List[int] = []
+        tag_bits = self.tag_bits
+        for index, entries in enumerate(self._sets):
+            if entries is None:
+                continue
+            base = index << tag_bits
+            for entry in entries:
+                if entry.valid:
+                    keys.append(base | entry.tag)
+        return keys
+
+    def batch_plan(self, pcs, taken_branch_pcs):
+        """Chunk plan over main ways *and* the companion.
+
+        A PC is a guaranteed miss only when it provably misses both
+        structures; the chunk's taken-branch keys are conservatively blocked
+        in both (overflow branches install in the companion, the rest in the
+        main ways -- blocking both merely shrinks the fast set, never breaks
+        exactness).  See :meth:`repro.btb.base.BTBBase.batch_plan`.
+        """
+        from repro.traces.batch import np
+
+        index, tag = batch_locate(self, pcs, self.num_sets)
+        shift = np.uint64(self.tag_bits)
+        keys = (index << shift) | tag
+        blocked = np.asarray(self._resident_lookup_keys(), dtype=np.uint64)
+        has_taken = len(taken_branch_pcs) > 0
+        if has_taken:
+            tb_index, tb_tag = batch_locate(self, taken_branch_pcs, self.num_sets)
+            blocked = np.concatenate([blocked, (tb_index << shift) | tb_tag])
+        guaranteed_miss = ~np.isin(keys, blocked)
+
+        companion = self.companion
+        if companion is None:
+            return _BTBXBatchPlan(self, index.tolist(), tag.tolist(), None, None, guaranteed_miss)
+        c_index, c_tag = batch_locate(companion, pcs, companion.num_entries)
+        c_shift = np.uint64(companion.tag_bits)
+        c_keys = (c_index << c_shift) | c_tag
+        c_blocked = np.asarray(companion._resident_lookup_keys(), dtype=np.uint64)
+        if has_taken:
+            tb_c_index, tb_c_tag = batch_locate(companion, taken_branch_pcs, companion.num_entries)
+            c_blocked = np.concatenate([c_blocked, (tb_c_index << c_shift) | tb_c_tag])
+        guaranteed_miss &= ~np.isin(c_keys, c_blocked)
+        return _BTBXBatchPlan(
+            self, index.tolist(), tag.tolist(), c_index.tolist(), c_tag.tolist(), guaranteed_miss
+        )
+
+    def note_skipped_miss_lookups(self, count: int) -> None:
+        """Bulk-account ``count`` proven-miss lookups (main and companion)."""
+        self.reads["main"] = self.reads.get("main", 0) + count
+        self.stats.inc("misses", count)
+        if self.companion is not None:
+            self.companion.note_skipped_miss_lookups(count)
+
+
+class _BTBXBatchPlan:
+    """Per-chunk lookup plan of a :class:`BTBX` (main plus companion)."""
+
+    __slots__ = ("_btb", "_index", "_tag", "_c_index", "_c_tag", "guaranteed_miss")
+
+    def __init__(self, btb: BTBX, index, tag, c_index, c_tag, guaranteed_miss) -> None:
+        self._btb = btb
+        self._index = index
+        self._tag = tag
+        self._c_index = c_index
+        self._c_tag = c_tag
+        self.guaranteed_miss = guaranteed_miss
+
+    def lookup(self, position: int, pc: int) -> BTBLookupResult:
+        """Probe with the chunk-vectorized locations of ``position``.
+
+        The main-array location doubles as the update hint: a taken branch's
+        commit-time :meth:`BTBX.update` follows immediately, for the same pc
+        in the same ASID/partition state, so it can reuse the lookup's index
+        and tag (``_locate_for_update``) instead of re-hashing.
+        """
+        btb = self._btb
+        index = self._index[position]
+        tag = self._tag[position]
+        btb._update_hint = (pc, index, tag)
+        if self._c_index is None:
+            return btb.lookup_prelocated(pc, index, tag, None, None)
+        return btb.lookup_prelocated(
+            pc, index, tag, self._c_index[position], self._c_tag[position]
+        )

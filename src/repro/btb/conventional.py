@@ -17,7 +17,7 @@ from repro.common.lru import LRUState
 from repro.common.stats import Stats
 from repro.isa.branch import BranchType
 from repro.isa.instruction import Instruction
-from repro.btb.base import BTBBase, BTBLookupResult, index_bits_of, partial_tag
+from repro.btb.base import BTBBase, BTBLookupResult, batch_locate, index_bits_of, partial_tag
 
 #: Field widths of a conventional BTB entry (Figure 1).
 VALID_BITS = 1
@@ -26,7 +26,7 @@ TYPE_BITS = 2
 REPL_BITS = 3
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry:
     valid: bool = False
     tag: int = 0
@@ -61,10 +61,10 @@ class ConventionalBTB(BTBBase):
         self.num_sets = entries // associativity
         self.virtual_address_bits = virtual_address_bits
         self._index_bits = index_bits_of(self.num_sets)
-        self._sets: List[List[_Entry]] = [
-            [_Entry() for _ in range(associativity)] for _ in range(self.num_sets)
-        ]
-        self._lru: List[LRUState] = [LRUState(associativity) for _ in range(self.num_sets)]
+        # Sets materialize lazily on first install (see
+        # SetAssociativeCache.__init__ for the bit-exactness argument).
+        self._sets: List[List[_Entry] | None] = [None] * self.num_sets
+        self._lru: List[LRUState | None] = [None] * self.num_sets
 
     # -- geometry ----------------------------------------------------------
 
@@ -96,9 +96,18 @@ class ConventionalBTB(BTBBase):
 
     def lookup(self, pc: int) -> BTBLookupResult:
         """Probe all ways of the indexed set in parallel."""
-        self.record_read("main")
         index, tag = self._locate(pc)
-        for way, entry in enumerate(self._sets[index]):
+        return self.lookup_prelocated(pc, index, tag)
+
+    def lookup_prelocated(self, pc: int, index: int, tag: int) -> BTBLookupResult:
+        """The lookup proper, with set index and tag already computed.
+
+        The batched backend vectorizes ``_locate`` over a whole scheduling
+        chunk and probes through here; :meth:`lookup` is now a thin scalar
+        wrapper, so the two paths share one probe implementation.
+        """
+        self.record_read("main")
+        for way, entry in enumerate(self._sets[index] or ()):
             if entry.valid and entry.tag == tag:
                 self._lru[index].touch(way)
                 self.stats.inc("hits")
@@ -112,13 +121,22 @@ class ConventionalBTB(BTBBase):
         self.stats.inc("misses")
         return BTBLookupResult.miss()
 
+    def _materialize(self, index: int) -> List[_Entry]:
+        """Allocate the ways (and LRU state) of set ``index`` on first install."""
+        entries = [_Entry() for _ in range(self.associativity)]
+        self._sets[index] = entries
+        self._lru[index] = LRUState(self.associativity)
+        return entries
+
     def update(self, instruction: Instruction) -> None:
         """Insert or refresh the committed taken branch ``instruction``."""
         if not instruction.is_branch:
             return
         self.record_allocation("main", instruction.pc)
-        index, tag = self._locate(instruction.pc)
+        index, tag = self._locate_for_update(instruction.pc)
         entries = self._sets[index]
+        if entries is None:
+            entries = self._materialize(index)
         for way, entry in enumerate(entries):
             if entry.valid and entry.tag == tag:
                 if entry.target != instruction.target or entry.branch_type != instruction.branch_type:
@@ -146,6 +164,68 @@ class ConventionalBTB(BTBBase):
 
     def invalidate_all(self) -> None:
         """Clear every entry (used by tests and warmup control)."""
-        for entries in self._sets:
+        self._sets = [None] * self.num_sets
+        self._lru = [None] * self.num_sets
+
+    # -- batched backend ---------------------------------------------------
+
+    def _resident_lookup_keys(self) -> List[int]:
+        """``(set << tag_bits) | tag`` of every valid entry (miss filtering)."""
+        keys: List[int] = []
+        tag_bits = self.tag_bits
+        for index, entries in enumerate(self._sets):
+            if entries is None:
+                continue
+            base = index << tag_bits
             for entry in entries:
-                entry.valid = False
+                if entry.valid:
+                    keys.append(base | entry.tag)
+        return keys
+
+    def batch_plan(self, pcs, taken_branch_pcs):
+        """Chunk plan: vectorized locate plus a static guaranteed-miss filter.
+
+        See :meth:`repro.btb.base.BTBBase.batch_plan` for the contract and
+        why the filter is exact within one scheduling chunk.
+        """
+        from repro.traces.batch import np
+
+        index, tag = batch_locate(self, pcs, self.num_sets)
+        shift = np.uint64(self.tag_bits)
+        keys = (index << shift) | tag
+        blocked = np.asarray(self._resident_lookup_keys(), dtype=np.uint64)
+        if len(taken_branch_pcs):
+            tb_index, tb_tag = batch_locate(self, taken_branch_pcs, self.num_sets)
+            blocked = np.concatenate([blocked, (tb_index << shift) | tb_tag])
+        guaranteed_miss = ~np.isin(keys, blocked)
+        return _ConventionalBatchPlan(self, index.tolist(), tag.tolist(), guaranteed_miss)
+
+    def note_skipped_miss_lookups(self, count: int) -> None:
+        """Bulk-account ``count`` proven-miss lookups the engine skipped."""
+        self.reads["main"] = self.reads.get("main", 0) + count
+        self.stats.inc("misses", count)
+
+
+class _ConventionalBatchPlan:
+    """Per-chunk lookup plan of a :class:`ConventionalBTB`."""
+
+    __slots__ = ("_btb", "_index", "_tag", "guaranteed_miss")
+
+    def __init__(self, btb: ConventionalBTB, index, tag, guaranteed_miss) -> None:
+        self._btb = btb
+        self._index = index
+        self._tag = tag
+        self.guaranteed_miss = guaranteed_miss
+
+    def lookup(self, position: int, pc: int) -> BTBLookupResult:
+        """Probe with the chunk-vectorized index/tag of ``position``.
+
+        The location doubles as the update hint (``_locate_for_update``): a
+        taken branch's commit-time update follows immediately for the same pc
+        in the same ASID/partition state.
+        """
+        btb = self._btb
+        index = self._index[position]
+        tag = self._tag[position]
+        btb._update_hint = (pc, index, tag)
+        return btb.lookup_prelocated(pc, index, tag)

@@ -10,6 +10,9 @@ Examples::
     btbx-repro scenario run consolidated_server --scale smoke --json scenario.json
     btbx-repro sweep scenarios --preset consolidated_server --json sweep.json --csv sweep.csv
     btbx-repro sweep shared --preset shared_services --json shared.json --csv shared.csv
+    btbx-repro sweep scenarios --scale smoke --backend numpy
+    btbx-repro bench smoke --repeats 2 --json BENCH_fresh.json
+    btbx-repro bench compare --fresh BENCH_fresh.json
     btbx-repro cache stats --cache-dir results/cache
     btbx-repro cache prune --cache-dir results/cache --max-age-days 30
 
@@ -23,11 +26,12 @@ from __future__ import annotations
 import argparse
 import importlib
 import json
+import os
 import sys
 import time
 from typing import Dict, List
 
-from repro.common.config import ASIDMode
+from repro.common.config import BACKEND_ENV_VAR, BACKENDS, ASIDMode
 from repro.experiments.config import (
     FULL_SCALE,
     QUICK_SCALE,
@@ -79,6 +83,14 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
         help="directory for the on-disk result cache (reruns skip finished jobs)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="simulation backend: 'python' = scalar oracle, 'numpy' = batched "
+        f"SoA engine (default: the {BACKEND_ENV_VAR} environment variable, "
+        "else python)",
     )
 
 
@@ -267,6 +279,62 @@ def build_parser() -> argparse.ArgumentParser:
         "(if installed); 'auto' prefers matplotlib when available",
     )
 
+    bench_parser = sub.add_parser(
+        "bench", help="perf-trajectory benchmark: measure or gate sweep throughput"
+    )
+    bench_sub = bench_parser.add_subparsers(dest="bench_command", required=True)
+    bench_smoke = bench_sub.add_parser(
+        "smoke",
+        help="time the smoke-scale `sweep scenarios` grid per backend "
+        "(instructions/sec, best of --repeats)",
+    )
+    bench_smoke.add_argument(
+        "--backends",
+        help="comma-separated backends to time (default: every importable backend)",
+    )
+    bench_smoke.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=2,
+        help="repetitions per backend; the fastest wall time is kept (default: 2)",
+    )
+    bench_smoke.add_argument("--json", dest="json_path", help="dump the record as JSON")
+    bench_smoke.add_argument(
+        "--append-history",
+        dest="append_history",
+        action="store_true",
+        help="append the record to the committed perf trajectory "
+        "(results/bench_history.jsonl)",
+    )
+    bench_smoke.add_argument(
+        "--history-path",
+        dest="history_path",
+        default=None,
+        help="override the history file used by --append-history",
+    )
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="diff a fresh bench record against the committed baseline; exit 1 on "
+        "a >threshold throughput regression",
+    )
+    bench_compare.add_argument(
+        "--fresh",
+        required=True,
+        help="fresh record JSON file (written by `bench smoke --json`)",
+    )
+    bench_compare.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline history JSONL; its last record is the baseline "
+        "(default: results/bench_history.jsonl)",
+    )
+    bench_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="fractional throughput drop that fails the gate (default: 0.20)",
+    )
+
     cache_parser = sub.add_parser("cache", help="inspect or prune the on-disk result cache")
     cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
     cache_stats = cache_sub.add_parser("stats", help="entry count, total bytes, age range")
@@ -324,8 +392,11 @@ def run_all(
     timings: Dict[str, float] = {}
     status: Dict[str, str] = {}
     errors: Dict[str, str] = {}
+    instructions: Dict[str, int] = {}
+    ips: Dict[str, float] = {}
     with use_engine(engine):
         for name in EXPERIMENTS:
+            simulated_before = engine.counters.instructions_simulated
             started = time.perf_counter()
             try:
                 results[name] = run_experiment(name, scale_name, engine=engine)
@@ -334,10 +405,17 @@ def run_all(
                 status[name] = "failed"
                 errors[name] = f"{type(exc).__name__}: {exc}"
             timings[name] = time.perf_counter() - started
+            # Executed jobs only: a driver whose cells all memo/cache-hit
+            # simulated nothing, so its throughput is reported as 0 rather
+            # than an absurd cells/lookup-time figure.
+            instructions[name] = engine.counters.instructions_simulated - simulated_before
+            ips[name] = instructions[name] / timings[name] if timings[name] > 0 else 0.0
     return {
         "scale": resolve_scale(scale_name).name,
         "results": results,
         "timings_s": timings,
+        "instructions": instructions,
+        "instructions_per_second": ips,
         "total_s": sum(timings.values()),
         "status": status,
         "errors": errors,
@@ -352,6 +430,8 @@ def _write_timings(path: str, summary: Dict[str, object], workers: int) -> None:
         "scale": summary["scale"],
         "workers": workers,
         "timings_s": summary["timings_s"],
+        "instructions": summary["instructions"],
+        "instructions_per_second": summary["instructions_per_second"],
         "total_s": summary["total_s"],
         "status": summary["status"],
         "errors": summary["errors"],
@@ -714,10 +794,75 @@ def run_cache_command(args: argparse.Namespace, parser: argparse.ArgumentParser)
     return 0
 
 
+def run_bench_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Handle ``bench smoke`` and ``bench compare``."""
+    from repro.common.errors import ConfigurationError
+    from repro.experiments import bench
+
+    if args.bench_command == "smoke":
+        backends = (
+            [token.strip() for token in args.backends.split(",") if token.strip()]
+            if args.backends
+            else None
+        )
+        try:
+            record = bench.run_smoke(backends=backends, repeats=args.repeats)
+        except (ConfigurationError, ValueError) as exc:
+            parser.error(str(exc))
+        print(bench.format_record(record))
+        if args.json_path:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=2, sort_keys=True)
+            print(f"(record written to {args.json_path})")
+        if args.append_history:
+            history_path = args.history_path or bench.DEFAULT_HISTORY_PATH
+            bench.append_history(record, history_path)
+            print(f"(record appended to {history_path})")
+        return 0
+
+    try:
+        with open(args.fresh, "r", encoding="utf-8") as handle:
+            fresh = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        parser.error(f"cannot read fresh record {args.fresh!r}: {exc}")
+    baseline_path = args.baseline or bench.DEFAULT_HISTORY_PATH
+    try:
+        history = bench.load_history(baseline_path)
+    except (OSError, ValueError) as exc:
+        parser.error(str(exc))
+    if not history:
+        parser.error(
+            f"no baseline records in {baseline_path!r}; run "
+            "`btbx-repro bench smoke --append-history` and commit the result"
+        )
+    threshold = (
+        args.threshold if args.threshold is not None else bench.DEFAULT_REGRESSION_THRESHOLD
+    )
+    if not 0.0 < threshold < 1.0:
+        parser.error(f"--threshold must be within (0, 1), got {threshold}")
+    verdict = bench.compare(fresh, history[-1], threshold=threshold)
+    print(bench.format_comparison(verdict))
+    return 1 if verdict["regressed"] else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    # One central knob for the simulation backend: subcommands that build an
+    # engine expose --backend, which routes through the environment so pooled
+    # worker processes inherit it (the ``plot`` subcommand's --backend is its
+    # unrelated rendering knob).
+    if args.command != "plot" and getattr(args, "backend", None):
+        from repro.common.config import resolve_backend
+        from repro.common.errors import ConfigurationError
+
+        try:
+            resolve_backend(args.backend)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+        os.environ[BACKEND_ENV_VAR] = args.backend
 
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
@@ -738,6 +883,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "cache":
         return run_cache_command(args, parser)
 
+    if args.command == "bench":
+        return run_bench_command(args, parser)
+
     try:
         engine = make_engine(workers=args.workers, cache_dir=args.cache_dir)
     except OSError as exc:
@@ -752,7 +900,13 @@ def main(argv: list[str] | None = None) -> int:
                 continue
             module = importlib.import_module(EXPERIMENTS[name])
             print(module.format_report(summary["results"][name]))
-            print(f"[{name}: {summary['timings_s'][name]:.2f}s]\n")
+            if summary["instructions"][name]:
+                print(
+                    f"[{name}: {summary['timings_s'][name]:.2f}s, "
+                    f"{summary['instructions_per_second'][name]:,.0f} instructions/s]\n"
+                )
+            else:
+                print(f"[{name}: {summary['timings_s'][name]:.2f}s (all cells reused)]\n")
         counters = summary["engine"]
         print(
             f"run-all: {summary['total_s']:.2f}s at scale {summary['scale']} "

@@ -213,6 +213,30 @@ class AddressSpacePolicy:
             return None
         return ranges[self.active_asid % len(ranges)]
 
+    def active_slice(self, domain: str) -> Tuple[int, int] | None:
+        """``(base, count)`` slice of the *active* tenant, ``None`` when shared.
+
+        The batched backend hoists this out of its per-chunk vectorized set
+        indexing: within one scheduling turn the active ASID -- and therefore
+        the slice -- is constant, so the whole chunk indexes against one
+        ``(base, count)`` pair exactly as :meth:`set_index` would per key.
+        """
+        return self._slice(domain)
+
+    def color_constant(self) -> int:
+        """The XOR constant :meth:`colored` applies under the active ASID.
+
+        Zero for ASID 0 (the identity color).  May exceed 64 bits for large
+        (cold-semantics) ASIDs, so vectorized tag hashing folds this constant
+        separately in arbitrary precision and XORs the folded pieces --
+        :func:`repro.common.bitutils.fold_xor` is XOR-linear, which makes the
+        split exact.
+        """
+        asid = self.active_asid
+        if not asid:
+            return 0
+        return (asid * ASID_SALT) << ASID_SHIFT
+
     def set_index(self, domain: str, key: int, num_sets: int, alignment_bits: int) -> int:
         """Set index for ``key``, confined to the active tenant's partition.
 

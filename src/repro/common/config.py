@@ -13,11 +13,45 @@ trustworthy.
 from __future__ import annotations
 
 import enum
+import importlib.util
+import os
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
 from repro.common.bitutils import is_power_of_two
 from repro.common.errors import ConfigurationError
+
+#: Simulation backends a :class:`MachineConfig` may select.  ``"python"`` is
+#: the scalar per-instruction oracle; ``"numpy"`` is the batched
+#: structure-of-arrays engine, bit-exact against the oracle (enforced by the
+#: differential suite) but only available when numpy is installed.
+BACKENDS: tuple[str, ...] = ("python", "numpy")
+
+#: Environment variable consulted when no backend is requested explicitly.
+#: Set by ``--backend`` on the CLI so forked worker processes inherit it.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Resolve and validate a simulation backend name.
+
+    ``None`` consults :data:`BACKEND_ENV_VAR` and falls back to ``"python"``.
+    Requesting ``"numpy"`` without numpy installed is a configuration error
+    rather than a silent fallback: a benchmark silently running the scalar
+    oracle would report a fake regression.
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or "python"
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown simulation backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "numpy" and importlib.util.find_spec("numpy") is None:
+        raise ConfigurationError(
+            "backend 'numpy' requested but numpy is not installed; "
+            "install the 'numpy' extra or use backend='python'"
+        )
+    return backend
 
 
 class BTBStyle(enum.Enum):
@@ -315,6 +349,16 @@ class MachineConfig:
     #: ASID-tag (PIPT-style sharing) or set-partition across switches, driven
     #: by the same :mod:`repro.common.asid` policy as the BTBs.
     cache_asid_mode: ASIDMode | None = None
+    #: Simulation backend: ``"python"`` (the scalar oracle) or ``"numpy"``
+    #: (the batched structure-of-arrays engine).  Deliberately excluded from
+    #: experiment cache identity -- the backends are bit-exact equals.
+    backend: str = "python"
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown simulation backend {self.backend!r}; expected one of {BACKENDS}"
+            )
 
     def with_btb(self, **btb_overrides: object) -> "MachineConfig":
         """Return a copy of this machine with BTB parameters replaced."""
@@ -331,6 +375,10 @@ class MachineConfig:
     def with_cache_asid_mode(self, mode: ASIDMode | None) -> "MachineConfig":
         """Return a copy of this machine with the given cache ASID mode."""
         return replace(self, cache_asid_mode=mode)
+
+    def with_backend(self, backend: str) -> "MachineConfig":
+        """Return a copy of this machine with the given simulation backend."""
+        return replace(self, backend=resolve_backend(backend))
 
 
 @dataclass(frozen=True)
@@ -356,17 +404,25 @@ def default_machine_config(
     isa: ISAStyle = ISAStyle.ARM64,
     asid_mode: ASIDMode = ASIDMode.FLUSH,
     cache_asid_mode: ASIDMode | None = None,
+    backend: str | None = None,
 ) -> MachineConfig:
     """Build the paper's Table II machine with the requested BTB organization.
 
     ``btb_entries`` is interpreted as the branch capacity of the requested
     organization; use :mod:`repro.btb.storage` to convert a storage budget into
     per-organization entry counts.  ``cache_asid_mode=None`` keeps the legacy
-    ASID-oblivious cache hierarchy.
+    ASID-oblivious cache hierarchy.  ``backend=None`` consults the
+    ``REPRO_BACKEND`` environment variable (see :func:`resolve_backend`), so a
+    single CLI flag reaches every worker process.
     """
     associativity = 8 if btb_style is not BTBStyle.IDEAL else 1
     btb = BTBConfig(style=btb_style, entries=btb_entries, associativity=associativity, isa=isa)
-    machine = MachineConfig(btb=btb, asid_mode=asid_mode, cache_asid_mode=cache_asid_mode)
+    machine = MachineConfig(
+        btb=btb,
+        asid_mode=asid_mode,
+        cache_asid_mode=cache_asid_mode,
+        backend=resolve_backend(backend),
+    )
     return machine.with_fdip(fdip_enabled)
 
 

@@ -77,6 +77,11 @@ class StatGroup:
     def __init__(self, stats: "Stats", prefix: str) -> None:
         self._stats = stats
         self._prefix = prefix
+        # inc()/add() sit on the simulator's innermost loops: prefixed key
+        # strings are interned per group, and increments write straight into
+        # the registry's counter dict (one dict op instead of two calls).
+        self._counters = stats._counters
+        self._key_cache: Dict[str, str] = {}
 
     @property
     def prefix(self) -> str:
@@ -84,15 +89,24 @@ class StatGroup:
         return self._prefix
 
     def _key(self, name: str) -> str:
-        return f"{self._prefix}.{name}"
+        key = self._key_cache.get(name)
+        if key is None:
+            key = self._key_cache[name] = f"{self._prefix}.{name}"
+        return key
 
     def inc(self, name: str, amount: int = 1) -> None:
         """Increment the integer counter ``name`` by ``amount``."""
-        self._stats.inc(self._key(name), amount)
+        key = self._key_cache.get(name)
+        if key is None:
+            key = self._key_cache[name] = f"{self._prefix}.{name}"
+        self._counters[key] += amount
 
     def add(self, name: str, amount: float) -> None:
         """Add ``amount`` to the floating accumulator ``name``."""
-        self._stats.add(self._key(name), amount)
+        key = self._key_cache.get(name)
+        if key is None:
+            key = self._key_cache[name] = f"{self._prefix}.{name}"
+        self._counters[key] += amount
 
     def observe(self, name: str, value: float, bucket: int | None = None) -> None:
         """Record ``value`` in the distribution ``name``."""

@@ -1,0 +1,435 @@
+"""Batched (numpy) execution engine: the fast twin of the scalar simulator.
+
+The scalar loops in :mod:`repro.core.simulator` process one instruction at a
+time and spend most of their cycles recomputing per-PC quantities -- cache
+block boundaries, BTB set indices and partial tags -- that are pure functions
+of the instruction stream.  This engine processes one *scheduling chunk*
+(a contiguous trace slice with a constant ASID/tenant, see
+:meth:`repro.scenarios.compose.TraceComposer.stream_batches`) per step and
+vectorizes everything stream-pure over the chunk's structure-of-arrays view:
+
+* cache-block boundaries (``new_block``) via one shifted comparison;
+* BTB set indices/partial tags via :func:`repro.btb.base.batch_locate`,
+  hoisted per chunk because ASID color and partition slice are constant
+  within a scheduling turn;
+* a static *guaranteed-miss* filter (:meth:`repro.btb.base.BTBBase.batch_plan`)
+  marking PCs that provably miss the BTB for the whole chunk.
+
+Instructions that are non-branches and guaranteed BTB misses have **no**
+observable effect beyond bumping read/miss counters, enqueueing their PC in
+the FTQ, demand-fetching where they cross a cache-block boundary and retiring
+-- so runs of them are compensated in bulk (``note_skipped_miss_lookups``,
+FTQ ``extend`` one block segment at a time, ``retire_instructions(count)``)
+without touching the BPU at all.  Everything
+else goes through the exact scalar machinery (``process_resolved`` with the
+chunk-vectorized set index/tag, or plain ``process`` when the organization
+has no batch plan), so the engine is bit-exact against the oracle loops --
+enforced cell-for-cell by the differential backend suite.
+
+The one tolerated divergence: demand fetches of a chunk are pre-executed
+front-to-back (:meth:`repro.memory.hierarchy.MemoryHierarchy.fetch_batch`),
+which can make FDIP's redundant-prefetch *statistic* (``prefetches_issued``)
+observe slightly warmer L1-I state.  No serialized result reads it; every
+reported metric is unaffected because the hierarchy is mutated only by those
+same fetches, in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.common.errors import SimulationError
+from repro.common.stats import Stats
+from repro.core.metrics import ScenarioResult, SimulationResult
+from repro.core.timing import TimingModel
+from repro.frontend.bpu import PredictionOutcome
+from repro.scenarios.compose import ScheduledChunk
+from repro.traces.batch import np, trace_arrays
+from repro.traces.trace import Trace
+
+_U64_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def run_batched(
+    simulator,
+    trace: Trace,
+    warmup_instructions: int = 0,
+    max_instructions: int | None = None,
+) -> SimulationResult:
+    """Batched twin of :meth:`~repro.core.simulator.FrontEndSimulator.run`.
+
+    Bit-exact against the scalar loop on every reported metric; the
+    measurement cap is applied up front (the scalar loop stops at exactly
+    ``warmup + max_instructions`` stream positions).
+    """
+    from repro.core.simulator import _TenantAccount
+
+    engine = _BatchEngine(simulator, warmup_instructions, scenario=False)
+    engine.current_account = account = _TenantAccount(TimingModel(simulator.machine.core))
+    total = len(trace)
+    if max_instructions is not None:
+        total = min(total, warmup_instructions + max_instructions)
+    engine.process_chunk(
+        ScheduledChunk(asid=0, tenant=trace.name, trace=trace, start=0, stop=total)
+    )
+    engine.drain_mispredictions()
+    return simulator._account_result(trace.name, account, simulator.stats)
+
+
+def run_scenario_batched(
+    simulator,
+    chunks: Iterable[ScheduledChunk],
+    warmup_instructions: int = 0,
+    scenario_name: str = "scenario",
+) -> ScenarioResult:
+    """Batched twin of :meth:`~repro.core.simulator.FrontEndSimulator.run_scenario`.
+
+    Consumes the chunked schedule of
+    :meth:`~repro.scenarios.compose.TraceComposer.stream_batches`, which
+    covers the identical ``(asid, tenant, instruction)`` sequence the scalar
+    loop consumes via :meth:`~repro.scenarios.compose.TraceComposer.stream`.
+    """
+    engine = _BatchEngine(simulator, warmup_instructions, scenario=True)
+    for chunk in chunks:
+        engine.process_chunk(chunk)
+    engine.drain_mispredictions()
+    per_tenant = {
+        name: simulator._account_result(name, engine.accounts[name], Stats())
+        for name in engine.tenant_order
+    }
+    aggregate = simulator._aggregate_result(scenario_name, per_tenant)
+    cache_asid_mode = simulator.machine.cache_asid_mode
+    return ScenarioResult(
+        scenario=scenario_name,
+        asid_mode=simulator.machine.asid_mode.value,
+        context_switches=engine.context_switches,
+        aggregate=aggregate,
+        per_tenant=per_tenant,
+        cache_mode=None if cache_asid_mode is None else cache_asid_mode.value,
+    )
+
+
+class _BatchEngine:
+    """Mutable state of one batched simulation run.
+
+    Mirrors the scalar loops of :class:`~repro.core.simulator.FrontEndSimulator`
+    step for step: the warmup flip, ASID switch handling, per-instruction
+    prediction/fetch/FDIP/timing order and every measured counter follow the
+    oracle exactly -- only the *schedule* of equivalent work differs (bulk
+    compensation of guaranteed-miss runs, chunk-ahead demand fetches).
+    """
+
+    def __init__(self, simulator, warmup_instructions: int, scenario: bool) -> None:
+        if warmup_instructions < 0:
+            raise SimulationError("warmup length cannot be negative")
+        self.sim = simulator
+        self.bpu = simulator.bpu
+        self.btb = simulator.btb
+        self.ftq = simulator.ftq
+        self.fdip = simulator.fdip
+        self.hierarchy = simulator.hierarchy
+        self.core = simulator.machine.core
+        line_size = self.hierarchy.line_size()
+        self.line_mask = ~(line_size - 1)
+        self._line_mask_u64 = np.uint64(~(line_size - 1) & _U64_MASK)
+        self.warmup = warmup_instructions
+        self.scenario = scenario
+        self.position = 0
+        self.measuring = warmup_instructions == 0
+        self.previous_block: int | None = None
+        self.dir_before = self.bpu.stats.get("direction_mispredictions")
+        self.tgt_before = self.bpu.stats.get("target_mispredictions")
+        # Scenario bookkeeping (unused on the single-trace path).
+        self.current_asid: int | None = None
+        self.current_tenant: str | None = None
+        self.current_account = None
+        self.context_switches = 0
+        self.accounts: dict[str, object] = {}
+        self.tenant_order: list[str] = []
+
+    # -- boundaries --------------------------------------------------------
+
+    def _flip_to_measuring(self) -> None:
+        """The warmup/measurement boundary, identical to the scalar loops."""
+        self.measuring = True
+        self.previous_block = None
+        self.btb.reset_stats()
+        self.dir_before = self.bpu.stats.get("direction_mispredictions")
+        self.tgt_before = self.bpu.stats.get("target_mispredictions")
+
+    def drain_mispredictions(self) -> None:
+        """Attribute BPU misprediction deltas to the current account."""
+        now_dir = self.bpu.stats.get("direction_mispredictions")
+        now_tgt = self.bpu.stats.get("target_mispredictions")
+        account = self.current_account
+        if account is not None:
+            account.direction_mispredictions += int(now_dir - self.dir_before)
+            account.target_mispredictions += int(now_tgt - self.tgt_before)
+        self.dir_before, self.tgt_before = now_dir, now_tgt
+
+    # -- chunk processing --------------------------------------------------
+
+    def process_chunk(self, chunk: ScheduledChunk) -> None:
+        """Run one scheduling chunk, splitting at the warmup boundary.
+
+        ``measuring`` must be constant over a processed piece (the vectorized
+        walk accounts a whole piece under one flag), so a chunk straddling the
+        boundary is cut in two; the scalar loops flip at exactly the same
+        stream position.
+        """
+        n = len(chunk)
+        if n <= 0:
+            return
+        if not self.measuring and self.position < self.warmup < self.position + n:
+            head = self.warmup - self.position
+            self._process_piece(chunk, chunk.start, chunk.start + head)
+            self._process_piece(chunk, chunk.start + head, chunk.stop)
+        else:
+            self._process_piece(chunk, chunk.start, chunk.stop)
+
+    def _process_piece(self, chunk: ScheduledChunk, start: int, stop: int) -> None:
+        n = stop - start
+        if n <= 0:
+            return
+        if not self.measuring and self.position >= self.warmup:
+            self._flip_to_measuring()
+        if self.scenario:
+            self._enter_chunk_context(chunk)
+
+        arrays = trace_arrays(chunk.trace)
+        pcs = arrays.pc[start:stop]
+        is_branch = arrays.is_branch[start:stop]
+        blocks = pcs & self._line_mask_u64
+        new_block = np.empty(n, dtype=bool)
+        if n > 1:
+            new_block[1:] = blocks[1:] != blocks[:-1]
+        new_block[0] = self.previous_block is None or int(blocks[0]) != self.previous_block
+
+        taken_branch_pcs = np.unique(pcs[is_branch & arrays.taken[start:stop]])
+        plan = self.btb.batch_plan(pcs, taken_branch_pcs)
+        if plan is None:
+            self._run_scalar(chunk.trace, start, stop, new_block)
+        else:
+            self._run_planned(plan, chunk.trace, start, stop, pcs, new_block, is_branch)
+        self.previous_block = int(blocks[n - 1])
+        self.position += n
+
+    def _enter_chunk_context(self, chunk: ScheduledChunk) -> None:
+        """ASID/tenant switch handling, mirroring the run_scenario loop."""
+        asid = chunk.asid
+        if asid != self.current_asid:
+            if self.current_asid is None:
+                # Boot: the machine starts owned by the first ASID -- no
+                # switch penalty, but tagged structures adopt its color.
+                self.bpu.context_switch(asid)
+                self.hierarchy.context_switch(asid)
+            else:
+                if self.measuring:
+                    self.context_switches += 1
+                    if self.current_account is not None:
+                        self.drain_mispredictions()
+                self.bpu.context_switch(asid)
+                self.hierarchy.context_switch(asid)
+                self.fdip.on_stream_break()
+                self.previous_block = None
+            self.current_asid = asid
+            self.current_tenant = None
+        if chunk.tenant != self.current_tenant:
+            self.current_tenant = chunk.tenant
+            account = self.accounts.get(chunk.tenant)
+            if account is None:
+                from repro.core.simulator import _TenantAccount
+
+                account = self.accounts[chunk.tenant] = _TenantAccount(TimingModel(self.core))
+                self.tenant_order.append(chunk.tenant)
+            self.current_account = account
+
+    # -- instruction walks -------------------------------------------------
+
+    def _run_scalar(self, trace: Trace, start: int, stop: int, new_block) -> None:
+        """Exact scalar fallback for organizations without a batch plan."""
+        instructions = trace.instructions
+        bpu = self.bpu
+        fdip = self.fdip
+        fetch = self.hierarchy.fetch
+        observe = fdip.observe_predicted_address
+        measuring = self.measuring
+        account = self.current_account
+        new_block_list = new_block.tolist()
+        for i in range(stop - start):
+            instruction = instructions[start + i]
+            prediction = bpu.process(instruction)
+            is_new_block = new_block_list[i]
+            stall_cycles = 0.0
+            miss = False
+            covered = False
+            beyond_l2 = False
+            if is_new_block:
+                result = fetch(instruction.pc)
+                miss = not result.l1i_hit
+                if miss:
+                    beyond_l2 = result.level != "L2"
+                    coverage = fdip.cover_demand_miss(result.latency)
+                    stall_cycles = coverage.residual_latency
+                    covered = coverage.coverage == "full"
+            observe(instruction.pc)
+            if prediction.stream_break:
+                fdip.on_stream_break()
+            if measuring:
+                self._account_instruction(
+                    account, instruction, prediction,
+                    is_new_block, miss, covered, beyond_l2, stall_cycles,
+                )
+
+    def _run_planned(self, plan, trace: Trace, start: int, stop: int, pcs, new_block, is_branch) -> None:
+        """The planned walk: bulk-compensated fast runs, pre-located slow path."""
+        n = stop - start
+        fast = plan.guaranteed_miss & ~is_branch
+        pcs_list = pcs.tolist()
+        new_block_list = new_block.tolist()
+        nb_positions = np.flatnonzero(new_block).tolist()
+        fetch_results = self.hierarchy.fetch_batch([pcs_list[i] for i in nb_positions])
+        nb_ptr = 0
+        instructions = trace.instructions
+        bpu = self.bpu
+        fdip = self.fdip
+        observe = fdip.observe_predicted_address
+        measuring = self.measuring
+        account = self.current_account
+        plan_lookup = plan.lookup
+        process_resolved = bpu.process_resolved
+        slow_positions = np.flatnonzero(~fast).tolist()
+
+        # Bulk compensation for every fast instruction of the piece, hoisted
+        # out of the per-run walk: the skipped-probe counters and the retired
+        # base throughput are plain commutative sums, only read (or reset) at
+        # piece boundaries, so one call each covers all runs.
+        fast_total = n - len(slow_positions)
+        if fast_total:
+            self.btb.note_skipped_miss_lookups(fast_total)
+            if measuring:
+                account.timing.retire_instructions(fast_total)
+
+        cursor = 0
+        for i in slow_positions:
+            if i > cursor:
+                nb_ptr = self._fast_run(
+                    pcs_list, cursor, i, nb_positions, nb_ptr, fetch_results, measuring, account
+                )
+            instruction = instructions[start + i]
+            prediction = process_resolved(instruction, plan_lookup(i, instruction.pc))
+            is_new_block = new_block_list[i]
+            stall_cycles = 0.0
+            miss = False
+            covered = False
+            beyond_l2 = False
+            if is_new_block:
+                result = fetch_results[nb_ptr]
+                nb_ptr += 1
+                miss = not result.l1i_hit
+                if miss:
+                    beyond_l2 = result.level != "L2"
+                    coverage = fdip.cover_demand_miss(result.latency)
+                    stall_cycles = coverage.residual_latency
+                    covered = coverage.coverage == "full"
+            observe(instruction.pc)
+            if prediction.stream_break:
+                fdip.on_stream_break()
+            if measuring:
+                self._account_instruction(
+                    account, instruction, prediction,
+                    is_new_block, miss, covered, beyond_l2, stall_cycles,
+                )
+            cursor = i + 1
+        if cursor < n:
+            self._fast_run(
+                pcs_list, cursor, n, nb_positions, nb_ptr, fetch_results, measuring, account
+            )
+
+    def _fast_run(
+        self, pcs_list, i0: int, i1: int, nb_positions, nb_ptr: int,
+        fetch_results, measuring: bool, account,
+    ) -> int:
+        """Bulk-compensate a run of guaranteed-miss non-branch instructions.
+
+        Each such instruction's full scalar footprint is: one proven-miss BTB
+        probe (read + miss counters, no LRU movement), its PC entering the
+        FTQ, the FDIP block-dedup check (at most once per cache block -- runs
+        are walked one block segment at a time), a demand fetch where the run
+        enters a new block and, when measuring, one retired instruction of
+        base throughput plus the fetch's L1-I accounting.  Nothing else: no
+        predictor/RAS/BTB training (non-branch), no branch penalties (a BTB
+        miss on a non-branch is the correct prediction).
+
+        ``nb_positions``/``fetch_results`` are the chunk's new-block positions
+        and their pre-executed fetches; returns the advanced ``nb_ptr``.  Each
+        block head's miss coverage is computed *before* its PC enters the FTQ,
+        exactly like the scalar loops.  (The skipped-probe counters and the
+        run's retired instructions are compensated once per piece by
+        :meth:`_run_planned`, not here.)
+        """
+        timing = account.timing if measuring else None
+        fdip = self.fdip
+        observe_run = fdip.observe_predicted_block_run
+        total_blocks = len(nb_positions)
+        segment = i0
+        while nb_ptr < total_blocks:
+            head = nb_positions[nb_ptr]
+            if head >= i1:
+                break
+            if head > segment:
+                observe_run(pcs_list[segment:head])
+            result = fetch_results[nb_ptr]
+            nb_ptr += 1
+            miss = not result.l1i_hit
+            stall_cycles = 0.0
+            covered = False
+            if miss:
+                coverage = fdip.cover_demand_miss(result.latency)
+                stall_cycles = coverage.residual_latency
+                covered = coverage.coverage == "full"
+            if timing is not None:
+                timing.icache_stall(stall_cycles)
+                account.l1i_accesses += 1
+                if miss:
+                    account.l1i_misses += 1
+                    account.l2_accesses += 1
+                    if result.level != "L2":
+                        account.l2_misses += 1
+                    if covered:
+                        account.l1i_misses_covered += 1
+            segment = head
+        observe_run(pcs_list[segment:i1])
+        return nb_ptr
+
+    def _account_instruction(
+        self, account, instruction, prediction,
+        new_block: bool, miss: bool, covered: bool, beyond_l2: bool, stall_cycles: float,
+    ) -> None:
+        """Measured-phase accounting, identical to the scalar loops' blocks."""
+        timing = account.timing
+        timing.retire_instructions(1)
+        timing.icache_stall(stall_cycles)
+        if prediction.extra_btb_cycles and self.ftq.occupancy < 2 * self.core.fetch_width:
+            timing.btb_extra_cycle(prediction.extra_btb_cycles)
+        if prediction.outcome is PredictionOutcome.EXECUTE_FLUSH:
+            timing.execute_flush()
+            account.execute_flushes += 1
+        elif prediction.outcome is PredictionOutcome.DECODE_RESTEER:
+            timing.decode_resteer()
+            account.decode_resteers += 1
+        if prediction.btb_miss_taken_branch:
+            account.btb_misses_taken += 1
+        if instruction.is_branch:
+            account.branches += 1
+            if instruction.taken:
+                account.taken_branches += 1
+        if new_block:
+            account.l1i_accesses += 1
+            if miss:
+                account.l1i_misses += 1
+                account.l2_accesses += 1
+                if beyond_l2:
+                    account.l2_misses += 1
+                if covered:
+                    account.l1i_misses_covered += 1

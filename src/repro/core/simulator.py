@@ -113,6 +113,10 @@ class FrontEndSimulator:
         """
         if warmup_instructions < 0:
             raise SimulationError("warmup length cannot be negative")
+        if self.machine.backend == "numpy":
+            from repro.core.batch import run_batched
+
+            return run_batched(self, trace, warmup_instructions, max_instructions)
         timing = TimingModel(self.machine.core)
         line_mask = ~(self.hierarchy.line_size() - 1)
 
@@ -393,6 +397,23 @@ class FrontEndSimulator:
             per_tenant=per_tenant,
             cache_mode=None if cache_asid_mode is None else cache_asid_mode.value,
         )
+
+    def run_scenario_batches(
+        self,
+        chunks,
+        warmup_instructions: int = 0,
+        scenario_name: str = "scenario",
+    ) -> ScenarioResult:
+        """Batched twin of :meth:`run_scenario` consuming scheduled chunks.
+
+        ``chunks`` is a :meth:`~repro.scenarios.compose.TraceComposer.stream_batches`
+        iterator covering the identical scheduled stream; the numpy engine
+        (:mod:`repro.core.batch`) processes a chunk per step and is bit-exact
+        against :meth:`run_scenario` on every reported metric.
+        """
+        from repro.core.batch import run_scenario_batched
+
+        return run_scenario_batched(self, chunks, warmup_instructions, scenario_name)
 
     def _account_result(
         self, workload: str, account: _TenantAccount, stats: Stats

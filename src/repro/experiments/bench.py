@@ -1,0 +1,279 @@
+"""Perf-trajectory benchmark: throughput of the `sweep scenarios` smoke grid.
+
+The CI pipeline needs a number that moves when the simulation engine gets
+slower, not when trace synthesis or the disk cache changes.  This module
+times exactly that: the full smoke-scale :mod:`scenario_sweep` grid (every
+preset, both sweep axes, every style x ASID mode) executed cell-by-cell on a
+fresh in-process engine, with every workload trace pre-generated so the
+measured wall time is simulation throughput.
+
+Three decisions keep the number comparable across commits and runners:
+
+* **Fresh engine per repetition** -- no memo, no disk cache; every cell
+  simulates.  ``instructions/sec`` is executed cells times the scale's
+  instruction count over wall time.
+* **Best-of-N repetitions** -- shared CI runners are noisy (30 % swings are
+  routine); the *minimum* wall time is the least-contended measurement and
+  is what the history records.
+* **One leg per configured backend** -- the scalar oracle and (when numpy is
+  importable) the batched backend run the same grid, so each history record
+  carries both absolute throughputs plus their ratio.
+
+Records append to ``results/bench_history.jsonl`` (one JSON object per
+line); :func:`compare` diffs a fresh record against the last committed entry
+and fails on a >threshold throughput drop, which is the CI gate.
+"""
+
+from __future__ import annotations
+
+import datetime as _datetime
+import json
+import os
+import pathlib
+import subprocess
+import time
+from typing import Dict, List, Sequence
+
+from repro.common.config import BACKEND_ENV_VAR, resolve_backend
+from repro.experiments import scenario_sweep
+from repro.experiments.config import SMOKE_SCALE, ExperimentScale
+from repro.experiments.engine import ExperimentEngine
+from repro.scenarios.presets import get_scenario, scenario_names
+from repro.traces.store import TraceStore, default_store
+
+#: Current record schema; bump when fields change meaning.
+RECORD_FORMAT = 1
+
+#: The committed perf trajectory (one JSON object per line).
+DEFAULT_HISTORY_PATH = "results/bench_history.jsonl"
+
+#: Throughput drop that fails ``bench compare`` (0.2 = 20 %).
+DEFAULT_REGRESSION_THRESHOLD = 0.20
+
+#: PR label that documents an accepted regression; the CI workflow skips the
+#: compare gate when it is present (see .github/workflows/ci.yml).
+OVERRIDE_LABEL = "perf-regression-ok"
+
+
+def _git_commit() -> str:
+    """Current commit hash, falling back to CI metadata or ``unknown``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return os.environ.get("GITHUB_SHA", "unknown")
+
+
+def available_backends() -> List[str]:
+    """Backends this interpreter can run: scalar always, numpy when importable."""
+    backends = ["python"]
+    try:
+        resolve_backend("numpy")
+    except Exception:
+        return backends
+    backends.append("numpy")
+    return backends
+
+
+def warm_traces(scale: ExperimentScale, store: TraceStore | None = None) -> int:
+    """Pre-generate every workload trace the sweep grid will replay.
+
+    Returns the number of distinct workloads warmed.  Trace generation is
+    deterministic and identical across backends, so excluding it from the
+    timed region removes the largest backend-independent term.
+    """
+    store = store or default_store()
+    workloads = set()
+    for name in scenario_names():
+        for tenant in get_scenario(name).tenants:
+            workloads.add(tenant.workload)
+    for workload in sorted(workloads):
+        store.get(workload, scale.instructions)
+    return len(workloads)
+
+
+def _time_sweep_leg(backend: str, scale: ExperimentScale) -> Dict[str, float]:
+    """One timed pass of the smoke sweep grid on a fresh serial engine."""
+    previous = os.environ.get(BACKEND_ENV_VAR)
+    os.environ[BACKEND_ENV_VAR] = backend
+    try:
+        engine = ExperimentEngine(workers=1)
+        started = time.perf_counter()
+        scenario_sweep.run(scale=scale, engine=engine)
+        wall_s = time.perf_counter() - started
+    finally:
+        if previous is None:
+            os.environ.pop(BACKEND_ENV_VAR, None)
+        else:
+            os.environ[BACKEND_ENV_VAR] = previous
+    cells = engine.counters.executed
+    instructions = cells * scale.instructions
+    return {
+        "cells": cells,
+        "instructions": instructions,
+        "wall_s": wall_s,
+        "ips": instructions / wall_s if wall_s > 0 else 0.0,
+    }
+
+
+def run_smoke(
+    backends: Sequence[str] | None = None,
+    repeats: int = 2,
+    scale: ExperimentScale = SMOKE_SCALE,
+    store: TraceStore | None = None,
+) -> Dict[str, object]:
+    """Measure the sweep-scenarios smoke grid and return one history record."""
+    if repeats < 1:
+        raise ValueError("bench needs at least one repetition")
+    legs = list(backends) if backends is not None else available_backends()
+    for backend in legs:
+        resolve_backend(backend)  # fail fast on unknown/uninstallable backends
+    warm_traces(scale, store=store)
+
+    measured: Dict[str, Dict[str, float]] = {}
+    for backend in legs:
+        best: Dict[str, float] | None = None
+        for _ in range(repeats):
+            leg = _time_sweep_leg(backend, scale)
+            if best is None or leg["wall_s"] < best["wall_s"]:
+                best = leg
+        measured[backend] = best
+
+    record: Dict[str, object] = {
+        "format": RECORD_FORMAT,
+        "benchmark": "sweep_scenarios_smoke",
+        "commit": _git_commit(),
+        "date": _datetime.datetime.now(_datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "scale": scale.name,
+        "repeats": repeats,
+        "cells": next(iter(measured.values()))["cells"],
+        "instructions": next(iter(measured.values()))["instructions"],
+        "backends": {
+            backend: {"wall_s": round(leg["wall_s"], 3), "ips": round(leg["ips"], 1)}
+            for backend, leg in measured.items()
+        },
+    }
+    if "python" in measured and "numpy" in measured and measured["python"]["wall_s"]:
+        record["speedup_numpy_over_python"] = round(
+            measured["numpy"]["ips"] / measured["python"]["ips"], 3
+        )
+    return record
+
+
+def append_history(record: Dict[str, object], path: str | os.PathLike = DEFAULT_HISTORY_PATH) -> None:
+    """Append ``record`` as one line of the JSONL perf trajectory."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_history(path: str | os.PathLike = DEFAULT_HISTORY_PATH) -> List[Dict[str, object]]:
+    """Parse the JSONL history; unreadable lines fail loudly (the file is committed)."""
+    target = pathlib.Path(path)
+    if not target.exists():
+        return []
+    records = []
+    for line_number, line in enumerate(target.read_text(encoding="utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{target}:{line_number}: corrupt bench history line") from exc
+    return records
+
+
+def compare(
+    fresh: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> Dict[str, object]:
+    """Diff a fresh record against a baseline record, backend by backend.
+
+    A backend regresses when its fresh throughput drops more than
+    ``threshold`` below the baseline throughput.  Backends present in only
+    one record are reported but never gate (the numpy-free CI leg must not
+    fail for lacking a numpy baseline).  Returns a verdict dict with
+    ``regressed`` (bool) and per-backend ratios.
+    """
+    fresh_backends = dict(fresh.get("backends", {}))
+    base_backends = dict(baseline.get("backends", {}))
+    comparisons: Dict[str, object] = {}
+    regressed: List[str] = []
+    for backend in sorted(set(fresh_backends) & set(base_backends)):
+        fresh_ips = float(fresh_backends[backend]["ips"])
+        base_ips = float(base_backends[backend]["ips"])
+        ratio = fresh_ips / base_ips if base_ips else 0.0
+        failed = ratio < (1.0 - threshold)
+        comparisons[backend] = {
+            "baseline_ips": base_ips,
+            "fresh_ips": fresh_ips,
+            "ratio": round(ratio, 3),
+            "regressed": failed,
+        }
+        if failed:
+            regressed.append(backend)
+    return {
+        "threshold": threshold,
+        "baseline_commit": baseline.get("commit"),
+        "fresh_commit": fresh.get("commit"),
+        "comparisons": comparisons,
+        "skipped_backends": sorted(set(fresh_backends) ^ set(base_backends)),
+        "regressed": bool(regressed),
+        "regressed_backends": regressed,
+    }
+
+
+def format_record(record: Dict[str, object]) -> str:
+    """Human-readable one-record report."""
+    lines = [
+        f"benchmark  : {record['benchmark']} (scale={record['scale']}, "
+        f"best of {record['repeats']})",
+        f"commit     : {record['commit']}",
+        f"cells      : {record['cells']} x {record['instructions'] // max(record['cells'], 1)} "
+        "instructions",
+    ]
+    for backend, leg in record["backends"].items():
+        lines.append(
+            f"  {backend:<7}: {leg['wall_s']:8.2f} s   {leg['ips']:>12,.0f} instructions/s"
+        )
+    if "speedup_numpy_over_python" in record:
+        lines.append(f"speedup    : {record['speedup_numpy_over_python']:.2f}x (numpy / python)")
+    return "\n".join(lines)
+
+
+def format_comparison(verdict: Dict[str, object]) -> str:
+    """Human-readable compare report."""
+    lines = [
+        f"baseline commit: {verdict['baseline_commit']}",
+        f"fresh commit   : {verdict['fresh_commit']}",
+        f"threshold      : -{verdict['threshold'] * 100:.0f}% instructions/s",
+    ]
+    for backend, row in verdict["comparisons"].items():
+        state = "REGRESSED" if row["regressed"] else "ok"
+        lines.append(
+            f"  {backend:<7}: {row['baseline_ips']:>12,.0f} -> {row['fresh_ips']:>12,.0f} "
+            f"({row['ratio']:.2f}x)  {state}"
+        )
+    for backend in verdict["skipped_backends"]:
+        lines.append(f"  {backend:<7}: present in only one record (not gated)")
+    if verdict["regressed"]:
+        lines.append(
+            "verdict        : REGRESSION -- apply the "
+            f"'{OVERRIDE_LABEL}' label to accept it deliberately"
+        )
+    else:
+        lines.append("verdict        : within threshold")
+    return "\n".join(lines)

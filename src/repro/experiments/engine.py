@@ -527,6 +527,9 @@ class EngineCounters:
     executed: int = 0
     memo_hits: int = 0
     disk_hits: int = 0
+    #: Stream instructions actually simulated (executed jobs only -- memo and
+    #: disk hits re-use results without simulating, so they add nothing).
+    instructions_simulated: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -534,6 +537,7 @@ class EngineCounters:
             "executed": self.executed,
             "memo_hits": self.memo_hits,
             "disk_hits": self.disk_hits,
+            "instructions_simulated": self.instructions_simulated,
         }
 
 
@@ -604,6 +608,9 @@ class ExperimentEngine:
 
         for config_hash, payload in self._execute(misses, traces or {}):
             self.counters.executed += 1
+            self.counters.instructions_simulated += self._job_by_hash(
+                misses, config_hash
+            ).instructions
             self._memoize(config_hash, payload)
             resolved[config_hash] = payload
             if self.cache is not None:

@@ -48,7 +48,7 @@ class PredictionOutcome(enum.Enum):
     EXECUTE_FLUSH = "execute_flush"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FrontEndPrediction:
     """Everything the front end decided about one instruction."""
 
@@ -132,7 +132,17 @@ class BranchPredictionUnit:
         to train the predictors at commit -- the prediction itself relies
         exclusively on the BTB, the direction predictor and the RAS.
         """
-        lookup = self.btb.lookup(instruction.pc)
+        return self.process_resolved(instruction, self.btb.lookup(instruction.pc))
+
+    def process_resolved(
+        self, instruction: Instruction, lookup: BTBLookupResult
+    ) -> FrontEndPrediction:
+        """Classify and commit ``instruction`` against an already-performed lookup.
+
+        Split out of :meth:`process` for the batched backend, which probes the
+        BTB itself with pre-vectorized set indices and tags and must then run
+        the identical classification/commit pipeline.
+        """
         prediction = self._classify(instruction, lookup)
         self._commit(instruction, prediction)
         return prediction

@@ -77,6 +77,25 @@ class FDIPPrefetcher:
         if not self.hierarchy.l1i.contains(block):
             self.stats.inc("prefetches_issued")
 
+    def observe_predicted_block_run(self, addresses) -> None:
+        """Observe a run of predicted addresses that share one cache block.
+
+        Bit-equivalent to calling :meth:`observe_predicted_address` for each
+        address when all of them fall in the same block: every address enters
+        the FTQ, and the block-dedup/prefetch check can fire at most once (on
+        the first address).  The batched backend uses this for runs of
+        sequential non-branch instructions, which never leave their block.
+        """
+        self.ftq.extend(addresses)
+        if not self.enabled or not addresses:
+            return
+        block = addresses[0] & ~(self.hierarchy.line_size() - 1)
+        if block == self._last_prefetched_block:
+            return
+        self._last_prefetched_block = block
+        if not self.hierarchy.l1i.contains(block):
+            self.stats.inc("prefetches_issued")
+
     def on_stream_break(self) -> None:
         """A resteer/flush empties the FTQ and restarts the run-ahead."""
         self.ftq.flush()

@@ -41,6 +41,24 @@ class FetchTargetQueue:
             return self._entries.popleft()
         return None
 
+    def extend(self, addresses) -> int:
+        """Bulk-push predicted addresses; returns how many oldest ones spilled.
+
+        Equivalent to calling :meth:`push` once per address: the queue ends
+        with the same contents and occupancy, and any overflow is consumed
+        from the old end.  Used by the batched backend to enqueue a whole run
+        of sequential fetch addresses in one call.
+        """
+        entries = self._entries
+        entries.extend(addresses)
+        overflow = len(entries) - self.capacity
+        if overflow <= 0:
+            return 0
+        popleft = entries.popleft
+        for _ in range(overflow):
+            popleft()
+        return overflow
+
     def pop(self) -> Optional[int]:
         """Pop the oldest predicted address (fetch engine consumption)."""
         if not self._entries:

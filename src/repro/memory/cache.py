@@ -26,7 +26,7 @@ from repro.common.lru import LRUState
 from repro.common.stats import Stats
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheAccessResult:
     """Outcome of an access to one cache level."""
 
@@ -34,7 +34,14 @@ class CacheAccessResult:
     evicted_block: Optional[int] = None
 
 
-@dataclass
+#: Shared results for the two common outcomes; access() is called once per
+#: probe of every level, so the allocations are worth dodging (the dataclass
+#: is frozen, making the sharing invisible).
+_HIT_RESULT = CacheAccessResult(hit=True)
+_MISS_RESULT = CacheAccessResult(hit=False)
+
+
+@dataclass(slots=True)
 class _Line:
     valid: bool = False
     tag: int = 0
@@ -65,13 +72,23 @@ class SetAssociativeCache:
         self.associativity = config.associativity
         self.line_size = config.line_size
         self._offset_bits = config.line_size.bit_length() - 1
-        self._sets: List[List[_Line]] = [
-            [_Line() for _ in range(self.associativity)] for _ in range(self.num_sets)
-        ]
-        self._lru = [LRUState(self.associativity) for _ in range(self.num_sets)]
+        # Sets materialize lazily on first fill: large outer levels leave most
+        # sets untouched in short runs, and a probe of an unmaterialized set
+        # is a miss with no lines to scan and no LRU to touch.  Re-invalidation
+        # simply drops sets back to None -- bit-identical to clearing valid
+        # bits, because fills repopulate every LRU stamp before any eviction
+        # decision can depend on one.
+        self._sets: List[List[_Line] | None] = [None] * self.num_sets
+        self._lru: List[LRUState | None] = [None] * self.num_sets
         # MSHR occupancy is tracked as a set of outstanding miss block
         # addresses; the functional model clears it when fills complete.
         self._outstanding: Dict[int, int] = {}
+        # Precomputed per-kind counter names: access() is the memory model's
+        # innermost loop and must not build f-strings per probe.
+        self._kind_keys = {
+            kind: (f"accesses.{kind}", f"hits.{kind}", f"misses.{kind}")
+            for kind in ("read", "write", "prefetch")
+        }
         #: ASID mechanics (tag coloring + set partitioning) for this level.
         self.asid_policy = AddressSpacePolicy()
 
@@ -114,10 +131,20 @@ class SetAssociativeCache:
 
     # -- state queries ------------------------------------------------------
 
+    def _materialize(self, index: int) -> List[_Line]:
+        """Allocate the lines (and LRU state) of set ``index`` on first fill."""
+        lines = [_Line() for _ in range(self.associativity)]
+        self._sets[index] = lines
+        self._lru[index] = LRUState(self.associativity)
+        return lines
+
     def contains(self, addr: int) -> bool:
         """True when the block holding ``addr`` is resident (no LRU update)."""
         index, tag = self._index_tag(addr)
-        return any(line.valid and line.tag == tag for line in self._sets[index])
+        lines = self._sets[index]
+        if lines is None:
+            return False
+        return any(line.valid and line.tag == tag for line in lines)
 
     @property
     def hit_latency(self) -> int:
@@ -143,24 +170,29 @@ class SetAssociativeCache:
         """
         index, tag = self._index_tag(addr)
         kind = "prefetch" if is_prefetch else ("write" if is_write else "read")
-        self.stats.inc(f"accesses.{kind}")
-        for way, line in enumerate(self._sets[index]):
-            if line.valid and line.tag == tag:
-                self._lru[index].touch(way)
-                if is_write:
-                    line.dirty = True
-                if line.prefetched and not is_prefetch:
-                    self.stats.inc("useful_prefetches")
-                    line.prefetched = False
-                self.stats.inc(f"hits.{kind}")
-                return CacheAccessResult(hit=True)
-        self.stats.inc(f"misses.{kind}")
-        return CacheAccessResult(hit=False)
+        accesses_key, hits_key, misses_key = self._kind_keys[kind]
+        self.stats.inc(accesses_key)
+        lines = self._sets[index]
+        if lines is not None:
+            for way, line in enumerate(lines):
+                if line.valid and line.tag == tag:
+                    self._lru[index].touch(way)
+                    if is_write:
+                        line.dirty = True
+                    if line.prefetched and not is_prefetch:
+                        self.stats.inc("useful_prefetches")
+                        line.prefetched = False
+                    self.stats.inc(hits_key)
+                    return _HIT_RESULT
+        self.stats.inc(misses_key)
+        return _MISS_RESULT
 
     def fill(self, addr: int, dirty: bool = False, prefetched: bool = False) -> Optional[int]:
         """Install the block containing ``addr``; returns the evicted block, if any."""
         index, tag = self._index_tag(addr)
         lines = self._sets[index]
+        if lines is None:
+            lines = self._materialize(index)
         for way, line in enumerate(lines):
             if line.valid and line.tag == tag:
                 # Already present (e.g. demand fill racing a prefetch).
@@ -201,15 +233,21 @@ class SetAssociativeCache:
 
     def invalidate_all(self) -> None:
         """Drop every line (context-switch flush, between experiments)."""
-        for lines in self._sets:
-            for line in lines:
-                line.valid = False
-                line.dirty = False
+        for index, lines in enumerate(self._sets):
+            if lines is not None:
+                self._sets[index] = None
+                self._lru[index] = None
         self._outstanding.clear()
 
     def occupancy(self) -> int:
         """Number of valid lines currently resident."""
-        return sum(1 for lines in self._sets for line in lines if line.valid)
+        return sum(
+            1
+            for lines in self._sets
+            if lines is not None
+            for line in lines
+            if line.valid
+        )
 
 
 #: Historical name of the class, kept for callers and tests.

@@ -153,6 +153,17 @@ class MemoryHierarchy:
         self.stats.inc(f"ifetch.fills.{level.lower()}")
         return FetchResult(latency=latency, level=level, l1i_hit=False)
 
+    def fetch_batch(self, addresses: Sequence[int]) -> List[FetchResult]:
+        """Demand-fetch ``addresses`` in order, returning one result each.
+
+        The batched backend pre-executes every new-block fetch of a scheduling
+        chunk through here.  Within a chunk only demand fetches mutate the
+        hierarchy, so running them front-to-back before the per-instruction
+        walk observes exactly the state the scalar loop would have.
+        """
+        fetch = self.fetch
+        return [fetch(addr) for addr in addresses]
+
     def prefetch(self, addr: int) -> FetchResult:
         """FDIP prefetch of the block containing ``addr`` into the L1-I."""
         self.stats.inc("prefetch.issued")

@@ -36,6 +36,7 @@ class HashedPerceptronPredictor(DirectionPredictor):
         self.history_lengths = tuple(history_lengths)
         self.table_bits = table_bits
         self.table_size = 1 << table_bits
+        self._length_masks = tuple((1 << length) - 1 for length in self.history_lengths)
         self.weight_bits = weight_bits
         self.weight_max = (1 << (weight_bits - 1)) - 1
         self.weight_min = -(1 << (weight_bits - 1))
@@ -48,6 +49,12 @@ class HashedPerceptronPredictor(DirectionPredictor):
         self.max_history = max(self.history_lengths)
         # Training threshold from the perceptron literature: ~1.93*h + 14.
         self.threshold = int(1.93 * self.max_history + 14)
+        # predict() -> update() memo for the common per-branch call pair: both
+        # hash the same (pc, history) state, so the selected indices and their
+        # sum can be computed once.  Invalidated whenever weights or history
+        # change, so it never outlives one instruction's predict/update pair.
+        self._memo_pc: int | None = None
+        self._memo: tuple[List[int], int] | None = None
 
     def reset(self) -> None:
         """Zero every weight table and the global history register."""
@@ -55,6 +62,7 @@ class HashedPerceptronPredictor(DirectionPredictor):
         for table in self._tables:
             table[:] = zero
         self._history = 0
+        self._memo_pc = None
 
     # -- hashing ------------------------------------------------------------
 
@@ -68,35 +76,62 @@ class HashedPerceptronPredictor(DirectionPredictor):
         return folded
 
     def _indices(self, pc: int) -> List[int]:
-        base = (pc >> 2) & (self.table_size - 1)
+        mask = self.table_size - 1
+        bits = self.table_bits
+        base = (pc >> 2) & mask
+        history = self._history
         indices = [base]
-        for length in self.history_lengths:
-            indices.append((base ^ self._fold_history(length)) & (self.table_size - 1))
+        append = indices.append
+        # _fold_history inlined per length (this is the hottest loop of the
+        # whole direction predictor).
+        for length_mask in self._length_masks:
+            folded = 0
+            h = history & length_mask
+            while h:
+                folded ^= h & mask
+                h >>= bits
+            append((base ^ folded) & mask)
         return indices
 
+    def _locate(self, pc: int) -> tuple[List[int], int]:
+        """Selected table indices and their weight sum for ``pc``, memoized.
+
+        The memo is only ever valid between a ``predict(pc)`` and the
+        ``update(pc, ...)`` of the same instruction: any weight or history
+        mutation clears it.
+        """
+        if pc == self._memo_pc:
+            return self._memo  # type: ignore[return-value]
+        indices = self._indices(pc)
+        total = sum(table[index] for table, index in zip(self._tables, indices))
+        self._memo_pc = pc
+        self._memo = (indices, total)
+        return indices, total
+
     def _sum(self, pc: int) -> int:
-        return sum(
-            table[index] for table, index in zip(self._tables, self._indices(pc))
-        )
+        return self._locate(pc)[1]
 
     # -- interface ------------------------------------------------------------
 
     def predict(self, pc: int) -> bool:
         """Predict taken when the summed weights are non-negative."""
-        return self._sum(pc) >= 0
+        return self._locate(pc)[1] >= 0
 
     def update(self, pc: int, taken: bool) -> None:
         """Perceptron training rule with a magnitude threshold, then shift history."""
-        total = self._sum(pc)
+        indices, total = self._locate(pc)
         predicted = total >= 0
         if predicted != taken or abs(total) < self.threshold:
             direction = 1 if taken else -1
-            for table, index in zip(self._tables, self._indices(pc)):
+            weight_min = self.weight_min
+            weight_max = self.weight_max
+            for table, index in zip(self._tables, indices):
                 updated = table[index] + direction
-                table[index] = max(self.weight_min, min(self.weight_max, updated))
+                table[index] = max(weight_min, min(weight_max, updated))
         self._history = ((self._history << 1) | (1 if taken else 0)) & (
             (1 << self.max_history) - 1
         )
+        self._memo_pc = None
 
     def storage_bits(self) -> int:
         """Weight tables plus the global history register."""

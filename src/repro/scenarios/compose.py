@@ -51,12 +51,36 @@ streams stay deterministic across processes and worker counts.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.isa.instruction import Instruction
 from repro.scenarios.spec import ScenarioSpec
 from repro.traces.trace import Trace, TraceCursor
+
+
+@dataclass(frozen=True)
+class ScheduledChunk:
+    """One contiguous piece of a scheduling turn, for the batched backend.
+
+    Covers ``trace.instructions[start:stop]`` run by ``tenant`` under
+    ``asid``.  A turn whose cursor wraps past the trace end is split into
+    multiple chunks so every chunk is a contiguous slice -- which is what lets
+    the backend index straight into the trace's structure-of-arrays view.
+    Concatenating the chunks' instructions reproduces
+    :meth:`TraceComposer.stream` element for element (pinned by the
+    round-trip property suite).
+    """
+
+    asid: int
+    tenant: str
+    trace: Trace
+    start: int
+    stop: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
 
 #: 4 KiB pages, matching the page/region granularity of PDede and R-BTB.
 PAGE_SHIFT = 12
@@ -257,6 +281,60 @@ class TraceComposer:
             count = min(quanta[tenant_index], remaining)
             for instruction in cursors[tenant_index].take(count):
                 yield asid, tenant_name, instruction
+            remaining -= count
+            turn += 1
+
+    def stream_batches(self, total_instructions: int) -> Iterator[ScheduledChunk]:
+        """Yield the schedule of :meth:`stream` as contiguous trace chunks.
+
+        Mirrors :meth:`stream`'s scheduling exactly -- same turn order, same
+        per-turn quanta, same ASID assignment, same wrapping cursor positions
+        -- but instead of yielding instructions one at a time it yields
+        ``(asid, tenant, trace, start, stop)`` chunks, splitting a turn
+        wherever its cursor wraps.  Feeding every chunk's slice to a consumer
+        in order therefore produces the identical ``(asid, tenant,
+        instruction)`` sequence.
+        """
+        if total_instructions < 0:
+            raise ConfigurationError("composed stream length cannot be negative")
+        spec = self.spec
+        tenants = spec.tenants
+        traces = self._tenant_traces
+        for trace in traces:
+            if len(trace) == 0:
+                raise ValueError(f"cannot iterate over empty trace {trace.name!r}")
+        positions = [0] * len(tenants)
+        quanta = self.turn_lengths()
+        cold = spec.switch_semantics == "cold"
+
+        remaining = total_instructions
+        turn = 0
+        next_cold_asid = 0
+        while remaining > 0:
+            tenant_index = turn % len(tenants)
+            tenant_name = tenants[tenant_index].name
+            if cold:
+                asid = next_cold_asid
+                next_cold_asid += 1
+            else:
+                asid = tenant_index
+            count = min(quanta[tenant_index], remaining)
+            trace = traces[tenant_index]
+            length = len(trace)
+            position = positions[tenant_index]
+            left = count
+            while left > 0:
+                piece = min(left, length - position)
+                yield ScheduledChunk(
+                    asid=asid,
+                    tenant=tenant_name,
+                    trace=trace,
+                    start=position,
+                    stop=position + piece,
+                )
+                position = (position + piece) % length
+                left -= piece
+            positions[tenant_index] = position
             remaining -= count
             turn += 1
 

@@ -67,6 +67,7 @@ def execute_scenario(
     fdip_enabled: bool = True,
     trace_store: TraceStore | None = None,
     cache_mode: ASIDMode | None = None,
+    backend: str | None = None,
 ) -> ScenarioResult:
     """Compose and simulate ``scenario`` for ``instructions`` total instructions.
 
@@ -91,6 +92,13 @@ def execute_scenario(
     distinct allocations that make shared-code duplication measurable when
     ``spec.shared_fraction > 0``.
 
+    ``backend`` selects the execution engine: ``"python"`` is the scalar
+    oracle, ``"numpy"`` streams the schedule as structure-of-arrays chunks
+    through :mod:`repro.core.batch` (bit-exact, enforced by the differential
+    backend suite), and ``None`` defers to the ``REPRO_BACKEND`` environment
+    variable (see :func:`repro.common.config.resolve_backend`).  The backend
+    is an execution detail, never part of a cell's identity.
+
     ``cache_mode`` selects the memory hierarchy's context-switch behaviour:
     ``None`` (the default) keeps the legacy shared, untagged hierarchy, while
     an :class:`ASIDMode` makes every cache level flush, ASID-tag or
@@ -109,6 +117,7 @@ def execute_scenario(
         isa=composer.isa,
         asid_mode=asid_mode,
         cache_asid_mode=cache_mode,
+        backend=backend,
     )
     btb = make_btb_for_budget(style, budget_kib, isa=composer.isa)
     if asid_mode is ASIDMode.PARTITIONED:
@@ -116,11 +125,18 @@ def execute_scenario(
     simulator = FrontEndSimulator(machine, btb=btb)
     if cache_mode is ASIDMode.PARTITIONED:
         simulator.hierarchy.configure_partitions(spec.partition_weights)
-    result = simulator.run_scenario(
-        composer.stream(instructions),
-        warmup_instructions=warmup_instructions,
-        scenario_name=spec.name,
-    )
+    if machine.backend == "numpy":
+        result = simulator.run_scenario_batches(
+            composer.stream_batches(instructions),
+            warmup_instructions=warmup_instructions,
+            scenario_name=spec.name,
+        )
+    else:
+        result = simulator.run_scenario(
+            composer.stream(instructions),
+            warmup_instructions=warmup_instructions,
+            scenario_name=spec.name,
+        )
     counts = btb.partition_set_counts()
     if counts is not None:
         result.partition_sets = dict(zip(spec.tenant_names, counts))

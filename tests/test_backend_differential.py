@@ -1,0 +1,147 @@
+"""Oracle-differential suite for the batched (numpy) execution backend.
+
+The batched engine in :mod:`repro.core.batch` is a performance twin of the
+scalar loops: same machine, same results, different schedule.  This suite
+enforces that claim **bit-exactly** by replaying the entire golden grid --
+all 38 scenario cells and all 8 cache-mode cells pinned in
+``tests/golden/scenario_golden.json`` -- with ``backend="numpy"`` and
+comparing against the same fixture the scalar oracle must match.  Fixture
+equality on both backends is transitively python == numpy on every pinned
+counter, without paying for two simulations per cell.
+
+On top of the distilled golden counters, a small subset of cells is run on
+*both* backends in-process and compared over the full raw statistics
+registry, so divergence in an unpinned counter cannot hide.  The single
+tolerated exception is ``fdip.prefetches_issued``: the batched engine
+pre-executes a chunk's demand fetches front-to-back, which can make FDIP's
+redundant-prefetch statistic observe slightly warmer L1-I state (documented
+in :mod:`repro.core.batch`).  No reported metric reads it, and the suite
+asserts it is the *only* raw counter allowed to differ.
+
+Requires numpy; the module skips cleanly on the numpy-free CI leg, where the
+scalar half of the equality is still enforced by the golden suite itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ASIDMode, BTBStyle
+from repro.scenarios.run import execute_scenario
+from repro.traces.batch import HAVE_NUMPY
+
+from test_golden_scenarios import (
+    GOLDEN_BUDGET_KIB,
+    GOLDEN_INSTRUCTIONS,
+    GOLDEN_WARMUP,
+    cache_cell_key,
+    cache_golden_cells,
+    cell_key,
+    compute_cache_cell,
+    compute_cell,
+    golden_cells,
+    load_fixture,
+)
+
+pytestmark = [
+    pytest.mark.differential,
+    pytest.mark.skipif(not HAVE_NUMPY, reason="numpy backend not available"),
+]
+
+#: Counters the batched backend is allowed to report differently (see module
+#: docstring); everything else in the raw registry must match bit-for-bit.
+TOLERATED_STAT_KEYS = frozenset({"fdip.prefetches_issued"})
+
+#: Cells compared over the full raw statistics registry (one per BTB family
+#: plus a partitioned-hierarchy cell, where chunk boundaries are busiest).
+FULL_STATS_CELLS = (
+    ("consolidated_server", BTBStyle.CONVENTIONAL, ASIDMode.FLUSH, None),
+    ("consolidated_server", BTBStyle.BTBX, ASIDMode.TAGGED, None),
+    ("shared_services", BTBStyle.PDEDE, ASIDMode.TAGGED, None),
+    ("shared_services", BTBStyle.BTBX, ASIDMode.PARTITIONED, ASIDMode.PARTITIONED),
+)
+
+
+@pytest.fixture(scope="module")
+def fixture() -> dict:
+    return load_fixture()
+
+
+@pytest.mark.parametrize(
+    "preset,style,mode",
+    golden_cells(),
+    ids=[cell_key(*cell) for cell in golden_cells()],
+)
+def test_numpy_backend_matches_golden_cell(fixture, preset, style, mode):
+    pinned = fixture["cells"][cell_key(preset, style, mode)]
+    actual = compute_cell(preset, style, mode, backend="numpy")
+    assert actual == pinned, (
+        f"numpy backend diverged from the scalar oracle on "
+        f"{cell_key(preset, style, mode)}"
+    )
+
+
+@pytest.mark.parametrize(
+    "preset,style,cache_mode",
+    cache_golden_cells(),
+    ids=[cache_cell_key(*cell) for cell in cache_golden_cells()],
+)
+def test_numpy_backend_matches_cache_golden_cell(fixture, preset, style, cache_mode):
+    pinned = fixture["cells"][cache_cell_key(preset, style, cache_mode)]
+    actual = compute_cache_cell(preset, style, cache_mode, backend="numpy")
+    assert actual == pinned, (
+        f"numpy backend diverged from the scalar oracle on "
+        f"{cache_cell_key(preset, style, cache_mode)}"
+    )
+
+
+def _cell_stats(preset, style, mode, cache_mode, backend):
+    result = execute_scenario(
+        preset,
+        style=style,
+        asid_mode=mode,
+        cache_mode=cache_mode,
+        budget_kib=GOLDEN_BUDGET_KIB,
+        instructions=GOLDEN_INSTRUCTIONS,
+        warmup_instructions=GOLDEN_WARMUP,
+        backend=backend,
+    )
+    stats = dict(result.aggregate.stats.to_dict())
+    for name in (
+        "cycles",
+        "instructions",
+        "branches",
+        "taken_branches",
+        "btb_misses_taken",
+        "l1i_misses",
+        "l2_misses",
+        "context_switches",
+    ):
+        stats[f"result.{name}"] = getattr(result.aggregate, name, None)
+    return stats
+
+
+@pytest.mark.parametrize(
+    "preset,style,mode,cache_mode",
+    FULL_STATS_CELLS,
+    ids=[
+        f"{preset}/{style.value}/{mode.value}/cache-{cache.value if cache else 'none'}"
+        for preset, style, mode, cache in FULL_STATS_CELLS
+    ],
+)
+def test_full_raw_stats_match_between_backends(preset, style, mode, cache_mode):
+    python = _cell_stats(preset, style, mode, cache_mode, "python")
+    numpy = _cell_stats(preset, style, mode, cache_mode, "numpy")
+    differing = {
+        key
+        for key in set(python) | set(numpy)
+        if python.get(key) != numpy.get(key)
+    }
+    unexpected = differing - TOLERATED_STAT_KEYS
+    assert not unexpected, (
+        "backends diverged beyond the documented tolerance: "
+        + ", ".join(
+            f"{key}: python={python.get(key)} numpy={numpy.get(key)}"
+            for key in sorted(unexpected)
+        )
+    )

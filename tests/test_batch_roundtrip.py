@@ -1,0 +1,141 @@
+"""Property suite: the batched SoA decode/compose paths mirror the scalar ones.
+
+The batched backend never touches :class:`Instruction` objects on its fast
+paths -- it works from structure-of-arrays views (:mod:`repro.traces.batch`)
+and contiguous scheduling chunks (:meth:`TraceComposer.stream_batches`).
+These properties pin the two pairs of twins together over generated inputs:
+
+* a binary trace decoded wholesale by :func:`read_binary_trace_arrays` must
+  carry exactly the records :func:`iter_binary_trace` yields one at a time;
+* expanding :meth:`TraceComposer.stream_batches` chunk-by-chunk must replay
+  the identical ``(asid, tenant, instruction)`` sequence as
+  :meth:`TraceComposer.stream` -- across policies, weights, quanta, wrapping
+  cursors and shared-footprint remapping.
+
+The array half needs numpy; the module skips on the numpy-free leg (where
+the scalar iterators remain covered by the trace and scenario suites).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.branch import BranchType
+from repro.isa.instruction import Instruction
+from repro.scenarios.compose import TraceComposer
+from repro.scenarios.spec import ScenarioSpec, TenantSpec
+from repro.traces.batch import HAVE_NUMPY, read_binary_trace_arrays, trace_arrays
+from repro.traces.binary_io import _BRANCH_TYPE_INDEX, iter_binary_trace, write_binary_trace
+from repro.traces.trace import Trace
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy backend not available")
+
+
+@st.composite
+def instructions_strategy(draw, min_size: int = 1, max_size: int = 50):
+    """A legal instruction sequence (sizes fit the binary format's u8)."""
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    out = []
+    for _ in range(count):
+        branch_type = draw(st.sampled_from(list(BranchType)))
+        if not branch_type.is_branch:
+            taken = False
+            target = 0
+        elif branch_type.is_conditional:
+            taken = draw(st.booleans())
+            target = draw(st.integers(min_value=4, max_value=(1 << 48) - 1))
+        else:
+            taken = True
+            target = draw(st.integers(min_value=4, max_value=(1 << 48) - 1))
+        out.append(
+            Instruction(
+                pc=draw(st.integers(min_value=0, max_value=(1 << 48) - 1)),
+                size=draw(st.sampled_from((1, 2, 4, 8))),
+                branch_type=branch_type,
+                taken=taken,
+                target=target,
+            )
+        )
+    return out
+
+
+class TestBinaryDecodeRoundTrip:
+    @given(instructions=instructions_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_array_decode_matches_scalar_iterator(self, instructions, tmp_path_factory):
+        path = tmp_path_factory.mktemp("bin") / "trace.btbx"
+        trace = Trace("prop", instructions, metadata={"origin": "hypothesis"})
+        write_binary_trace(trace, path)
+
+        scalar = list(iter_binary_trace(path))
+        header, arrays = read_binary_trace_arrays(path)
+
+        assert header["name"] == "prop"
+        assert len(scalar) == len(arrays.pc)
+        for i, inst in enumerate(scalar):
+            assert int(arrays.pc[i]) == inst.pc
+            assert int(arrays.target[i]) == inst.target
+            assert int(arrays.size[i]) == inst.size
+            assert int(arrays.branch_type[i]) == _BRANCH_TYPE_INDEX[inst.branch_type]
+            assert bool(arrays.is_branch[i]) == inst.is_branch
+            assert bool(arrays.taken[i]) == inst.taken
+
+    def test_soa_view_matches_instruction_sequence(self):
+        """trace_arrays() is the in-memory twin of the same SoA contract."""
+        instructions = [
+            Instruction.non_branch(0x1000),
+            Instruction.branch(0x1004, BranchType.CONDITIONAL, True, 0x1010),
+            Instruction.branch(0x1010, BranchType.CALL, True, 0x2000),
+            Instruction.branch(0x2000, BranchType.RETURN, True, 0x1014),
+        ]
+        arrays = trace_arrays(Trace("soa", instructions))
+        assert [int(pc) for pc in arrays.pc] == [inst.pc for inst in instructions]
+        assert [bool(b) for b in arrays.is_branch] == [inst.is_branch for inst in instructions]
+        assert [bool(t) for t in arrays.taken] == [inst.taken for inst in instructions]
+
+
+@st.composite
+def scenario_strategy(draw):
+    """A small scenario spec plus per-workload traces and a stream length."""
+    tenant_count = draw(st.integers(min_value=1, max_value=3))
+    traces = {}
+    tenants = []
+    for i in range(tenant_count):
+        workload = f"wl{i}"
+        # Short traces force cursor wrapping; pcs stay word-aligned like the
+        # generated workloads so shared-footprint remapping sees normal input.
+        body = draw(instructions_strategy(min_size=3, max_size=40))
+        traces[workload] = Trace(workload, body)
+        tenants.append(
+            TenantSpec(
+                name=f"t{i}",
+                workload=workload,
+                weight=draw(st.integers(min_value=1, max_value=3)),
+            )
+        )
+    spec = ScenarioSpec(
+        name="prop",
+        tenants=tuple(tenants),
+        quantum_instructions=draw(st.integers(min_value=1, max_value=23)),
+        policy=draw(st.sampled_from(("round_robin", "weighted"))),
+        shared_fraction=draw(st.sampled_from((0.0, 0.5))),
+    )
+    total = draw(st.integers(min_value=1, max_value=150))
+    return spec, traces, total
+
+
+class TestComposeRoundTrip:
+    @given(case=scenario_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_stream_batches_expands_to_stream(self, case):
+        spec, traces, total = case
+
+        scalar = list(TraceComposer(spec, traces).stream(total))
+
+        expanded = []
+        for chunk in TraceComposer(spec, traces).stream_batches(total):
+            for inst in chunk.trace.instructions[chunk.start : chunk.stop]:
+                expanded.append((chunk.asid, chunk.tenant, inst))
+
+        assert expanded == scalar

@@ -117,13 +117,19 @@ def cache_cell_key(preset: str, style: BTBStyle, cache_mode: ASIDMode) -> str:
     return f"{preset}/{style.value}/cache-{cache_mode.value}"
 
 
-def compute_cell(preset: str, style: BTBStyle, mode: ASIDMode) -> dict:
+def compute_cell(
+    preset: str, style: BTBStyle, mode: ASIDMode, backend: str | None = None
+) -> dict:
     """Simulate one golden cell and distill it to the pinned counters.
 
     Secondary-structure cells (PDede, R-BTB) additionally pin the duplication
     counters and the secondary partition maps -- the behaviour those cells
     exist to lock down.  The legacy Conv-BTB/BTB-X cells keep their original
     schema so the pre-existing fixture entries stay byte-identical.
+
+    ``backend`` picks the execution engine (None resolves like the library
+    default); the backend-differential suite replays the whole grid with
+    ``backend="numpy"`` against the same fixture.
     """
     result = execute_scenario(
         preset,
@@ -132,6 +138,7 @@ def compute_cell(preset: str, style: BTBStyle, mode: ASIDMode) -> dict:
         budget_kib=GOLDEN_BUDGET_KIB,
         instructions=GOLDEN_INSTRUCTIONS,
         warmup_instructions=GOLDEN_WARMUP,
+        backend=backend,
     )
     cell = {
         "context_switches": result.context_switches,
@@ -149,7 +156,9 @@ def compute_cell(preset: str, style: BTBStyle, mode: ASIDMode) -> dict:
     return cell
 
 
-def compute_cache_cell(preset: str, style: BTBStyle, cache_mode: ASIDMode) -> dict:
+def compute_cache_cell(
+    preset: str, style: BTBStyle, cache_mode: ASIDMode, backend: str | None = None
+) -> dict:
     """Simulate one hierarchy cell and distill it to the pinned counters.
 
     These cells exist to lock down the ASID-aware memory hierarchy, so they
@@ -164,6 +173,7 @@ def compute_cache_cell(preset: str, style: BTBStyle, cache_mode: ASIDMode) -> di
         instructions=GOLDEN_INSTRUCTIONS,
         warmup_instructions=GOLDEN_WARMUP,
         cache_mode=cache_mode,
+        backend=backend,
     )
     return {
         "cache_mode": result.cache_mode,
