@@ -12,13 +12,18 @@ Examples::
     btbx-repro sweep shared --preset shared_services --json shared.json --csv shared.csv
     btbx-repro sweep scenarios --scale smoke --backend numpy
     btbx-repro bench smoke --repeats 2 --json BENCH_fresh.json
-    btbx-repro bench compare --fresh BENCH_fresh.json
+    btbx-repro bench compare --fresh BENCH_fresh.json --json BENCH_verdict.json
     btbx-repro cache stats --cache-dir results/cache
     btbx-repro cache prune --cache-dir results/cache --max-age-days 30
+    btbx-repro run-all --scale smoke --workers 4 --trace-out run_all.trace.jsonl
+    btbx-repro obs report run_all.trace.jsonl
+    btbx-repro obs export run_all.trace.jsonl --out run_all.chrome.json
 
 Scale resolution honors the ``REPRO_SCALE`` environment variable: when set
 (to ``smoke``, ``quick`` or ``full``) it overrides the ``--scale`` flag, so
 CI and batch jobs can redirect every invocation without editing commands.
+Telemetry recording honors ``REPRO_OBS`` the same way: when set to a path it
+acts like ``--trace-out`` for every command.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ import sys
 import time
 from typing import Dict, List
 
+from repro.common import log
 from repro.common.config import BACKEND_ENV_VAR, BACKENDS, ASIDMode
 from repro.experiments.config import (
     FULL_SCALE,
@@ -40,6 +46,14 @@ from repro.experiments.config import (
     current_scale,
 )
 from repro.experiments.engine import ExperimentEngine, ResultCache, use_engine
+from repro.obs import (
+    OBS_ENV_VAR,
+    OBS_FORMAT_ENV_VAR,
+    JsonlRecorder,
+    get_recorder,
+    trace_path_from_env,
+    use_recorder,
+)
 
 #: Experiment name -> module path (relative to repro.experiments).
 EXPERIMENTS: Dict[str, str] = {
@@ -92,6 +106,23 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         f"SoA engine (default: the {BACKEND_ENV_VAR} environment variable, "
         "else python)",
     )
+    parser.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        default=None,
+        help="record structured telemetry (spans + metrics) of this run to the "
+        f"given file (default: the {OBS_ENV_VAR} environment variable, else off)",
+    )
+    parser.add_argument(
+        "--trace-format",
+        dest="trace_format",
+        choices=["jsonl", "chrome"],
+        default=None,
+        help="trace file format: 'jsonl' = one event per line (obs report "
+        "input), 'chrome' = Chrome trace-event JSON loadable in "
+        f"about://tracing or Perfetto (default: the {OBS_FORMAT_ENV_VAR} "
+        "environment variable, else jsonl)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -99,6 +130,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="btbx-repro",
         description="Reproduction harness for 'A Storage-Effective BTB Organization for Servers'",
+    )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress notes; keep reports, warnings and errors",
+    )
+    verbosity.add_argument(
+        "--verbose",
+        action="store_true",
+        help="emit extra diagnostics (resolved scale, engine counters, ...)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -334,6 +376,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fractional throughput drop that fails the gate (default: 0.20)",
     )
+    bench_compare.add_argument(
+        "--json",
+        dest="json_path",
+        help="dump the per-field verdict (per-backend baseline/fresh/ratio/"
+        "regressed) as JSON for the CI gate",
+    )
+
+    obs_parser = sub.add_parser(
+        "obs", help="inspect recorded telemetry traces (--trace-out output)"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="aggregate a JSONL trace into a phase table (p50/p95 per phase, "
+        "pool utilization, cache hit rates, instructions/sec per driver)",
+    )
+    obs_report.add_argument("trace_path", help="JSONL trace file written by --trace-out")
+    obs_report.add_argument(
+        "--json", dest="json_path", help="also dump the aggregated report as JSON"
+    )
+    obs_export = obs_sub.add_parser(
+        "export",
+        help="convert a JSONL trace to Chrome trace-event JSON "
+        "(about://tracing / Perfetto)",
+    )
+    obs_export.add_argument("trace_path", help="JSONL trace file written by --trace-out")
+    obs_export.add_argument(
+        "--out",
+        dest="out_path",
+        default=None,
+        help="output file (default: <trace>.chrome.json)",
+    )
 
     cache_parser = sub.add_parser("cache", help="inspect or prune the on-disk result cache")
     cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
@@ -388,28 +462,44 @@ def run_all(
     "errors": ..., "engine": ...}``.
     """
     engine = engine or ExperimentEngine(workers=1)
+    recorder = get_recorder()
     results: Dict[str, Dict[str, object]] = {}
     timings: Dict[str, float] = {}
     status: Dict[str, str] = {}
     errors: Dict[str, str] = {}
     instructions: Dict[str, int] = {}
     ips: Dict[str, float] = {}
+    per_driver: Dict[str, Dict[str, int]] = {}
     with use_engine(engine):
         for name in EXPERIMENTS:
-            simulated_before = engine.counters.instructions_simulated
+            counters_before = engine.stats()
             started = time.perf_counter()
-            try:
-                results[name] = run_experiment(name, scale_name, engine=engine)
-                status[name] = "ok"
-            except Exception as exc:  # noqa: BLE001 - batch resilience is the point
-                status[name] = "failed"
-                errors[name] = f"{type(exc).__name__}: {exc}"
-            timings[name] = time.perf_counter() - started
-            # Executed jobs only: a driver whose cells all memo/cache-hit
-            # simulated nothing, so its throughput is reported as 0 rather
-            # than an absurd cells/lookup-time figure.
-            instructions[name] = engine.counters.instructions_simulated - simulated_before
-            ips[name] = instructions[name] / timings[name] if timings[name] > 0 else 0.0
+            with recorder.span(f"driver.{name}") as driver_span:
+                try:
+                    results[name] = run_experiment(name, scale_name, engine=engine)
+                    status[name] = "ok"
+                except Exception as exc:  # noqa: BLE001 - batch resilience is the point
+                    status[name] = "failed"
+                    errors[name] = f"{type(exc).__name__}: {exc}"
+                timings[name] = time.perf_counter() - started
+                # Executed jobs only: a driver whose cells all memo/cache-hit
+                # simulated nothing, so its throughput is reported as 0 rather
+                # than an absurd cells/lookup-time figure.
+                counters_after = engine.stats()
+                per_driver[name] = {
+                    key: counters_after[key] - counters_before[key]
+                    for key in ("submitted", "executed", "memo_hits", "disk_hits")
+                }
+                instructions[name] = (
+                    counters_after["instructions_simulated"]
+                    - counters_before["instructions_simulated"]
+                )
+                ips[name] = instructions[name] / timings[name] if timings[name] > 0 else 0.0
+                driver_span.set(
+                    status=status[name],
+                    instructions=instructions[name],
+                    executed=per_driver[name]["executed"],
+                )
     return {
         "scale": resolve_scale(scale_name).name,
         "results": results,
@@ -421,6 +511,7 @@ def run_all(
         "errors": errors,
         "failed": sorted(name for name, state in status.items() if state == "failed"),
         "engine": engine.stats(),
+        "engine_per_driver": per_driver,
     }
 
 
@@ -436,6 +527,7 @@ def _write_timings(path: str, summary: Dict[str, object], workers: int) -> None:
         "status": summary["status"],
         "errors": summary["errors"],
         "engine": summary["engine"],
+        "engine_per_driver": summary["engine_per_driver"],
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2)
@@ -451,10 +543,10 @@ def _write_result_outputs(
     if json_path:
         with open(json_path, "w", encoding="utf-8") as handle:
             json.dump(result, handle, indent=2, default=str)
-        print(f"\n(raw result written to {json_path})")
+        log.info(f"\n(raw result written to {json_path})")
     if csv_path and write_csv is not None:
         write_csv(result, csv_path)
-        print(f"(per-point CSV written to {csv_path})")
+        log.info(f"(per-point CSV written to {csv_path})")
 
 
 def run_scenario_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -470,10 +562,10 @@ def run_scenario_command(args: argparse.Namespace, parser: argparse.ArgumentPars
                 f"{t.name}:{t.workload}" + (f" x{t.weight}" if t.weight != 1 else "")
                 for t in spec.tenants
             )
-            print(f"{name:<22} {spec.policy}/{spec.switch_semantics}, "
-                  f"quantum {spec.quantum_instructions}: {tenants}")
+            log.result(f"{name:<22} {spec.policy}/{spec.switch_semantics}, "
+                       f"quantum {spec.quantum_instructions}: {tenants}")
             if spec.description:
-                print(f"{'':<22} {spec.description}")
+                log.result(f"{'':<22} {spec.description}")
         return 0
 
     try:
@@ -494,7 +586,7 @@ def run_scenario_command(args: argparse.Namespace, parser: argparse.ArgumentPars
     result = scenario_study.run(
         scale, scenarios=[args.scenario], asid_modes=asid_modes, engine=engine
     )
-    print(scenario_study.format_report(result))
+    log.result(scenario_study.format_report(result))
     _write_result_outputs(result, args.json_path)
     return 0
 
@@ -588,7 +680,7 @@ def run_shared_sweep_command(args: argparse.Namespace, parser: argparse.Argument
         asid_modes=asid_modes,
         engine=engine,
     )
-    print(shared_footprint.format_report(result))
+    log.result(shared_footprint.format_report(result))
     _write_result_outputs(
         result, args.json_path, args.csv_path, shared_footprint.write_csv
     )
@@ -649,7 +741,7 @@ def run_cache_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentP
         tenant_counts=tenant_counts,
         engine=engine,
     )
-    print(cache_interference.format_report(result))
+    log.result(cache_interference.format_report(result))
     _write_result_outputs(result, args.json_path, args.csv_path, cache_interference.write_csv)
     return 0
 
@@ -712,7 +804,7 @@ def run_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser)
         tenant_counts=tenant_counts,
         engine=engine,
     )
-    print(scenario_sweep.format_report(result))
+    log.result(scenario_sweep.format_report(result))
     _write_result_outputs(result, args.json_path, args.csv_path, scenario_sweep.write_csv)
     return 0
 
@@ -732,9 +824,9 @@ def run_plot_command(args: argparse.Namespace, parser: argparse.ArgumentParser) 
     except plotting.PlotSchemaError as exc:
         parser.error(str(exc))
     for path in figures:
-        print(f"wrote {path}")
+        log.result(f"wrote {path}")
     if not figures:
-        print("nothing to plot (no rows in the CSV)")
+        log.result("nothing to plot (no rows in the CSV)")
     return 0
 
 
@@ -749,10 +841,10 @@ def run_cache_command(args: argparse.Namespace, parser: argparse.ArgumentParser)
 
     if not os.path.isdir(args.cache_dir):
         if args.cache_command == "prune":
-            print(f"pruned 0 entries (cache directory {args.cache_dir} does not exist)")
+            log.result(f"pruned 0 entries (cache directory {args.cache_dir} does not exist)")
         else:
-            print(f"cache directory : {args.cache_dir}")
-            print("entries         : 0  (directory does not exist; nothing cached yet)")
+            log.result(f"cache directory : {args.cache_dir}")
+            log.result("entries         : 0  (directory does not exist; nothing cached yet)")
         return 0
     try:
         cache = ResultCache(args.cache_dir)
@@ -764,15 +856,15 @@ def run_cache_command(args: argparse.Namespace, parser: argparse.ArgumentParser)
     if args.cache_command == "stats":
         stats = cache.stats()
         versions = cache.format_versions()
-        print(f"cache directory : {stats['directory']}")
-        print(f"entries         : {stats['entries']}")
-        print(f"total bytes     : {stats['total_bytes']}")
+        log.result(f"cache directory : {stats['directory']}")
+        log.result(f"entries         : {stats['entries']}")
+        log.result(f"total bytes     : {stats['total_bytes']}")
         if versions:
             rendered = ", ".join(f"v{version}" for version in versions)
-            print(f"format versions : {rendered} (this tool writes v{CACHE_FORMAT_VERSION})")
+            log.result(f"format versions : {rendered} (this tool writes v{CACHE_FORMAT_VERSION})")
         if stats["entries"]:
             age_s = time.time() - stats["oldest_mtime"]
-            print(f"oldest entry    : {age_s / 86400.0:.2f} days old")
+            log.result(f"oldest entry    : {age_s / 86400.0:.2f} days old")
         return 0
 
     newer = cache.newer_format_than(CACHE_FORMAT_VERSION)
@@ -788,9 +880,9 @@ def run_cache_command(args: argparse.Namespace, parser: argparse.ArgumentParser)
     removed = cache.prune(max_age_seconds=max_age_s)
     what = "entries" if removed != 1 else "entry"
     if args.max_age_days is None:
-        print(f"pruned {removed} {what} (no age limit given: cache emptied)")
+        log.result(f"pruned {removed} {what} (no age limit given: cache emptied)")
     else:
-        print(f"pruned {removed} {what} older than {args.max_age_days} days")
+        log.result(f"pruned {removed} {what} older than {args.max_age_days} days")
     return 0
 
 
@@ -809,15 +901,15 @@ def run_bench_command(args: argparse.Namespace, parser: argparse.ArgumentParser)
             record = bench.run_smoke(backends=backends, repeats=args.repeats)
         except (ConfigurationError, ValueError) as exc:
             parser.error(str(exc))
-        print(bench.format_record(record))
+        log.result(bench.format_record(record))
         if args.json_path:
             with open(args.json_path, "w", encoding="utf-8") as handle:
                 json.dump(record, handle, indent=2, sort_keys=True)
-            print(f"(record written to {args.json_path})")
+            log.info(f"(record written to {args.json_path})")
         if args.append_history:
             history_path = args.history_path or bench.DEFAULT_HISTORY_PATH
             bench.append_history(record, history_path)
-            print(f"(record appended to {history_path})")
+            log.info(f"(record appended to {history_path})")
         return 0
 
     try:
@@ -841,14 +933,56 @@ def run_bench_command(args: argparse.Namespace, parser: argparse.ArgumentParser)
     if not 0.0 < threshold < 1.0:
         parser.error(f"--threshold must be within (0, 1), got {threshold}")
     verdict = bench.compare(fresh, history[-1], threshold=threshold)
-    print(bench.format_comparison(verdict))
+    log.result(bench.format_comparison(verdict))
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(verdict, handle, indent=2, sort_keys=True)
+        log.info(f"(verdict written to {args.json_path})")
     return 1 if verdict["regressed"] else 0
+
+
+def run_obs_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Handle ``obs report`` and ``obs export``."""
+    from repro.obs import read_trace
+    from repro.obs.chrome import export_chrome
+    from repro.obs.report import aggregate, format_report
+
+    try:
+        events = read_trace(args.trace_path)
+    except (OSError, json.JSONDecodeError) as exc:
+        parser.error(f"cannot read trace {args.trace_path!r}: {exc}")
+
+    if args.obs_command == "report":
+        report = aggregate(events)
+        log.result(format_report(report))
+        if args.json_path:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+            log.info(f"\n(report written to {args.json_path})")
+        return 0
+
+    out_path = args.out_path or f"{args.trace_path.removesuffix('.jsonl')}.chrome.json"
+    export_chrome(events, out_path)
+    log.result(f"wrote {out_path}")
+    return 0
+
+
+def _write_trace(recorder: JsonlRecorder, path: str, trace_format: str) -> str:
+    """Serialize a finished recording in the requested format."""
+    if trace_format == "chrome":
+        from repro.obs.chrome import export_chrome
+
+        export_chrome(recorder.drain(), path)
+        return path
+    recorder.write(path)
+    return path
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    log.configure(-1 if args.quiet else (1 if args.verbose else 0))
 
     # One central knob for the simulation backend: subcommands that build an
     # engine expose --backend, which routes through the environment so pooled
@@ -864,11 +998,36 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(str(exc))
         os.environ[BACKEND_ENV_VAR] = args.backend
 
+    # Telemetry follows the same pattern: --trace-out (or REPRO_OBS) turns on
+    # a JsonlRecorder around the whole command; the env export lets nested
+    # invocations and subprocesses see that recording is on.  The `obs`
+    # subcommand only *reads* traces, so it never records itself.
+    trace_out = getattr(args, "trace_out", None) or trace_path_from_env()
+    if trace_out and args.command != "obs":
+        trace_format = (
+            getattr(args, "trace_format", None)
+            or os.environ.get(OBS_FORMAT_ENV_VAR, "").strip()
+            or "jsonl"
+        )
+        if trace_format not in ("jsonl", "chrome"):
+            parser.error(f"{OBS_FORMAT_ENV_VAR} must be 'jsonl' or 'chrome', got {trace_format!r}")
+        os.environ[OBS_ENV_VAR] = trace_out
+        recorder = JsonlRecorder()
+        with use_recorder(recorder):
+            exit_code = _dispatch(args, parser)
+        _write_trace(recorder, trace_out, trace_format)
+        log.info(f"(telemetry trace written to {trace_out})")
+        return exit_code
+    return _dispatch(args, parser)
+
+
+def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Route a parsed command line to its handler."""
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
             module = importlib.import_module(EXPERIMENTS[name])
             summary = (module.__doc__ or "").strip().splitlines()[0]
-            print(f"{name:<18} {summary}")
+            log.result(f"{name:<18} {summary}")
         return 0
 
     if args.command == "scenario":
@@ -886,44 +1045,57 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "bench":
         return run_bench_command(args, parser)
 
+    if args.command == "obs":
+        return run_obs_command(args, parser)
+
     try:
         engine = make_engine(workers=args.workers, cache_dir=args.cache_dir)
     except OSError as exc:
         parser.error(f"cannot use cache directory {args.cache_dir!r}: {exc}")
+    log.debug(
+        f"engine: workers={args.workers}, cache_dir={args.cache_dir}, "
+        f"scale={resolve_scale(args.scale).name}"
+    )
 
     if args.command == "run-all":
         summary = run_all(args.scale, engine=engine)
         for name in EXPERIMENTS:
             if summary["status"][name] == "failed":
-                print(f"[{name}: FAILED after {summary['timings_s'][name]:.2f}s: "
-                      f"{summary['errors'][name]}]\n")
+                log.result(f"[{name}: FAILED after {summary['timings_s'][name]:.2f}s: "
+                           f"{summary['errors'][name]}]\n")
                 continue
             module = importlib.import_module(EXPERIMENTS[name])
-            print(module.format_report(summary["results"][name]))
+            log.result(module.format_report(summary["results"][name]))
+            driver = summary["engine_per_driver"][name]
+            reuse = f"{driver['memo_hits']} memo + {driver['disk_hits']} disk hits"
             if summary["instructions"][name]:
-                print(
+                log.info(
                     f"[{name}: {summary['timings_s'][name]:.2f}s, "
-                    f"{summary['instructions_per_second'][name]:,.0f} instructions/s]\n"
+                    f"{summary['instructions_per_second'][name]:,.0f} instructions/s, "
+                    f"{driver['executed']} executed, {reuse}]\n"
                 )
             else:
-                print(f"[{name}: {summary['timings_s'][name]:.2f}s (all cells reused)]\n")
+                log.info(
+                    f"[{name}: {summary['timings_s'][name]:.2f}s "
+                    f"(all cells reused: {reuse})]\n"
+                )
         counters = summary["engine"]
-        print(
+        log.result(
             f"run-all: {summary['total_s']:.2f}s at scale {summary['scale']} "
             f"({counters['executed']} simulations, {counters['memo_hits']} memo hits, "
             f"{counters['disk_hits']} cache hits)"
         )
         if summary["failed"]:
-            print(f"run-all: {len(summary['failed'])} experiment(s) FAILED: "
-                  f"{', '.join(summary['failed'])}")
+            log.result(f"run-all: {len(summary['failed'])} experiment(s) FAILED: "
+                       f"{', '.join(summary['failed'])}")
         if args.timings_path:
             _write_timings(args.timings_path, summary, args.workers)
-            print(f"(timing summary written to {args.timings_path})")
+            log.info(f"(timing summary written to {args.timings_path})")
         return 1 if summary["failed"] else 0
 
     result = run_experiment(args.experiment, args.scale, engine=engine)
     module = importlib.import_module(EXPERIMENTS[args.experiment])
-    print(module.format_report(result))
+    log.result(module.format_report(result))
     _write_result_outputs(result, args.json_path)
     return 0
 

@@ -1,0 +1,82 @@
+"""CLI output emitter wired to :mod:`logging`.
+
+The CLI used to report via bare ``print``.  This module routes the same
+text through a ``repro.cli`` logger so verbosity is controllable without
+changing the default byte-for-byte output:
+
+* :func:`result` -- the command's product (reports, tables, JSON paths).
+  Emitted at a custom ``RESULT`` level above ``INFO`` so ``--quiet`` keeps
+  it while suppressing progress chatter.
+* :func:`info` -- progress/side-channel notes ("(raw result written to
+  ...)", per-driver timing brackets).  Hidden by ``--quiet``.
+* :func:`debug` -- extra diagnostics enabled by ``--verbose``.
+* :func:`warn` -- always shown.
+
+The handler resolves ``sys.stdout`` at emit time (not at import), so
+pytest's ``capsys`` captures the output exactly like ``print`` did.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: Between INFO (20) and WARNING (30): the command's actual product.
+RESULT = 25
+
+logging.addLevelName(RESULT, "RESULT")
+
+logger = logging.getLogger("repro.cli")
+
+
+class _StdoutHandler(logging.Handler):
+    """Writes plain messages to the *current* ``sys.stdout``."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stdout.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - mirrors logging's own guard
+            self.handleError(record)
+
+
+def _ensure_handler() -> None:
+    if not any(isinstance(h, _StdoutHandler) for h in logger.handlers):
+        handler = _StdoutHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+        logger.propagate = False
+        logger.setLevel(logging.INFO)
+
+
+_ensure_handler()
+
+
+def configure(verbosity: int = 0) -> None:
+    """Set the emitter's threshold: -1 quiet, 0 default, >=1 verbose."""
+    _ensure_handler()
+    if verbosity < 0:
+        logger.setLevel(RESULT)
+    elif verbosity == 0:
+        logger.setLevel(logging.INFO)
+    else:
+        logger.setLevel(logging.DEBUG)
+
+
+def result(message: str = "") -> None:
+    """Emit the command's product; survives ``--quiet``."""
+    logger.log(RESULT, message)
+
+
+def info(message: str = "") -> None:
+    """Emit a progress note; hidden by ``--quiet``."""
+    logger.info(message)
+
+
+def debug(message: str = "") -> None:
+    """Emit a diagnostic; shown only with ``--verbose``."""
+    logger.debug(message)
+
+
+def warn(message: str = "") -> None:
+    """Emit a warning; always shown."""
+    logger.warning(message)

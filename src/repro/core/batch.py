@@ -73,6 +73,7 @@ def run_batched(
         ScheduledChunk(asid=0, tenant=trace.name, trace=trace, start=0, stop=total)
     )
     engine.drain_mispredictions()
+    engine.emit_metrics()
     return simulator._account_result(trace.name, account, simulator.stats)
 
 
@@ -93,6 +94,7 @@ def run_scenario_batched(
     for chunk in chunks:
         engine.process_chunk(chunk)
     engine.drain_mispredictions()
+    engine.emit_metrics()
     per_tenant = {
         name: simulator._account_result(name, engine.accounts[name], Stats())
         for name in engine.tenant_order
@@ -146,6 +148,24 @@ class _BatchEngine:
         self.context_switches = 0
         self.accounts: dict[str, object] = {}
         self.tenant_order: list[str] = []
+        # Vectorized-vs-scalar-fallback telemetry: plain int adds in the hot
+        # path, emitted once per run via emit_metrics() so recording is free.
+        self.chunks_planned = 0
+        self.chunks_scalar = 0
+        self.instructions_fast = 0
+        self.instructions_slow = 0
+
+    def emit_metrics(self) -> None:
+        """Publish the per-chunk fast/slow split to the active recorder."""
+        from repro.obs import get_recorder
+
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return
+        recorder.count("batch.chunks_planned", self.chunks_planned)
+        recorder.count("batch.chunks_scalar", self.chunks_scalar)
+        recorder.count("batch.instructions_fast", self.instructions_fast)
+        recorder.count("batch.instructions_slow", self.instructions_slow)
 
     # -- boundaries --------------------------------------------------------
 
@@ -208,8 +228,11 @@ class _BatchEngine:
         taken_branch_pcs = np.unique(pcs[is_branch & arrays.taken[start:stop]])
         plan = self.btb.batch_plan(pcs, taken_branch_pcs)
         if plan is None:
+            self.chunks_scalar += 1
+            self.instructions_slow += n
             self._run_scalar(chunk.trace, start, stop, new_block)
         else:
+            self.chunks_planned += 1
             self._run_planned(plan, chunk.trace, start, stop, pcs, new_block, is_branch)
         self.previous_block = int(blocks[n - 1])
         self.position += n
@@ -305,6 +328,8 @@ class _BatchEngine:
         # base throughput are plain commutative sums, only read (or reset) at
         # piece boundaries, so one call each covers all runs.
         fast_total = n - len(slow_positions)
+        self.instructions_fast += fast_total
+        self.instructions_slow += len(slow_positions)
         if fast_total:
             self.btb.note_skipped_miss_lookups(fast_total)
             if measuring:

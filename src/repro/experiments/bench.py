@@ -38,11 +38,35 @@ from repro.common.config import BACKEND_ENV_VAR, resolve_backend
 from repro.experiments import scenario_sweep
 from repro.experiments.config import SMOKE_SCALE, ExperimentScale
 from repro.experiments.engine import ExperimentEngine
+from repro.obs import JsonlRecorder, get_recorder, use_recorder
 from repro.scenarios.presets import get_scenario, scenario_names
 from repro.traces.store import TraceStore, default_store
 
 #: Current record schema; bump when fields change meaning.
-RECORD_FORMAT = 1
+#: v2: per-backend ``phases`` (decode/compose/simulate seconds aggregated
+#: from the telemetry spans of the measured leg).  Additive; ``compare``
+#: still gates on ``backends[*].ips`` only, so v1 baselines keep working.
+RECORD_FORMAT = 2
+
+#: Span name -> phase field of the per-leg breakdown.
+_PHASE_SPANS = {
+    "trace.build": "decode_s",
+    "trace.decode": "decode_s",
+    "scenario.compose": "compose_s",
+    "scenario.simulate": "simulate_s",
+}
+
+
+def _phase_seconds(events: List[Dict[str, object]]) -> Dict[str, float]:
+    """Sum the recorded span durations into the decode/compose/simulate split."""
+    phases = {"decode_s": 0.0, "compose_s": 0.0, "simulate_s": 0.0}
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        field = _PHASE_SPANS.get(event.get("name"))
+        if field is not None:
+            phases[field] += float(event.get("dur", 0.0))
+    return {field: round(value, 3) for field, value in phases.items()}
 
 #: The committed perf trajectory (one JSON object per line).
 DEFAULT_HISTORY_PATH = "results/bench_history.jsonl"
@@ -100,20 +124,33 @@ def warm_traces(scale: ExperimentScale, store: TraceStore | None = None) -> int:
     return len(workloads)
 
 
-def _time_sweep_leg(backend: str, scale: ExperimentScale) -> Dict[str, float]:
-    """One timed pass of the smoke sweep grid on a fresh serial engine."""
+def _time_sweep_leg(backend: str, scale: ExperimentScale) -> Dict[str, object]:
+    """One timed pass of the smoke sweep grid on a fresh serial engine.
+
+    Every leg runs under its own :class:`~repro.obs.JsonlRecorder`, so the
+    record carries a decode/compose/simulate phase split alongside the wall
+    time (the span overhead is a few hundred spans against a multi-second
+    leg, far inside runner noise).  When an outer recorder is active (the
+    CLI's ``--trace-out``), the leg's events are merged into it.
+    """
     previous = os.environ.get(BACKEND_ENV_VAR)
     os.environ[BACKEND_ENV_VAR] = backend
+    recorder = JsonlRecorder()
     try:
         engine = ExperimentEngine(workers=1)
-        started = time.perf_counter()
-        scenario_sweep.run(scale=scale, engine=engine)
-        wall_s = time.perf_counter() - started
+        with use_recorder(recorder):
+            started = time.perf_counter()
+            scenario_sweep.run(scale=scale, engine=engine)
+            wall_s = time.perf_counter() - started
     finally:
         if previous is None:
             os.environ.pop(BACKEND_ENV_VAR, None)
         else:
             os.environ[BACKEND_ENV_VAR] = previous
+    events = recorder.drain()
+    outer = get_recorder()
+    if outer.enabled:
+        outer.merge(events)
     cells = engine.counters.executed
     instructions = cells * scale.instructions
     return {
@@ -121,6 +158,7 @@ def _time_sweep_leg(backend: str, scale: ExperimentScale) -> Dict[str, float]:
         "instructions": instructions,
         "wall_s": wall_s,
         "ips": instructions / wall_s if wall_s > 0 else 0.0,
+        "phases": _phase_seconds(events),
     }
 
 
@@ -159,7 +197,11 @@ def run_smoke(
         "cells": next(iter(measured.values()))["cells"],
         "instructions": next(iter(measured.values()))["instructions"],
         "backends": {
-            backend: {"wall_s": round(leg["wall_s"], 3), "ips": round(leg["ips"], 1)}
+            backend: {
+                "wall_s": round(leg["wall_s"], 3),
+                "ips": round(leg["ips"], 1),
+                "phases": leg["phases"],
+            }
             for backend, leg in measured.items()
         },
     }
@@ -249,6 +291,13 @@ def format_record(record: Dict[str, object]) -> str:
         lines.append(
             f"  {backend:<7}: {leg['wall_s']:8.2f} s   {leg['ips']:>12,.0f} instructions/s"
         )
+        phases = leg.get("phases")
+        if phases:
+            lines.append(
+                f"           decode {phases['decode_s']:.3f} s / "
+                f"compose {phases['compose_s']:.3f} s / "
+                f"simulate {phases['simulate_s']:.3f} s"
+            )
     if "speedup_numpy_over_python" in record:
         lines.append(f"speedup    : {record['speedup_numpy_over_python']:.2f}x (numpy / python)")
     return "\n".join(lines)

@@ -35,6 +35,7 @@ from typing import Dict, Iterator, List, Mapping, Sequence
 from repro.common.config import ASIDMode, BTBStyle, default_machine_config
 from repro.common.errors import ConfigurationError
 from repro.common.stats import Stats
+from repro.obs import JsonlRecorder, get_recorder, use_recorder
 from repro.core.metrics import ScenarioResult, SimulationResult
 from repro.core.simulator import FrontEndSimulator
 from repro.scenarios.spec import ScenarioSpec
@@ -312,6 +313,7 @@ def execute_job(job: "EngineJob", trace: Trace | None = None,
     """
     if isinstance(job, ScenarioJob):
         return _execute_scenario_job(job, trace_store=trace_store)
+    recorder = get_recorder()
     if trace is None:
         trace = (trace_store or default_store()).get(job.workload, job.instructions)
     machine = default_machine_config(
@@ -326,9 +328,15 @@ def execute_job(job: "EngineJob", trace: Trace | None = None,
         )
     else:
         btb = make_btb_for_budget(job.style, job.budget_kib, isa=trace.isa)
-    result = FrontEndSimulator(machine, btb=btb).run(
-        trace, warmup_instructions=job.warmup_instructions
-    )
+    with recorder.span(
+        "job.simulate",
+        workload=job.workload,
+        style=job.style.value,
+        instructions=job.instructions,
+    ):
+        result = FrontEndSimulator(machine, btb=btb).run(
+            trace, warmup_instructions=job.warmup_instructions
+        )
     # Access counters are maintained unconditionally by every BTB and are tiny
     # next to the result, so they ride along in every payload; that keeps the
     # energy analysis (Table V) on the same cached cells as the MPKI and
@@ -342,9 +350,27 @@ def execute_job(job: "EngineJob", trace: Trace | None = None,
     }
 
 
-def _worker_execute(job: "EngineJob") -> tuple[str, Dict[str, object]]:
-    """Pool entry point: regenerate the trace(s) locally and run the job."""
-    return job.config_hash(), execute_job(job)
+def _worker_execute(
+    job: "EngineJob", record: bool = False
+) -> tuple[str, Dict[str, object], List[Dict[str, object]] | None]:
+    """Pool entry point: regenerate the trace(s) locally and run the job.
+
+    With ``record`` set (the parent's recorder is enabled), the worker buffers
+    its own telemetry in a pid-origin :class:`~repro.obs.JsonlRecorder` and
+    ships the events back pickled with the result; the parent merges them so a
+    single trace file covers the whole pool.  Telemetry never enters the
+    payload itself, so disk-cache entries stay identical with recording on.
+    """
+    config_hash = job.config_hash()
+    if not record:
+        return config_hash, execute_job(job), None
+    recorder = JsonlRecorder()
+    with use_recorder(recorder):
+        with recorder.span(
+            "engine.execute", job=config_hash[:12], kind=type(job).__name__
+        ):
+            payload = execute_job(job)
+    return config_hash, payload, recorder.drain()
 
 
 def _payload_to_outcome(payload: Mapping[str, object]) -> JobOutcome:
@@ -581,40 +607,50 @@ class ExperimentEngine:
         workload name; inline execution uses them directly, worker processes
         always regenerate deterministically from the workload specs.
         """
+        recorder = get_recorder()
         self.counters.submitted += len(jobs)
+        recorder.count("engine.submitted", len(jobs))
+        recorder.gauge("engine.workers", self.workers)
         hashes = [job.config_hash() for job in jobs]
 
-        # Resolve duplicates and cache hits first; collect the true misses.
-        # ``resolved`` is the call-local view, immune to memo LRU eviction.
-        resolved: Dict[str, Dict[str, object]] = {}
-        misses: List[tuple[str, SimJob]] = []
-        for job, config_hash in zip(jobs, hashes):
-            if config_hash in resolved:
-                continue
-            if config_hash in self._memo:
-                self.counters.memo_hits += 1
-                self._memo.move_to_end(config_hash)
-                resolved[config_hash] = self._memo[config_hash]
-                continue
-            if self.cache is not None:
-                payload = self.cache.get(job)
-                if payload is not None:
-                    self.counters.disk_hits += 1
-                    self._memoize(config_hash, payload)
-                    resolved[config_hash] = payload
-                    continue
-            resolved[config_hash] = {}  # placeholder; filled by execution
-            misses.append((config_hash, job))
+        with recorder.span("engine.run_jobs", jobs=len(jobs), workers=self.workers):
+            # Resolve duplicates and cache hits first; collect the true misses.
+            # ``resolved`` is the call-local view, immune to memo LRU eviction.
+            resolved: Dict[str, Dict[str, object]] = {}
+            misses: List[tuple[str, SimJob]] = []
+            with recorder.span("engine.memo_lookup", jobs=len(jobs)):
+                for job, config_hash in zip(jobs, hashes):
+                    if config_hash in resolved:
+                        continue
+                    if config_hash in self._memo:
+                        self.counters.memo_hits += 1
+                        recorder.count("engine.memo_hits")
+                        self._memo.move_to_end(config_hash)
+                        resolved[config_hash] = self._memo[config_hash]
+                        continue
+                    if self.cache is not None:
+                        with recorder.span("engine.cache_read", job=config_hash[:12]):
+                            payload = self.cache.get(job)
+                        if payload is not None:
+                            self.counters.disk_hits += 1
+                            recorder.count("engine.disk_hits")
+                            self._memoize(config_hash, payload)
+                            resolved[config_hash] = payload
+                            continue
+                    resolved[config_hash] = {}  # placeholder; filled by execution
+                    misses.append((config_hash, job))
 
-        for config_hash, payload in self._execute(misses, traces or {}):
-            self.counters.executed += 1
-            self.counters.instructions_simulated += self._job_by_hash(
-                misses, config_hash
-            ).instructions
-            self._memoize(config_hash, payload)
-            resolved[config_hash] = payload
-            if self.cache is not None:
-                self.cache.put(self._job_by_hash(misses, config_hash), payload)
+            for config_hash, payload in self._execute(misses, traces or {}):
+                self.counters.executed += 1
+                recorder.count("engine.executed")
+                job = self._job_by_hash(misses, config_hash)
+                self.counters.instructions_simulated += job.instructions
+                recorder.count("engine.instructions_simulated", job.instructions)
+                self._memoize(config_hash, payload)
+                resolved[config_hash] = payload
+                if self.cache is not None:
+                    with recorder.span("engine.cache_write", job=config_hash[:12]):
+                        self.cache.put(job, payload)
 
         return [_payload_to_outcome(resolved[config_hash]) for config_hash in hashes]
 
@@ -630,16 +666,48 @@ class ExperimentEngine:
     ) -> Iterator[tuple[str, Dict[str, object]]]:
         if not misses:
             return
+        recorder = get_recorder()
         if self.workers == 1 or len(misses) == 1:
             for config_hash, job in misses:
                 # Scenario jobs have no single workload; they compose their own
                 # tenant traces from the store.
                 trace = traces.get(getattr(job, "workload", None))
-                yield config_hash, execute_job(job, trace=trace, trace_store=self.trace_store)
+                with recorder.span(
+                    "engine.execute", job=config_hash[:12], kind=type(job).__name__
+                ):
+                    payload = execute_job(job, trace=trace, trace_store=self.trace_store)
+                yield config_hash, payload
             return
         max_workers = min(self.workers, len(misses))
+        record = bool(recorder.enabled)
+        parent_id = recorder.current_span_id() if record else None
+        submit_ts = time.time()
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            yield from pool.map(_worker_execute, [job for _, job in misses])
+            results = pool.map(
+                _worker_execute, [job for _, job in misses], [record] * len(misses)
+            )
+            for config_hash, payload, events in results:
+                if events:
+                    # The worker's root span is its engine.execute; its wall-
+                    # clock start minus our submit time is the queue wait.
+                    root = next(
+                        (
+                            e
+                            for e in events
+                            if e.get("type") == "span" and e.get("parent_id") is None
+                        ),
+                        None,
+                    )
+                    if root is not None:
+                        recorder.emit_span(
+                            "engine.queue_wait",
+                            ts=submit_ts,
+                            dur=max(0.0, root["ts"] - submit_ts),
+                            parent_id=parent_id,
+                            job=config_hash[:12],
+                        )
+                    recorder.merge(events, parent_id=parent_id)
+                yield config_hash, payload
 
     @staticmethod
     def _job_by_hash(misses: Sequence[tuple[str, "EngineJob"]], config_hash: str) -> "EngineJob":

@@ -1,0 +1,36 @@
+"""Dependency-free structured telemetry (spans, metrics, trace tooling).
+
+See :mod:`repro.obs.recorder` for the core API, :mod:`repro.obs.chrome` for
+the Chrome trace-event exporter and :mod:`repro.obs.report` for the phase
+aggregation behind ``btbx-repro obs report``.
+"""
+
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    OBS_ENV_VAR,
+    OBS_FORMAT_ENV_VAR,
+    JsonlRecorder,
+    NullRecorder,
+    Recorder,
+    Span,
+    get_recorder,
+    read_trace,
+    set_recorder,
+    trace_path_from_env,
+    use_recorder,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "OBS_ENV_VAR",
+    "OBS_FORMAT_ENV_VAR",
+    "JsonlRecorder",
+    "NullRecorder",
+    "Recorder",
+    "Span",
+    "get_recorder",
+    "read_trace",
+    "set_recorder",
+    "trace_path_from_env",
+    "use_recorder",
+]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.common.config import ASIDMode, BTBStyle, default_machine_config
 from repro.core.metrics import ScenarioResult
 from repro.core.simulator import FrontEndSimulator
+from repro.obs import get_recorder
 from repro.btb.base import BTBBase
 from repro.btb.storage import make_btb_for_budget
 from repro.scenarios.compose import TraceComposer
@@ -108,9 +109,18 @@ def execute_scenario(
     cost reads off the same cell as its MPKI cost.
     """
     spec = resolve_scenario(scenario)
+    recorder = get_recorder()
     store = trace_store or default_store()
-    traces = {workload: store.get(workload, instructions) for workload in set(spec.workloads)}
-    composer = TraceComposer(spec, traces)
+    # Compose covers tenant trace fetch/build plus the composer's shared-page
+    # remap work; simulate covers the actual run.  Splitting the two is what
+    # lets `obs report` show where a scenario cell's wall-clock goes.
+    with recorder.span(
+        "scenario.compose", scenario=spec.name, tenants=len(spec.tenant_names)
+    ):
+        traces = {
+            workload: store.get(workload, instructions) for workload in set(spec.workloads)
+        }
+        composer = TraceComposer(spec, traces)
     machine = default_machine_config(
         btb_style=style,
         fdip_enabled=fdip_enabled,
@@ -125,18 +135,29 @@ def execute_scenario(
     simulator = FrontEndSimulator(machine, btb=btb)
     if cache_mode is ASIDMode.PARTITIONED:
         simulator.hierarchy.configure_partitions(spec.partition_weights)
-    if machine.backend == "numpy":
-        result = simulator.run_scenario_batches(
-            composer.stream_batches(instructions),
-            warmup_instructions=warmup_instructions,
-            scenario_name=spec.name,
-        )
-    else:
-        result = simulator.run_scenario(
-            composer.stream(instructions),
-            warmup_instructions=warmup_instructions,
-            scenario_name=spec.name,
-        )
+    with recorder.span(
+        "scenario.simulate",
+        scenario=spec.name,
+        style=style.value,
+        asid_mode=asid_mode.value,
+        backend=machine.backend,
+        instructions=instructions,
+        quantum=spec.quantum_instructions,
+    ) as sim_span:
+        if machine.backend == "numpy":
+            result = simulator.run_scenario_batches(
+                composer.stream_batches(instructions),
+                warmup_instructions=warmup_instructions,
+                scenario_name=spec.name,
+            )
+        else:
+            result = simulator.run_scenario(
+                composer.stream(instructions),
+                warmup_instructions=warmup_instructions,
+                scenario_name=spec.name,
+            )
+        sim_span.set(context_switches=result.context_switches)
+    recorder.count("scenario.context_switches", result.context_switches)
     counts = btb.partition_set_counts()
     if counts is not None:
         result.partition_sets = dict(zip(spec.tenant_names, counts))

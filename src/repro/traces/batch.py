@@ -128,8 +128,14 @@ def read_binary_trace_arrays(path: str | Path) -> tuple[dict, TraceArrays]:
     round-trip property suite.
     """
     _require_numpy()
+    from repro.obs import get_recorder
     from repro.traces.binary_io import MAGIC, _RECORD
 
+    with get_recorder().span("trace.decode", path=str(path), decoder="arrays"):
+        return _read_binary_trace_arrays(path, MAGIC, _RECORD)
+
+
+def _read_binary_trace_arrays(path, MAGIC, _RECORD) -> tuple[dict, "TraceArrays"]:
     data = Path(path).read_bytes()
     if data[: len(MAGIC)] != MAGIC:
         raise TraceFormatError(f"bad magic {data[:len(MAGIC)]!r}; not a repro binary trace")

@@ -32,6 +32,7 @@ from repro.common.config import ISAStyle
 from repro.common.errors import TraceFormatError
 from repro.isa.branch import BranchType
 from repro.isa.instruction import Instruction
+from repro.obs import get_recorder
 from repro.traces.trace import Trace
 
 MAGIC = b"BTBXTRC1"
@@ -102,16 +103,17 @@ def iter_binary_trace(path: str | Path) -> Iterator[Instruction]:
 
 def read_binary_trace(path: str | Path) -> Trace:
     """Read a whole binary trace file into an in-memory :class:`Trace`."""
-    with open(path, "rb") as handle:
-        header = _read_header(handle)
-        instructions = []
-        while True:
-            raw = handle.read(_RECORD.size)
-            if not raw:
-                break
-            if len(raw) != _RECORD.size:
-                raise TraceFormatError("truncated trace record")
-            instructions.append(_decode_record(raw))
+    with get_recorder().span("trace.decode", path=str(path), decoder="scalar"):
+        with open(path, "rb") as handle:
+            header = _read_header(handle)
+            instructions = []
+            while True:
+                raw = handle.read(_RECORD.size)
+                if not raw:
+                    break
+                if len(raw) != _RECORD.size:
+                    raise TraceFormatError("truncated trace record")
+                instructions.append(_decode_record(raw))
     declared = header.get("instructions")
     if declared is not None and declared != len(instructions):
         raise TraceFormatError(

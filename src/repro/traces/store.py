@@ -19,6 +19,7 @@ import threading
 from collections import OrderedDict
 from typing import Callable, Tuple
 
+from repro.obs import get_recorder
 from repro.traces.trace import Trace
 
 #: Default number of traces kept alive; enough for every suite of one scale.
@@ -49,20 +50,25 @@ class TraceStore:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, workload: str, instructions: int) -> Trace:
         """Return the trace of ``workload``, generating it on first use."""
         key = (workload, instructions)
+        recorder = get_recorder()
         with self._lock:
             trace = self._traces.get(key)
             if trace is not None:
                 self.hits += 1
+                recorder.count("trace.store.hits")
                 self._traces.move_to_end(key)
                 return trace
             self.misses += 1
+            recorder.count("trace.store.misses")
         # Generate outside the lock: generation is slow and deterministic, so
         # a duplicate build under contention is wasteful but harmless.
-        trace = self._builder(workload, instructions)
+        with recorder.span("trace.build", workload=workload, instructions=instructions):
+            trace = self._builder(workload, instructions)
         self.put(trace, instructions)
         return trace
 
@@ -74,6 +80,8 @@ class TraceStore:
             self._traces.move_to_end(key)
             while len(self._traces) > self.max_traces:
                 self._traces.popitem(last=False)
+                self.evictions += 1
+                get_recorder().count("trace.store.evictions")
 
     def __len__(self) -> int:
         with self._lock:

@@ -535,6 +535,12 @@ class TestRunAllResilience:
         assert record["engine"]["instructions_simulated"] == sum(
             record["instructions"].values()
         )
+        # Per-driver engine-counter deltas: the simulating driver executed its
+        # one job (cold cache, so no memo/disk hits); the analytical driver
+        # submitted nothing.
+        tiny = record["engine_per_driver"]["tiny_sim"]
+        assert tiny == {"submitted": 1, "executed": 1, "memo_hits": 0, "disk_hits": 0}
+        assert record["engine_per_driver"]["table4_capacity"]["submitted"] == 0
 
 
 class TestBackendFlag:

@@ -1,0 +1,65 @@
+"""Recording must never change results: golden cells replayed with telemetry on.
+
+The telemetry layer observes the simulation; it must not perturb it.  This
+suite replays the entire golden grid -- every scenario cell and every cache
+hierarchy cell pinned by :mod:`test_golden_scenarios` -- under an active
+:class:`~repro.obs.JsonlRecorder` and requires byte-identical results against
+the committed fixture.  Any instrumentation that leaks into simulation state
+(an attribute read with side effects, an RNG draw, a cache-payload change)
+fails here with the exact cell named.
+
+One test per fixture grid (rather than one per cell) keeps the tier-1 wall
+time bounded: the cells share a recorder, which also exercises a long-lived
+recorder accumulating tens of thousands of events across many scenarios.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import JsonlRecorder, use_recorder
+from test_golden_scenarios import (
+    cache_cell_key,
+    cache_golden_cells,
+    cell_key,
+    compute_cache_cell,
+    compute_cell,
+    golden_cells,
+    load_fixture,
+)
+
+
+@pytest.fixture(scope="module")
+def fixture() -> dict:
+    return load_fixture()
+
+
+@pytest.mark.golden
+def test_all_golden_cells_are_byte_identical_with_recording_on(fixture):
+    recorder = JsonlRecorder(origin="golden")
+    with use_recorder(recorder):
+        for preset, style, mode in golden_cells():
+            key = cell_key(preset, style, mode)
+            assert compute_cell(preset, style, mode) == fixture["cells"][key], (
+                f"recording changed the result of {key}; telemetry must be "
+                "observational only"
+            )
+    events = recorder.drain()
+    assert sum(1 for e in events if e["type"] == "span") >= len(golden_cells()), (
+        "the recorder must actually have been recording during the replay"
+    )
+
+
+@pytest.mark.golden
+def test_all_cache_golden_cells_are_byte_identical_with_recording_on(fixture):
+    recorder = JsonlRecorder(origin="golden-cache")
+    with use_recorder(recorder):
+        for preset, style, cache_mode in cache_golden_cells():
+            key = cache_cell_key(preset, style, cache_mode)
+            assert (
+                compute_cache_cell(preset, style, cache_mode) == fixture["cells"][key]
+            ), (
+                f"recording changed the result of {key}; telemetry must be "
+                "observational only"
+            )
+    assert any(e["type"] == "span" for e in recorder.drain())
