@@ -29,12 +29,13 @@ acts like ``--trace-out`` for every command.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import importlib
 import json
 import os
 import sys
 import time
-from typing import Dict, List
+from typing import Dict, Iterator, List
 
 from repro.common import log
 from repro.common.config import BACKEND_ENV_VAR, BACKENDS, ASIDMode
@@ -407,6 +408,78 @@ def build_parser() -> argparse.ArgumentParser:
         dest="out_path",
         default=None,
         help="output file (default: <trace>.chrome.json)",
+    )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the long-lived sweep service: many clients, one engine, "
+        "one cache, exactly-once cells (NDJSON over unix socket or TCP)",
+    )
+    listen = serve_parser.add_mutually_exclusive_group()
+    listen.add_argument(
+        "--socket", dest="socket_path", help="listen on this unix socket path"
+    )
+    listen.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="listen on TCP (0 picks a free port); default transport when "
+        "--socket is not given",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind host (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="simulation worker processes shared by all clients",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", help="sharded on-disk result cache shared by all clients"
+    )
+    serve_parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="simulation backend threaded explicitly to every worker",
+    )
+    serve_parser.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        default=None,
+        help="record service + worker telemetry to the given file",
+    )
+    serve_parser.add_argument(
+        "--trace-format",
+        dest="trace_format",
+        choices=["jsonl", "chrome"],
+        default=None,
+        help="trace file format (default: jsonl)",
+    )
+    serve_parser.add_argument(
+        "--budget-instructions",
+        type=_positive_int,
+        default=None,
+        help="per-client instruction budget per window (admission control)",
+    )
+    serve_parser.add_argument(
+        "--budget-window-s",
+        type=float,
+        default=None,
+        help="budget window length in seconds (default: 3600)",
+    )
+    serve_parser.add_argument(
+        "--janitor-interval-s",
+        type=float,
+        default=300.0,
+        help="seconds between background cache-prune sweeps",
+    )
+    serve_parser.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="janitor prunes cache entries older than this (default: janitor off)",
     )
 
     cache_parser = sub.add_parser("cache", help="inspect or prune the on-disk result cache")
@@ -967,6 +1040,53 @@ def run_obs_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -
     return 0
 
 
+def run_serve_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Run the sweep service until a client sends ``shutdown`` (or Ctrl-C)."""
+    import asyncio
+
+    from repro.service.budget import (
+        DEFAULT_BUDGET_INSTRUCTIONS,
+        DEFAULT_WINDOW_SECONDS,
+    )
+    from repro.service.server import ServiceConfig, SweepService
+
+    config = ServiceConfig(
+        socket_path=args.socket_path,
+        host=args.host,
+        port=args.port or 0,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        backend=args.backend,
+        budget_instructions=args.budget_instructions or DEFAULT_BUDGET_INSTRUCTIONS,
+        budget_window_seconds=(
+            DEFAULT_WINDOW_SECONDS if args.budget_window_s is None else args.budget_window_s
+        ),
+        janitor_interval_seconds=args.janitor_interval_s,
+        max_age_seconds=(
+            None if args.max_age_days is None else args.max_age_days * 86_400.0
+        ),
+    )
+    service = SweepService(config)
+
+    async def _serve() -> None:
+        runner = asyncio.ensure_future(service.run())
+        while not service.started.is_set() and not runner.done():
+            await asyncio.sleep(0.01)
+        if service.started.is_set():
+            address = service.address
+            shown = address if isinstance(address, str) else f"{address[0]}:{address[1]}"
+            log.result(f"sweep service listening on {shown}")
+        await runner
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        log.info("(service interrupted)")
+    except OSError as exc:
+        parser.error(f"cannot listen: {exc}")
+    return 0
+
+
 def _write_trace(recorder: JsonlRecorder, path: str, trace_format: str) -> str:
     """Serialize a finished recording in the requested format."""
     if trace_format == "chrome":
@@ -978,6 +1098,27 @@ def _write_trace(recorder: JsonlRecorder, path: str, trace_format: str) -> str:
     return path
 
 
+@contextlib.contextmanager
+def _scoped_environ(updates: Dict[str, str]) -> Iterator[None]:
+    """Apply environment ``updates`` for one command, then restore.
+
+    The CLI exports its --backend / --trace-out choices through the
+    environment so pooled worker processes inherit them; scoping the mutation
+    keeps ``main()`` reentrant (library callers and tests invoking it must
+    not find the previous run's knobs left behind in ``os.environ``).
+    """
+    previous = {key: os.environ.get(key) for key in updates}
+    os.environ.update(updates)
+    try:
+        yield
+    finally:
+        for key, value in previous.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -987,7 +1128,10 @@ def main(argv: list[str] | None = None) -> int:
     # One central knob for the simulation backend: subcommands that build an
     # engine expose --backend, which routes through the environment so pooled
     # worker processes inherit it (the ``plot`` subcommand's --backend is its
-    # unrelated rendering knob).
+    # unrelated rendering knob).  The export is scoped to this command; the
+    # service additionally threads the backend to its workers explicitly, so
+    # it never depends on ambient environment state.
+    env_updates: Dict[str, str] = {}
     if args.command != "plot" and getattr(args, "backend", None):
         from repro.common.config import resolve_backend
         from repro.common.errors import ConfigurationError
@@ -996,7 +1140,7 @@ def main(argv: list[str] | None = None) -> int:
             resolve_backend(args.backend)
         except ConfigurationError as exc:
             parser.error(str(exc))
-        os.environ[BACKEND_ENV_VAR] = args.backend
+        env_updates[BACKEND_ENV_VAR] = args.backend
 
     # Telemetry follows the same pattern: --trace-out (or REPRO_OBS) turns on
     # a JsonlRecorder around the whole command; the env export lets nested
@@ -1011,14 +1155,16 @@ def main(argv: list[str] | None = None) -> int:
         )
         if trace_format not in ("jsonl", "chrome"):
             parser.error(f"{OBS_FORMAT_ENV_VAR} must be 'jsonl' or 'chrome', got {trace_format!r}")
-        os.environ[OBS_ENV_VAR] = trace_out
+        env_updates[OBS_ENV_VAR] = trace_out
         recorder = JsonlRecorder()
-        with use_recorder(recorder):
-            exit_code = _dispatch(args, parser)
+        with _scoped_environ(env_updates):
+            with use_recorder(recorder):
+                exit_code = _dispatch(args, parser)
         _write_trace(recorder, trace_out, trace_format)
         log.info(f"(telemetry trace written to {trace_out})")
         return exit_code
-    return _dispatch(args, parser)
+    with _scoped_environ(env_updates):
+        return _dispatch(args, parser)
 
 
 def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -1047,6 +1193,9 @@ def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
 
     if args.command == "obs":
         return run_obs_command(args, parser)
+
+    if args.command == "serve":
+        return run_serve_command(args, parser)
 
     try:
         engine = make_engine(workers=args.workers, cache_dir=args.cache_dir)

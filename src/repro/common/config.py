@@ -36,12 +36,16 @@ def resolve_backend(backend: str | None) -> str:
     """Resolve and validate a simulation backend name.
 
     ``None`` consults :data:`BACKEND_ENV_VAR` and falls back to ``"python"``.
-    Requesting ``"numpy"`` without numpy installed is a configuration error
-    rather than a silent fallback: a benchmark silently running the scalar
-    oracle would report a fake regression.
+    Names are normalized with ``.strip().lower()`` like ``REPRO_SCALE``
+    (:func:`repro.experiments.config.current_scale`), so ``"NUMPY"`` or a
+    trailing-space ``"numpy "`` from CI YAML selects the backend instead of
+    dying as unknown.  Requesting ``"numpy"`` without numpy installed is a
+    configuration error rather than a silent fallback: a benchmark silently
+    running the scalar oracle would report a fake regression.
     """
     if backend is None:
-        backend = os.environ.get(BACKEND_ENV_VAR) or "python"
+        backend = os.environ.get(BACKEND_ENV_VAR, "")
+    backend = backend.strip().lower() or "python"
     if backend not in BACKENDS:
         raise ConfigurationError(
             f"unknown simulation backend {backend!r}; expected one of {BACKENDS}"

@@ -185,6 +185,13 @@ def run_smoke(
                 best = leg
         measured[backend] = best
 
+    # The backends run the same grid, so every leg must have executed the
+    # same cell count; a mismatch means one leg silently hit a cache or ran
+    # a different grid, which would make the throughput ratio meaningless.
+    cell_counts = {backend: leg["cells"] for backend, leg in measured.items()}
+    if len(set(cell_counts.values())) > 1:
+        raise RuntimeError(f"bench legs executed different cell counts: {cell_counts}")
+
     record: Dict[str, object] = {
         "format": RECORD_FORMAT,
         "benchmark": "sweep_scenarios_smoke",
@@ -198,6 +205,8 @@ def run_smoke(
         "instructions": next(iter(measured.values()))["instructions"],
         "backends": {
             backend: {
+                "cells": leg["cells"],
+                "instructions": leg["instructions"],
                 "wall_s": round(leg["wall_s"], 3),
                 "ips": round(leg["ips"], 1),
                 "phases": leg["phases"],
@@ -205,7 +214,15 @@ def run_smoke(
             for backend, leg in measured.items()
         },
     }
-    if "python" in measured and "numpy" in measured and measured["python"]["wall_s"]:
+    # Guard on the throughputs themselves, not wall_s: a leg that executed
+    # zero cells has ips == 0.0 with a perfectly positive wall time, and the
+    # ratio below would divide by it.
+    if (
+        "python" in measured
+        and "numpy" in measured
+        and measured["python"]["ips"] > 0
+        and measured["numpy"]["ips"] > 0
+    ):
         record["speedup_numpy_over_python"] = round(
             measured["numpy"]["ips"] / measured["python"]["ips"], 3
         )

@@ -387,16 +387,29 @@ def _payload_to_outcome(payload: Mapping[str, object]) -> JobOutcome:
 class ResultCache:
     """Content-addressed JSON store of finished job payloads.
 
-    One file per job, named by the job's config hash.  Writes go through a
-    temp file plus :func:`os.replace`, so concurrent processes sharing a cache
-    directory never observe partial entries.
+    One file per job, named by the job's config hash and sharded into
+    subdirectories by the hash's leading hex byte (``ab/<hash>.json``), so a
+    service-scale cache of tens of thousands of entries never piles every
+    file into one directory (directory scans stay cheap, and concurrent
+    writers spread their ``os.replace`` traffic across 256 directories).
+    Writes go through a temp file in the entry's shard plus
+    :func:`os.replace`, so concurrent processes sharing a cache directory
+    never observe partial entries.  Pre-sharding caches are still readable:
+    lookups fall back to the legacy flat path, and maintenance walks both
+    layouts.
     """
 
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = os.fspath(directory)
         os.makedirs(self.directory, exist_ok=True)
 
+    def _shard_dir(self, config_hash: str) -> str:
+        return os.path.join(self.directory, config_hash[:2])
+
     def _path(self, config_hash: str) -> str:
+        return os.path.join(self._shard_dir(config_hash), f"{config_hash}.json")
+
+    def _legacy_path(self, config_hash: str) -> str:
         return os.path.join(self.directory, f"{config_hash}.json")
 
     def get(self, job: "EngineJob") -> Dict[str, object] | None:
@@ -404,39 +417,67 @@ class ResultCache:
 
         Any unreadable entry — missing, corrupt, permission-denied on a
         shared cache directory — is a miss: the job simply re-simulates.
+        Entries written before sharding are found at the legacy flat path.
         """
-        try:
-            with open(self._path(job.config_hash()), "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            return None
-        payload = entry.get("payload")
-        if not isinstance(payload, dict) or "result" not in payload:
-            return None
-        return payload
+        config_hash = job.config_hash()
+        for path in (self._path(config_hash), self._legacy_path(config_hash)):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            payload = entry.get("payload")
+            if not isinstance(payload, dict) or "result" not in payload:
+                continue
+            return payload
+        return None
 
     def put(self, job: "EngineJob", payload: Mapping[str, object]) -> None:
-        """Persist the payload of ``job`` atomically."""
+        """Persist the payload of ``job`` atomically (into its shard)."""
         entry = {"job": job.config_dict(), "payload": payload}
-        fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        config_hash = job.config_hash()
+        shard = self._shard_dir(config_hash)
+        os.makedirs(shard, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=shard, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(entry, handle)
-            os.replace(tmp_path, self._path(job.config_hash()))
+            os.replace(tmp_path, self._path(config_hash))
         except BaseException:
             with contextlib.suppress(OSError):
                 os.unlink(tmp_path)
             raise
 
     def __len__(self) -> int:
-        return sum(1 for name in os.listdir(self.directory) if name.endswith(".json"))
+        return len(self._entry_paths())
+
+    def _scan_dirs(self) -> List[str]:
+        """The flat directory plus every shard subdirectory, scan order fixed.
+
+        Shards that vanish mid-scan (a concurrent ``clear``) simply drop out.
+        """
+        dirs = [self.directory]
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return dirs
+        for name in names:
+            path = os.path.join(self.directory, name)
+            if len(name) == 2 and os.path.isdir(path):
+                dirs.append(path)
+        return dirs
 
     def _entry_paths(self) -> List[str]:
-        return [
-            os.path.join(self.directory, name)
-            for name in os.listdir(self.directory)
-            if name.endswith(".json")
-        ]
+        paths: List[str] = []
+        for directory in self._scan_dirs():
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                continue
+            paths.extend(
+                os.path.join(directory, name) for name in names if name.endswith(".json")
+            )
+        return paths
 
     def stats(self) -> Dict[str, object]:
         """Entry count, total bytes and age range of the cached payloads.
@@ -526,20 +567,30 @@ class ResultCache:
             except OSError:
                 continue
         tmp_cutoff = now - self._TMP_GRACE_SECONDS
-        for name in os.listdir(self.directory):
-            if name.endswith(".tmp"):
-                path = os.path.join(self.directory, name)
-                with contextlib.suppress(OSError):
-                    if os.stat(path).st_mtime < tmp_cutoff:
-                        os.unlink(path)
+        for directory in self._scan_dirs():
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                continue
+            for name in names:
+                if name.endswith(".tmp"):
+                    path = os.path.join(directory, name)
+                    with contextlib.suppress(OSError):
+                        if os.stat(path).st_mtime < tmp_cutoff:
+                            os.unlink(path)
         return removed
 
     def clear(self) -> None:
         """Delete every cached entry (and any crash-orphaned temp file)."""
-        for name in os.listdir(self.directory):
-            if name.endswith((".json", ".tmp")):
-                with contextlib.suppress(OSError):
-                    os.unlink(os.path.join(self.directory, name))
+        for directory in self._scan_dirs():
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                continue
+            for name in names:
+                if name.endswith((".json", ".tmp")):
+                    with contextlib.suppress(OSError):
+                        os.unlink(os.path.join(directory, name))
 
 
 # -- the engine ---------------------------------------------------------------
@@ -622,21 +673,10 @@ class ExperimentEngine:
                 for job, config_hash in zip(jobs, hashes):
                     if config_hash in resolved:
                         continue
-                    if config_hash in self._memo:
-                        self.counters.memo_hits += 1
-                        recorder.count("engine.memo_hits")
-                        self._memo.move_to_end(config_hash)
-                        resolved[config_hash] = self._memo[config_hash]
+                    payload = self.lookup(job, config_hash)
+                    if payload is not None:
+                        resolved[config_hash] = payload
                         continue
-                    if self.cache is not None:
-                        with recorder.span("engine.cache_read", job=config_hash[:12]):
-                            payload = self.cache.get(job)
-                        if payload is not None:
-                            self.counters.disk_hits += 1
-                            recorder.count("engine.disk_hits")
-                            self._memoize(config_hash, payload)
-                            resolved[config_hash] = payload
-                            continue
                     resolved[config_hash] = {}  # placeholder; filled by execution
                     misses.append((config_hash, job))
 
@@ -658,6 +698,52 @@ class ExperimentEngine:
         """Convenience wrapper for a single job."""
         traces = {trace.name: trace} if trace is not None else None
         return self.run_jobs([job], traces=traces)[0]
+
+    def lookup(
+        self, job: "EngineJob", config_hash: str | None = None
+    ) -> Dict[str, object] | None:
+        """Resolve ``job`` from the memo or disk cache without executing it.
+
+        Counts the hit (and promotes disk hits into the memo) exactly like
+        :meth:`run_jobs` does, so callers that schedule their own execution —
+        the sweep service resolves cache hits before admission control — keep
+        the counters meaningful.  Returns None on a true miss.
+        """
+        recorder = get_recorder()
+        if config_hash is None:
+            config_hash = job.config_hash()
+        if config_hash in self._memo:
+            self.counters.memo_hits += 1
+            recorder.count("engine.memo_hits")
+            self._memo.move_to_end(config_hash)
+            return self._memo[config_hash]
+        if self.cache is not None:
+            with recorder.span("engine.cache_read", job=config_hash[:12]):
+                payload = self.cache.get(job)
+            if payload is not None:
+                self.counters.disk_hits += 1
+                recorder.count("engine.disk_hits")
+                self._memoize(config_hash, payload)
+                return payload
+        return None
+
+    def record_executed(self, job: "EngineJob", payload: Dict[str, object]) -> None:
+        """Absorb a payload executed outside :meth:`run_jobs` (service path).
+
+        Memoizes, persists to the disk cache and advances the executed /
+        instructions-simulated counters, so external executors (the sweep
+        service runs cells on its own pool) look identical in ``stats()``.
+        """
+        recorder = get_recorder()
+        config_hash = job.config_hash()
+        self.counters.executed += 1
+        recorder.count("engine.executed")
+        self.counters.instructions_simulated += job.instructions
+        recorder.count("engine.instructions_simulated", job.instructions)
+        self._memoize(config_hash, payload)
+        if self.cache is not None:
+            with recorder.span("engine.cache_write", job=config_hash[:12]):
+                self.cache.put(job, payload)
 
     def _execute(
         self,

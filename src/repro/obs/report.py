@@ -100,6 +100,23 @@ def aggregate(events: List[Dict[str, Any]]) -> Dict[str, Any]:
     if caches:
         report["caches"] = caches
 
+    # Sweep-service traffic: request/dedup/admission counters plus the wait
+    # picture (how long clients blocked on in-flight cells).
+    requests = counters.get("service.requests", 0)
+    if requests:
+        waits = durations.get("service.wait", [])
+        service: Dict[str, Any] = {
+            "requests": requests,
+            "submitted": counters.get("service.submitted", 0),
+            "dedup_hits": counters.get("service.dedup_hits", 0),
+            "rejected": counters.get("service.rejected", 0),
+            "connections": len(durations.get("service.accept", [])),
+            "cells_executed": len(durations.get("service.execute", [])),
+        }
+        if waits:
+            service["wait_p95_s"] = round(percentile(waits, 0.95), 6)
+        report["service"] = service
+
     # Instructions/sec per driver from run-all's driver.* spans.
     drivers: Dict[str, Any] = {}
     for span in spans:
@@ -159,6 +176,23 @@ def format_report(report: Dict[str, Any]) -> str:
         lines.append(
             f"trace store : {store['hits']} hits, {store['misses']} misses,"
             f" {store['evictions']} evictions (hit rate {store['hit_rate']:.1%})"
+        )
+
+    service = report.get("service")
+    if service:
+        lines.append("")
+        wait = (
+            f", result-wait p95 {service['wait_p95_s']:.3f}s"
+            if "wait_p95_s" in service
+            else ""
+        )
+        lines.append(
+            f"service     : {service['requests']} requests over"
+            f" {service['connections']} connections,"
+            f" {service['submitted']} jobs submitted,"
+            f" {service['cells_executed']} cells executed,"
+            f" {service['dedup_hits']} dedup hits,"
+            f" {service['rejected']} rejected{wait}"
         )
 
     drivers = report.get("drivers")

@@ -1,0 +1,34 @@
+"""Long-running sweep service: an asyncio job API over the experiment engine.
+
+The package turns :class:`~repro.experiments.engine.ExperimentEngine` into a
+multi-client service (ROADMAP item 2): clients submit grids of simulation
+jobs over a newline-delimited JSON protocol (unix socket or localhost TCP),
+share one warm :class:`~repro.traces.store.TraceStore` and one sharded
+on-disk result cache, and are admission-controlled by a per-client
+instruction budget (the CostGuard pattern).  In-flight jobs are deduplicated
+by config hash, so N clients submitting M overlapping sweeps simulate every
+distinct cell exactly once.
+
+* :mod:`repro.service.protocol` -- the wire format and the job codec;
+* :mod:`repro.service.budget`   -- per-client windowed instruction budgets;
+* :mod:`repro.service.server`   -- the asyncio :class:`SweepService`;
+* :mod:`repro.service.client`   -- the blocking :class:`ServiceClient`;
+* :mod:`repro.service.loadtest` -- the N-clients x M-sweeps proof harness.
+"""
+
+from repro.service.budget import BudgetDecision, InstructionBudget
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import job_from_wire, job_to_wire
+from repro.service.server import ServiceConfig, ServiceThread, SweepService
+
+__all__ = [
+    "BudgetDecision",
+    "InstructionBudget",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceThread",
+    "SweepService",
+    "job_from_wire",
+    "job_to_wire",
+]

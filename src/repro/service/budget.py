@@ -1,0 +1,172 @@
+"""Per-client admission control: windowed instruction budgets.
+
+The service's unit of cost is the *simulated instruction* — it is what wall
+time is proportional to and what the engine already counts
+(``instructions_simulated``).  Each client gets a rolling window budget;
+submitting a grid whose un-cached cells would exceed the remaining budget is
+rejected **before** any simulation runs, with a concrete suggestion of the
+largest scale preset that would still fit (the CostGuard pattern: reject
+early, suggest a cheaper shape, never burn compute to discover a refusal).
+
+Charges are recorded per accepted grid at admission time and expire as the
+window slides, so a client that waits recovers its budget without any
+server-side reset.  The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments.config import ExperimentScale, FULL_SCALE, QUICK_SCALE, SMOKE_SCALE
+
+#: Default budget: enough for several full-scale smoke sweeps per window but
+#: small enough that an unthrottled full-scale grid spree trips it.
+DEFAULT_BUDGET_INSTRUCTIONS = 50_000_000
+
+#: Default window length (seconds) over which charges expire.
+DEFAULT_WINDOW_SECONDS = 3600.0
+
+#: Scales offered by the rejection suggestion, cheapest last.
+_SUGGESTION_SCALES: Tuple[ExperimentScale, ...] = (FULL_SCALE, QUICK_SCALE, SMOKE_SCALE)
+
+
+@dataclass(frozen=True)
+class BudgetDecision:
+    """Outcome of one admission check (JSON-able via :meth:`as_dict`)."""
+
+    allowed: bool
+    client: str
+    estimated_instructions: int
+    used_instructions: int
+    remaining_instructions: int
+    budget_instructions: int
+    window_seconds: float
+    #: When rejected: the largest scale whose per-cell cost would fit the
+    #: same grid into the remaining budget, or None when not even the
+    #: cheapest scale fits (then ``max_cells`` says how many smoke cells do).
+    suggestion: Dict[str, object] | None = None
+    message: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "allowed": self.allowed,
+            "client": self.client,
+            "estimated_instructions": self.estimated_instructions,
+            "used_instructions": self.used_instructions,
+            "remaining_instructions": self.remaining_instructions,
+            "budget_instructions": self.budget_instructions,
+            "window_seconds": self.window_seconds,
+            "suggestion": self.suggestion,
+            "message": self.message,
+        }
+
+
+def suggest_scale(cells: int, remaining: int) -> Dict[str, object] | None:
+    """The largest preset scale at which ``cells`` cells fit in ``remaining``.
+
+    Returns ``{"scale", "cell_instructions", "estimated_instructions"}`` for
+    the suggestion, or ``{"scale": None, "max_cells": n}`` when even smoke
+    scale cannot fit the whole grid (n smoke cells would fit).
+    """
+    if cells < 1:
+        return None
+    for scale in sorted(_SUGGESTION_SCALES, key=lambda s: -s.instructions):
+        cost = cells * scale.instructions
+        if cost <= remaining:
+            return {
+                "scale": scale.name,
+                "cell_instructions": scale.instructions,
+                "estimated_instructions": cost,
+            }
+    return {
+        "scale": None,
+        "max_cells": remaining // SMOKE_SCALE.instructions,
+        "cell_instructions": SMOKE_SCALE.instructions,
+    }
+
+
+@dataclass
+class InstructionBudget:
+    """Sliding-window instruction accounting for many clients.
+
+    Not thread-safe by itself; the service mutates it only from the event
+    loop thread.  ``clock`` is injectable so tests can advance time manually.
+    """
+
+    budget_instructions: int = DEFAULT_BUDGET_INSTRUCTIONS
+    window_seconds: float = DEFAULT_WINDOW_SECONDS
+    clock: Callable[[], float] = time.monotonic
+    _grants: Dict[str, List[Tuple[float, int]]] = field(default_factory=dict)
+
+    def _used(self, client: str, now: float) -> int:
+        """Un-expired charges of ``client``; prunes expired grants in place."""
+        grants = self._grants.get(client, [])
+        cutoff = now - self.window_seconds
+        live = [(ts, cost) for ts, cost in grants if ts > cutoff]
+        if live:
+            self._grants[client] = live
+        else:
+            self._grants.pop(client, None)
+        return sum(cost for _, cost in live)
+
+    def check(self, client: str, estimated_instructions: int, cells: int = 0) -> BudgetDecision:
+        """Admission-check a grid costing ``estimated_instructions``.
+
+        ``cells`` (the number of not-yet-cached cells behind the estimate)
+        shapes the rejection suggestion; pass 0 to skip the suggestion.
+        """
+        now = self.clock()
+        used = self._used(client, now)
+        remaining = max(0, self.budget_instructions - used)
+        if estimated_instructions <= remaining:
+            return BudgetDecision(
+                allowed=True,
+                client=client,
+                estimated_instructions=estimated_instructions,
+                used_instructions=used,
+                remaining_instructions=remaining - estimated_instructions,
+                budget_instructions=self.budget_instructions,
+                window_seconds=self.window_seconds,
+            )
+        suggestion = suggest_scale(cells, remaining)
+        if suggestion and suggestion.get("scale"):
+            hint = (
+                f"resubmit at scale '{suggestion['scale']}' "
+                f"({cells} cells x {suggestion['cell_instructions']:,} = "
+                f"{suggestion['estimated_instructions']:,} instructions)"
+            )
+        elif suggestion:
+            hint = (
+                f"at most {suggestion['max_cells']} smoke-scale cells fit; "
+                "shrink the grid or wait for the window to reset"
+            )
+        else:
+            hint = "wait for the window to reset"
+        return BudgetDecision(
+            allowed=False,
+            client=client,
+            estimated_instructions=estimated_instructions,
+            used_instructions=used,
+            remaining_instructions=remaining,
+            budget_instructions=self.budget_instructions,
+            window_seconds=self.window_seconds,
+            suggestion=suggestion,
+            message=(
+                f"grid needs {estimated_instructions:,} instructions but only "
+                f"{remaining:,} of {self.budget_instructions:,} remain in this "
+                f"{self.window_seconds:.0f}s window; {hint}"
+            ),
+        )
+
+    def charge(self, client: str, instructions: int) -> None:
+        """Record an accepted grid's cost against ``client``'s window."""
+        if instructions <= 0:
+            return
+        self._grants.setdefault(client, []).append((self.clock(), instructions))
+
+    def usage(self) -> Dict[str, int]:
+        """Live per-client usage snapshot (for the ``stats`` op)."""
+        now = self.clock()
+        return {client: self._used(client, now) for client in list(self._grants)}

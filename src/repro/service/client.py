@@ -1,0 +1,159 @@
+"""Blocking client for the sweep service.
+
+:class:`ServiceClient` speaks the NDJSON protocol over a unix socket or TCP
+on a single persistent connection; every method is one request/one reply.
+Thread-safe per *instance* is explicitly not a goal — the loadtest gives
+each thread its own client, which is also the pattern real callers want
+(connections are cheap, the service multiplexes them).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.engine import EngineJob
+from repro.service import protocol
+
+Address = Union[str, Tuple[str, int], Sequence[object]]
+
+#: Socket-level timeout (seconds) used when a call does not pass its own.
+DEFAULT_TIMEOUT = 600.0
+
+
+class ServiceError(RuntimeError):
+    """A reply with ``ok: false`` (or a broken connection).
+
+    Carries the whole reply dict so callers can inspect the error code and —
+    for ``over_budget`` rejections — the budget decision and its suggestion.
+    """
+
+    def __init__(self, reply: Dict[str, object]):
+        super().__init__(str(reply.get("message") or reply.get("error") or reply))
+        self.reply = reply
+
+    @property
+    def code(self) -> Optional[str]:
+        return self.reply.get("error")
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.SweepService`.
+
+    ``address`` is a unix-socket path (str) or a ``(host, port)`` pair.
+    Usable as a context manager; ``client`` names this caller for budget
+    accounting (defaults to a pid-derived name on connect).
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        client: Optional[str] = None,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        self.address = address
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        if client is None:
+            import os
+
+            client = f"pid{os.getpid()}"
+        self.client = client
+
+    # -- connection plumbing -------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is not None:
+            return self
+        if isinstance(self.address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.address)
+        else:
+            host, port = self.address
+            sock = socket.create_connection((host, int(port)), timeout=self.timeout)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            finally:
+                self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+    def _call(self, request: Dict[str, object], timeout: Optional[float] = None) -> Dict[str, object]:
+        self.connect()
+        request.setdefault("v", protocol.PROTOCOL_VERSION)
+        request.setdefault("client", self.client)
+        self._sock.settimeout(timeout if timeout is not None else self.timeout)
+        self._sock.sendall(protocol.encode(request))
+        line = self._file.readline()
+        if not line:
+            self.close()
+            raise ServiceError({"error": "disconnected",
+                                "message": "service closed the connection"})
+        reply = protocol.decode(line)
+        if not reply.get("ok"):
+            raise ServiceError(reply)
+        return reply
+
+    # -- operations ----------------------------------------------------------
+
+    def ping(self) -> Dict[str, object]:
+        return self._call({"op": "ping"})
+
+    def submit(self, jobs: Sequence[EngineJob]) -> Dict[str, object]:
+        """Submit a grid of engine jobs; returns the submit reply.
+
+        Raises :class:`ServiceError` with ``code == "over_budget"`` (and the
+        budget decision in ``.reply["budget"]``) when admission rejects it.
+        """
+        wire = [protocol.job_to_wire(job) for job in jobs]
+        return self._call({"op": "submit", "jobs": wire})
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._call({"op": "status", "job_id": job_id})
+
+    def result(self, job_id: str, timeout: float = DEFAULT_TIMEOUT) -> Dict[str, object]:
+        """Block until ``job_id`` finishes and return its payload dict."""
+        reply = self._call(
+            {"op": "result", "job_id": job_id, "timeout": timeout},
+            # The socket must outlive the server-side wait.
+            timeout=timeout + 30.0,
+        )
+        return reply["payload"]
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._call({"op": "cancel", "job_id": job_id})
+
+    def stats(self) -> Dict[str, object]:
+        return self._call({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, object]:
+        return self._call({"op": "shutdown"})
+
+    # -- conveniences --------------------------------------------------------
+
+    def run_jobs(self, jobs: Sequence[EngineJob]) -> List[Dict[str, object]]:
+        """Submit ``jobs`` and wait for every payload, in submission order.
+
+        The service-side analogue of ``ExperimentEngine.run_jobs`` returning
+        raw payload dicts (callers rehydrate with the engine's helpers).
+        """
+        reply = self.submit(jobs)
+        return [self.result(descr["job_id"]) for descr in reply["jobs"]]

@@ -1,0 +1,283 @@
+"""Load-test harness: N clients x M overlapping sweeps, exactly once.
+
+The proof the sweep service exists to give: many clients concurrently
+submitting heavily-overlapping grids cause each *distinct* cell to be
+simulated exactly once, every client still gets byte-identical payloads, and
+an over-budget grid is rejected up front with a usable suggestion.
+
+:func:`run_load_test` drives a running service (any address) and returns a
+report dict; it raises :class:`LoadTestFailure` when an invariant breaks, so
+both CI and the tests can treat a zero exit / clean return as the proof.
+Run standalone with ``python -m repro.service.loadtest`` (spawns an
+in-process service when no address is given).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from typing import Dict, List, Optional
+
+from repro.common.config import ASIDMode, BTBStyle
+from repro.experiments.engine import EngineJob, ScenarioJob
+from repro.scenarios.presets import PRESET_NAMES
+from repro.service.client import Address, ServiceClient, ServiceError
+
+#: Smoke-sized cells keep the whole load test in seconds.
+LOADTEST_INSTRUCTIONS = 4_000
+LOADTEST_WARMUP = 1_000
+
+#: Budgets that distinguish the per-sweep extra cells (Table III points).
+_EXTRA_BUDGETS_KIB = (29.0, 7.25, 3.625, 58.0)
+
+
+class LoadTestFailure(AssertionError):
+    """An exactly-once / byte-identity / admission invariant was violated."""
+
+
+def build_sweep(
+    sweep: int,
+    instructions: int = LOADTEST_INSTRUCTIONS,
+    warmup: int = LOADTEST_WARMUP,
+) -> List[EngineJob]:
+    """One sweep grid; all sweeps share a common core so they overlap.
+
+    The core (every preset x {Conv-BTB, BTB-X} x {flush, tagged} at the
+    headline budget) is identical across sweeps — that is the overlap the
+    dedup must absorb.  Each sweep adds one sweep-specific budget cell so the
+    grids are overlapping but not identical.
+    """
+    core: List[EngineJob] = [
+        ScenarioJob(
+            scenario=preset,
+            instructions=instructions,
+            warmup_instructions=warmup,
+            style=style,
+            asid_mode=mode,
+        )
+        for preset in PRESET_NAMES
+        for style in (BTBStyle.CONVENTIONAL, BTBStyle.BTBX)
+        for mode in (ASIDMode.FLUSH, ASIDMode.TAGGED)
+    ]
+    extra_budget = _EXTRA_BUDGETS_KIB[sweep % len(_EXTRA_BUDGETS_KIB)]
+    core.append(
+        ScenarioJob(
+            scenario=PRESET_NAMES[0],
+            instructions=instructions,
+            warmup_instructions=warmup,
+            style=BTBStyle.BTBX,
+            asid_mode=ASIDMode.TAGGED,
+            budget_kib=extra_budget,
+        )
+    )
+    return core
+
+
+def _client_worker(
+    address: Address,
+    name: str,
+    sweeps: int,
+    instructions: int,
+    warmup: int,
+    timeout: float,
+    out: Dict[str, object],
+) -> None:
+    """One client thread: submit every sweep, then collect every payload."""
+    payloads: Dict[str, str] = {}
+    sources: List[Dict[str, object]] = []
+    try:
+        with ServiceClient(address, client=name) as client:
+            descriptors = []
+            for sweep in range(sweeps):
+                reply = client.submit(build_sweep(sweep, instructions, warmup))
+                descriptors.extend(reply["jobs"])
+            for descr in descriptors:
+                payload = client.result(descr["job_id"], timeout=timeout)
+                status = client.status(descr["job_id"])
+                sources.append(status)
+                payloads[descr["config_hash"]] = json.dumps(payload, sort_keys=True)
+    except Exception as exc:  # surfaced by the coordinator
+        out["error"] = f"{type(exc).__name__}: {exc}"
+        return
+    out["payloads"] = payloads
+    out["sources"] = sources
+
+
+def _probe_over_budget(address: Address, budget_instructions: int) -> Dict[str, object]:
+    """Submit a grid that cannot fit the window; it must bounce, with advice."""
+    monster = ScenarioJob(
+        scenario=PRESET_NAMES[0],
+        instructions=budget_instructions + 1,
+        warmup_instructions=0,
+        style=BTBStyle.BTBX,
+        asid_mode=ASIDMode.FLUSH,
+    )
+    with ServiceClient(address, client="loadtest-greedy") as client:
+        try:
+            client.submit([monster])
+        except ServiceError as exc:
+            if exc.code != "over_budget":
+                raise LoadTestFailure(
+                    f"over-budget probe bounced with {exc.code!r}, not 'over_budget'"
+                )
+            budget = exc.reply.get("budget") or {}
+            if not budget.get("suggestion"):
+                raise LoadTestFailure(
+                    "over-budget rejection carried no scale suggestion"
+                )
+            return budget
+    raise LoadTestFailure(
+        "over-budget probe was admitted; admission control is not working"
+    )
+
+
+def run_load_test(
+    address: Address,
+    clients: int = 2,
+    sweeps: int = 2,
+    instructions: int = LOADTEST_INSTRUCTIONS,
+    warmup: int = LOADTEST_WARMUP,
+    timeout: float = 600.0,
+) -> Dict[str, object]:
+    """Drive the service at ``address`` and verify its core invariants.
+
+    Returns a report dict on success; raises :class:`LoadTestFailure` when
+    any invariant breaks (duplicate execution, payload divergence, admission
+    failure) and :class:`ServiceError` when the service itself misbehaves.
+    """
+    if clients < 2 or sweeps < 2:
+        raise ValueError("the proof needs at least 2 clients and 2 sweeps")
+    with ServiceClient(address, client="loadtest-coordinator") as coordinator:
+        before = coordinator.stats()
+
+        results: List[Dict[str, object]] = [{} for _ in range(clients)]
+        threads = [
+            threading.Thread(
+                target=_client_worker,
+                args=(address, f"loadtest-{i}", sweeps, instructions, warmup,
+                      timeout, results[i]),
+                daemon=True,
+            )
+            for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout)
+        errors = [out["error"] for out in results if "error" in out]
+        if errors:
+            raise LoadTestFailure(f"client thread(s) failed: {errors}")
+        if any("payloads" not in out for out in results):
+            raise LoadTestFailure("client thread(s) timed out")
+
+        # Invariant 1: byte-identical payloads across clients, per cell.
+        merged: Dict[str, str] = {}
+        mismatches = []
+        for out in results:
+            for config_hash, blob in out["payloads"].items():
+                if merged.setdefault(config_hash, blob) != blob:
+                    mismatches.append(config_hash)
+        if mismatches:
+            raise LoadTestFailure(
+                f"payloads diverged across clients for cells {sorted(set(mismatches))}"
+            )
+
+        # Invariant 2: each distinct cell executed exactly once.  Every job
+        # record reports its source; a cell may appear as 'executed' at most
+        # once across all clients and sweeps, and the engine's executed
+        # counter must have advanced by exactly the number of such cells.
+        executed_per_cell: Dict[str, int] = {}
+        for out in results:
+            for status in out["sources"]:
+                if status.get("source") == "executed":
+                    h = status["config_hash"]
+                    executed_per_cell[h] = executed_per_cell.get(h, 0) + 1
+        duplicated = sorted(h for h, n in executed_per_cell.items() if n > 1)
+        if duplicated:
+            raise LoadTestFailure(f"cells executed more than once: {duplicated}")
+        after = coordinator.stats()
+        executed_delta = after["engine"]["executed"] - before["engine"]["executed"]
+        if executed_delta != len(executed_per_cell):
+            raise LoadTestFailure(
+                f"engine executed {executed_delta} cells but clients saw "
+                f"{len(executed_per_cell)} distinct executions"
+            )
+        unique_cells = len(merged)
+        if executed_delta > unique_cells:
+            raise LoadTestFailure(
+                f"executed {executed_delta} cells for only {unique_cells} distinct submissions"
+            )
+
+        # Invariant 3: an over-budget grid bounces with a usable suggestion.
+        rejection = _probe_over_budget(
+            address, after["budget"]["budget_instructions"]
+        )
+        after = coordinator.stats()
+
+    return {
+        "clients": clients,
+        "sweeps": sweeps,
+        "unique_cells": unique_cells,
+        "executed": executed_delta,
+        "dedup_hits": after["service"]["dedup_hits"],
+        "rejected": after["service"]["rejected"],
+        "duplicates": 0,
+        "payload_mismatches": 0,
+        "over_budget_probe": rejection,
+        "engine": after["engine"],
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Prove the sweep service's exactly-once and admission invariants."
+    )
+    parser.add_argument("--socket", help="unix socket path of a running service")
+    parser.add_argument("--host", help="TCP host of a running service")
+    parser.add_argument("--port", type=int, help="TCP port of a running service")
+    parser.add_argument("--clients", type=int, default=2)
+    parser.add_argument("--sweeps", type=int, default=2)
+    parser.add_argument("--instructions", type=int, default=LOADTEST_INSTRUCTIONS)
+    parser.add_argument("--warmup", type=int, default=LOADTEST_WARMUP)
+    parser.add_argument("--timeout", type=float, default=600.0)
+    args = parser.parse_args(argv)
+
+    spawned = None
+    if args.socket:
+        address: Address = args.socket
+    elif args.host or args.port:
+        address = (args.host or "127.0.0.1", args.port or 0)
+    else:
+        # No address: spawn a throwaway in-process service to test against.
+        import tempfile
+
+        from repro.service.server import ServiceConfig, ServiceThread
+
+        tmp = tempfile.mkdtemp(prefix="btbx-loadtest-")
+        spawned = ServiceThread(ServiceConfig(
+            socket_path=f"{tmp}/service.sock", cache_dir=f"{tmp}/cache"
+        ))
+        address = spawned.start()
+    try:
+        report = run_load_test(
+            address,
+            clients=args.clients,
+            sweeps=args.sweeps,
+            instructions=args.instructions,
+            warmup=args.warmup,
+            timeout=args.timeout,
+        )
+    except (LoadTestFailure, ServiceError) as exc:
+        print(f"LOADTEST FAILED: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if spawned is not None:
+            spawned.stop()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

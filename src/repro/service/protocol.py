@@ -1,0 +1,167 @@
+"""Wire format of the sweep service: newline-delimited JSON messages.
+
+Every request and reply is one JSON object on one line (UTF-8, ``\\n``
+terminated), so the protocol is trivially inspectable with ``nc``/``socat``
+and needs no framing beyond ``readline``.  Requests carry an ``op`` field;
+replies always carry ``ok`` (bool) and echo the ``op``.
+
+Jobs travel as plain dicts produced by :func:`job_to_wire` and rebuilt by
+:func:`job_from_wire`.  Scenario jobs embed the *resolved*
+:class:`~repro.scenarios.spec.ScenarioSpec` (its canonical ``config_dict``
+form), not just a preset name, so sweep variants that exist only in the
+client process (quantum/tenant-count rewrites) survive the trip and hash to
+exactly the same cache key on the server.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping
+
+from repro.common.config import ASIDMode, BTBStyle
+from repro.common.errors import ConfigurationError
+from repro.experiments.engine import EngineJob, ScenarioJob, SimJob
+from repro.scenarios.spec import ScenarioSpec, TenantSpec
+
+#: Protocol revision; servers reject requests from a different major version.
+PROTOCOL_VERSION = 1
+
+#: Operations a server understands.
+OPS = ("ping", "submit", "status", "result", "cancel", "stats", "shutdown")
+
+#: Hard cap on one request line; a longer line is a protocol error, not an
+#: out-of-memory event (a full-scale sweep grid serializes well under this).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed message, unknown op, or unbuildable wire job."""
+
+
+def encode(message: Mapping[str, object]) -> bytes:
+    """Serialize one message as a single NDJSON line."""
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode(line: bytes | str) -> Dict[str, object]:
+    """Parse one NDJSON line into a message dict."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"not valid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(f"expected a JSON object, got {type(message).__name__}")
+    return message
+
+
+def error_reply(op: str, code: str, message: str, **extra: object) -> Dict[str, object]:
+    """Build the standard failure reply shape."""
+    reply: Dict[str, object] = {"ok": False, "op": op, "error": code, "message": message}
+    reply.update(extra)
+    return reply
+
+
+# -- job codec ----------------------------------------------------------------
+
+
+def job_to_wire(job: EngineJob) -> Dict[str, object]:
+    """Serialize an engine job for transport (JSON-able, version-free)."""
+    if isinstance(job, ScenarioJob):
+        return {
+            "kind": "scenario",
+            "scenario": job.scenario,
+            "instructions": job.instructions,
+            "warmup_instructions": job.warmup_instructions,
+            "style": job.style.value,
+            "asid_mode": job.asid_mode.value,
+            "fdip_enabled": job.fdip_enabled,
+            "budget_kib": job.budget_kib,
+            "cache_asid_mode": (
+                None if job.cache_asid_mode is None else job.cache_asid_mode.value
+            ),
+            "spec": job.spec.config_dict(),
+        }
+    return {
+        "kind": "sim",
+        "workload": job.workload,
+        "instructions": job.instructions,
+        "warmup_instructions": job.warmup_instructions,
+        "style": job.style.value,
+        "fdip_enabled": job.fdip_enabled,
+        "budget_kib": job.budget_kib,
+        "btbx_entries": job.btbx_entries,
+        "way_offset_bits": (
+            None if job.way_offset_bits is None else list(job.way_offset_bits)
+        ),
+        "companion_divisor": job.companion_divisor,
+    }
+
+
+def spec_from_wire(payload: Mapping[str, object]) -> ScenarioSpec:
+    """Rebuild a :class:`ScenarioSpec` from its canonical ``config_dict`` form."""
+    try:
+        tenants = tuple(
+            TenantSpec(
+                name=tenant["name"],
+                workload=tenant["workload"],
+                weight=int(tenant.get("weight", 1)),
+            )
+            for tenant in payload["tenants"]
+        )
+        return ScenarioSpec(
+            name=payload["name"],
+            tenants=tenants,
+            quantum_instructions=int(payload["quantum_instructions"]),
+            policy=payload.get("policy", "round_robin"),
+            switch_semantics=payload.get("switch_semantics", "warm"),
+            shared_fraction=float(payload.get("shared_fraction", 0.0)),
+        )
+    except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
+        raise ProtocolError(f"bad scenario spec: {exc}") from None
+
+
+def job_from_wire(payload: Mapping[str, object]) -> EngineJob:
+    """Rebuild an engine job from its wire form (:func:`job_to_wire`)."""
+    kind = payload.get("kind")
+    try:
+        if kind == "scenario":
+            spec = spec_from_wire(payload["spec"])
+            cache_mode = payload.get("cache_asid_mode")
+            return ScenarioJob(
+                scenario=payload.get("scenario", spec.name),
+                instructions=int(payload["instructions"]),
+                warmup_instructions=int(payload["warmup_instructions"]),
+                style=BTBStyle(payload["style"]),
+                asid_mode=ASIDMode(payload["asid_mode"]),
+                fdip_enabled=bool(payload.get("fdip_enabled", True)),
+                budget_kib=float(payload.get("budget_kib", 14.5)),
+                cache_asid_mode=None if cache_mode is None else ASIDMode(cache_mode),
+                spec=spec,
+            )
+        if kind == "sim":
+            way_bits = payload.get("way_offset_bits")
+            return SimJob(
+                workload=payload["workload"],
+                instructions=int(payload["instructions"]),
+                warmup_instructions=int(payload["warmup_instructions"]),
+                style=BTBStyle(payload["style"]),
+                fdip_enabled=bool(payload["fdip_enabled"]),
+                budget_kib=payload.get("budget_kib"),
+                btbx_entries=payload.get("btbx_entries"),
+                way_offset_bits=None if way_bits is None else tuple(way_bits),
+                companion_divisor=int(payload.get("companion_divisor", 64)),
+            )
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
+        raise ProtocolError(f"bad {kind!r} job: {exc}") from None
+    raise ProtocolError(f"unknown job kind {kind!r} (expected 'sim' or 'scenario')")
+
+
+def jobs_from_wire(payloads: object) -> List[EngineJob]:
+    """Rebuild a submitted grid; the request's ``jobs`` must be a list."""
+    if not isinstance(payloads, list) or not payloads:
+        raise ProtocolError("submit needs a non-empty 'jobs' list")
+    return [job_from_wire(payload) for payload in payloads]

@@ -1,0 +1,66 @@
+"""Unit tests for the perf-trajectory benchmark harness.
+
+The timing legs themselves are exercised end-to-end by CI's bench-compare
+job; these tests pin the *record construction* logic around them — most
+importantly the regression guards: a leg that executed zero cells must not
+crash the speedup computation, and legs that executed different grids must
+fail loudly instead of producing a meaningless ratio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import bench
+
+
+def _leg(cells: int, wall_s: float) -> dict:
+    instructions = cells * 20_000
+    return {
+        "cells": cells,
+        "instructions": instructions,
+        "wall_s": wall_s,
+        "ips": instructions / wall_s if wall_s > 0 else 0.0,
+        "phases": {"decode_s": 0.0, "compose_s": 0.0, "simulate_s": 0.0},
+    }
+
+
+@pytest.fixture(autouse=True)
+def _no_real_work(monkeypatch):
+    """Keep run_smoke from generating traces or timing real sweeps."""
+    monkeypatch.setattr(bench, "warm_traces", lambda scale, store=None: 0)
+    monkeypatch.setattr(bench, "resolve_backend", lambda backend: backend)
+
+
+def test_record_carries_per_leg_cells(monkeypatch):
+    legs = {"python": _leg(6, 3.0), "numpy": _leg(6, 1.0)}
+    monkeypatch.setattr(bench, "_time_sweep_leg", lambda backend, scale: legs[backend])
+    record = bench.run_smoke(backends=["python", "numpy"], repeats=1)
+    assert record["cells"] == 6
+    for backend in ("python", "numpy"):
+        assert record["backends"][backend]["cells"] == 6
+        assert record["backends"][backend]["instructions"] == 6 * 20_000
+    assert record["speedup_numpy_over_python"] == pytest.approx(3.0)
+
+
+def test_zero_cell_leg_does_not_divide_by_zero(monkeypatch):
+    """Regression: ips is 0.0 (not wall_s) when a leg executed nothing."""
+    legs = {"python": _leg(0, 2.0), "numpy": _leg(0, 1.0)}
+    monkeypatch.setattr(bench, "_time_sweep_leg", lambda backend, scale: legs[backend])
+    record = bench.run_smoke(backends=["python", "numpy"], repeats=1)
+    assert "speedup_numpy_over_python" not in record
+    assert record["backends"]["python"]["ips"] == 0.0
+
+
+def test_mismatched_leg_cell_counts_fail_loudly(monkeypatch):
+    legs = {"python": _leg(6, 3.0), "numpy": _leg(4, 1.0)}
+    monkeypatch.setattr(bench, "_time_sweep_leg", lambda backend, scale: legs[backend])
+    with pytest.raises(RuntimeError, match="different cell counts"):
+        bench.run_smoke(backends=["python", "numpy"], repeats=1)
+
+
+def test_best_of_n_keeps_the_fastest_wall_time(monkeypatch):
+    runs = iter([_leg(6, 5.0), _leg(6, 2.0), _leg(6, 4.0)])
+    monkeypatch.setattr(bench, "_time_sweep_leg", lambda backend, scale: next(runs))
+    record = bench.run_smoke(backends=["python"], repeats=3)
+    assert record["backends"]["python"]["wall_s"] == 2.0

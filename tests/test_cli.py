@@ -393,8 +393,10 @@ class TestCacheCommands:
 
         expected = _seed_cache(tmp_path)
         old = time.time() - 10 * 86400.0
-        for name in os.listdir(tmp_path):
-            os.utime(tmp_path / name, (old, old))
+        # Entries live in hash-prefix shard subdirectories; age the files.
+        for root, _dirs, files in os.walk(tmp_path):
+            for name in files:
+                os.utime(os.path.join(root, name), (old, old))
         cache = ResultCache(tmp_path)
         assert cache.prune(max_age_seconds=86400.0) == expected
         assert len(cache) == 0
@@ -412,9 +414,16 @@ class TestCacheCommands:
     def _forge_newer_entry(tmp_path) -> None:
         import os
 
-        entry_name = next(n for n in os.listdir(tmp_path) if n.endswith(".json"))
-        entry = json.loads((tmp_path / entry_name).read_text())
+        entry_path = next(
+            os.path.join(root, name)
+            for root, _dirs, files in os.walk(tmp_path)
+            for name in files
+            if name.endswith(".json")
+        )
+        with open(entry_path, encoding="utf-8") as handle:
+            entry = json.load(handle)
         entry["job"]["cache_format"] = 999
+        # Forge at the legacy flat path: stats/prune must scan both layouts.
         (tmp_path / "forged_newer.json").write_text(json.dumps(entry))
 
     def test_prune_refuses_newer_format_caches_with_friendly_exit_0(
@@ -547,15 +556,38 @@ class TestBackendFlag:
     def test_backend_flag_routes_through_environment(self, monkeypatch, capsys):
         import os
 
+        import repro.cli as cli_module
         from repro.common.config import BACKEND_ENV_VAR
 
         monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        seen = {}
+        real_dispatch = cli_module._dispatch
+
+        def spy(args, parser):
+            seen["backend"] = os.environ.get(BACKEND_ENV_VAR)
+            return real_dispatch(args, parser)
+
+        monkeypatch.setattr(cli_module, "_dispatch", spy)
         assert main(
             ["run", "table4_capacity", "--scale", "smoke", "--backend", "python"]
         ) == 0
-        # main() exports the knob so simulation code (and forked pool workers)
-        # resolve it; monkeypatch restores the pre-test environment.
-        assert os.environ[BACKEND_ENV_VAR] == "python"
+        # main() exports the knob *for the duration of the command* so
+        # simulation code (and forked pool workers) resolve it ...
+        assert seen["backend"] == "python"
+        # ... and restores the environment afterwards: invoking the CLI must
+        # not leak the previous run's backend into the caller's process.
+        assert BACKEND_ENV_VAR not in os.environ
+
+    def test_backend_env_restored_to_prior_value(self, monkeypatch, capsys):
+        import os
+
+        from repro.common.config import BACKEND_ENV_VAR
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert main(
+            ["run", "table4_capacity", "--scale", "smoke", "--backend", "python"]
+        ) == 0
+        assert os.environ[BACKEND_ENV_VAR] == "numpy"
 
     def test_unavailable_backend_fails_fast(self, monkeypatch, capsys):
         import repro.common.config as config

@@ -6,6 +6,7 @@ import pytest
 
 from repro.common.config import (
     ASIDMode,
+    BACKEND_ENV_VAR,
     BTBConfig,
     BTBStyle,
     BranchPredictorConfig,
@@ -17,6 +18,7 @@ from repro.common.config import (
     SimulationConfig,
     default_machine_config,
     partition_set_counts,
+    resolve_backend,
     summarize_machine,
     validate_partition_weights,
 )
@@ -95,6 +97,33 @@ class TestMachineConfig:
         assert "6-wide" in summary["fetch"]
         assert "hashed_perceptron" in summary["branch_predictor"]
         assert "32KB" in summary["l1i"]
+
+
+class TestResolveBackend:
+    def test_none_falls_back_to_python(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None) == "python"
+
+    def test_env_var_is_normalized(self, monkeypatch):
+        """Regression: 'numpy ' or 'NUMPY' from CI YAML must not die as unknown."""
+        for raw in ("python ", " PYTHON", "Python\n", "python"):
+            monkeypatch.setenv(BACKEND_ENV_VAR, raw)
+            assert resolve_backend(None) == "python"
+
+    def test_explicit_argument_is_normalized(self):
+        assert resolve_backend(" PYTHON ") == "python"
+
+    def test_whitespace_only_env_falls_back_to_python(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "   ")
+        assert resolve_backend(None) == "python"
+
+    def test_unknown_backend_still_rejected(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        with pytest.raises(ConfigurationError):
+            resolve_backend("fortran")
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fortran ")
+        with pytest.raises(ConfigurationError):
+            resolve_backend(None)
 
 
 class TestPartitionMaps:

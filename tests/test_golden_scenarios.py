@@ -140,6 +140,16 @@ def compute_cell(
         warmup_instructions=GOLDEN_WARMUP,
         backend=backend,
     )
+    return distill_cell(result, style)
+
+
+def distill_cell(result, style: BTBStyle) -> dict:
+    """Distill a ScenarioResult to the pinned counters of a main-grid cell.
+
+    Shared by the direct path above and the service-path replay
+    (tests/test_service_golden.py), so both compare against the fixture
+    through exactly the same projection.
+    """
     cell = {
         "context_switches": result.context_switches,
         "partition_sets": result.partition_sets,
@@ -175,6 +185,11 @@ def compute_cache_cell(
         cache_mode=cache_mode,
         backend=backend,
     )
+    return distill_cache_cell(result)
+
+
+def distill_cache_cell(result) -> dict:
+    """Distill a ScenarioResult to the pinned counters of a hierarchy cell."""
     return {
         "cache_mode": result.cache_mode,
         "context_switches": result.context_switches,

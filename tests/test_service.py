@@ -1,0 +1,257 @@
+"""Unit and integration tests for the sweep service.
+
+Covers the three layers separately — wire protocol codec, budget admission
+arithmetic, and the live service (via :class:`ServiceThread` on a unix
+socket) — at smoke-sized cell costs so the whole module stays in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.config import ASIDMode, BTBStyle
+from repro.experiments.config import FULL_SCALE, SMOKE_SCALE
+from repro.experiments.engine import ScenarioJob, SimJob
+from repro.service import protocol
+from repro.service.budget import BudgetDecision, InstructionBudget, suggest_scale
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import ServiceConfig, ServiceThread
+
+INSTRUCTIONS = 2_000
+WARMUP = 500
+
+
+def scenario_job(preset: str = "consolidated_server", **overrides) -> ScenarioJob:
+    config = dict(
+        scenario=preset,
+        instructions=INSTRUCTIONS,
+        warmup_instructions=WARMUP,
+        style=BTBStyle.BTBX,
+        asid_mode=ASIDMode.FLUSH,
+    )
+    config.update(overrides)
+    return ScenarioJob(**config)
+
+
+# -- protocol codec -----------------------------------------------------------
+
+
+class TestProtocol:
+    def test_encode_decode_roundtrip(self):
+        message = {"op": "ping", "v": 1, "nested": {"a": [1, 2]}}
+        assert protocol.decode(protocol.encode(message)) == message
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"[1, 2, 3]\n")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"not json at all\n")
+
+    def test_scenario_job_roundtrip_preserves_cache_identity(self):
+        job = scenario_job(asid_mode=ASIDMode.PARTITIONED, budget_kib=29.0,
+                           cache_asid_mode=ASIDMode.TAGGED)
+        rebuilt = protocol.job_from_wire(json.loads(protocol.encode(
+            protocol.job_to_wire(job)).decode()))
+        assert isinstance(rebuilt, ScenarioJob)
+        assert rebuilt.config_hash() == job.config_hash()
+
+    def test_sim_job_roundtrip_preserves_cache_identity(self):
+        job = SimJob(
+            workload="nginx",
+            instructions=INSTRUCTIONS,
+            warmup_instructions=WARMUP,
+            style=BTBStyle.BTBX,
+            fdip_enabled=True,
+            btbx_entries=2048,
+            way_offset_bits=(0, 4, 8, 12),
+        )
+        rebuilt = protocol.job_from_wire(json.loads(protocol.encode(
+            protocol.job_to_wire(job)).decode()))
+        assert isinstance(rebuilt, SimJob)
+        assert rebuilt.config_hash() == job.config_hash()
+
+    def test_unknown_kind_is_a_protocol_error(self):
+        with pytest.raises(protocol.ProtocolError, match="unknown job kind"):
+            protocol.job_from_wire({"kind": "mystery"})
+
+    def test_submit_needs_a_nonempty_job_list(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.jobs_from_wire([])
+        with pytest.raises(protocol.ProtocolError):
+            protocol.jobs_from_wire("not a list")
+
+
+# -- budget arithmetic --------------------------------------------------------
+
+
+class TestInstructionBudget:
+    def test_within_budget_is_allowed_and_charged(self):
+        clock = [0.0]
+        budget = InstructionBudget(budget_instructions=1_000, window_seconds=60,
+                                   clock=lambda: clock[0])
+        decision = budget.check("alice", 600)
+        assert decision.allowed and decision.remaining_instructions == 400
+        budget.charge("alice", 600)
+        assert not budget.check("alice", 600).allowed
+        assert budget.check("bob", 600).allowed  # budgets are per client
+
+    def test_window_slide_recovers_budget(self):
+        clock = [0.0]
+        budget = InstructionBudget(budget_instructions=1_000, window_seconds=60,
+                                   clock=lambda: clock[0])
+        budget.charge("alice", 1_000)
+        assert not budget.check("alice", 1).allowed
+        clock[0] = 61.0
+        assert budget.check("alice", 1_000).allowed
+
+    def test_rejection_suggests_largest_fitting_scale(self):
+        budget = InstructionBudget(budget_instructions=10 * SMOKE_SCALE.instructions,
+                                   window_seconds=60)
+        decision = budget.check("alice", 10 * FULL_SCALE.instructions, cells=10)
+        assert not decision.allowed
+        assert decision.suggestion["scale"] == "smoke"
+        assert decision.suggestion["estimated_instructions"] <= budget.budget_instructions
+        assert "smoke" in decision.message
+
+    def test_suggestion_degrades_to_cell_count(self):
+        # Not even smoke scale fits the whole grid: suggest how many cells do.
+        suggestion = suggest_scale(cells=10, remaining=3 * SMOKE_SCALE.instructions)
+        assert suggestion["scale"] is None
+        assert suggestion["max_cells"] == 3
+
+    def test_decision_serializes(self):
+        decision = InstructionBudget().check("alice", 1)
+        assert isinstance(decision, BudgetDecision)
+        assert json.dumps(decision.as_dict())
+
+
+# -- the live service ---------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("service")
+    thread = ServiceThread(ServiceConfig(
+        socket_path=str(tmp / "svc.sock"),
+        workers=2,
+        cache_dir=str(tmp / "cache"),
+    ))
+    address = thread.start()
+    try:
+        yield address
+    finally:
+        thread.stop()
+
+
+class TestSweepService:
+    def test_ping(self, service):
+        with ServiceClient(service) as client:
+            reply = client.ping()
+        assert reply["version"] == protocol.PROTOCOL_VERSION
+
+    def test_submit_result_and_cache_hit(self, service):
+        job = scenario_job()
+        with ServiceClient(service, client="t-basic") as client:
+            reply = client.submit([job])
+            (descr,) = reply["jobs"]
+            payload = client.result(descr["job_id"])
+            assert payload["result"]["instructions"] == INSTRUCTIONS - WARMUP
+            assert "scenario" in payload
+            # Resubmitting the identical cell resolves from the warm cache.
+            again = client.submit([job])
+            (descr2,) = again["jobs"]
+            assert descr2["state"] == "done"
+            assert descr2["source"] == "cached"
+            assert client.result(descr2["job_id"]) == payload
+            assert descr2["config_hash"] == descr["config_hash"]
+
+    def test_duplicate_cells_in_one_grid_share_one_execution(self, service):
+        job = scenario_job(asid_mode=ASIDMode.TAGGED)
+        with ServiceClient(service, client="t-dup") as client:
+            before = client.stats()["engine"]["executed"]
+            reply = client.submit([job, job, job])
+            payloads = [client.result(d["job_id"]) for d in reply["jobs"]]
+            after = client.stats()["engine"]["executed"]
+        assert payloads[0] == payloads[1] == payloads[2]
+        sources = [d["source"] for d in reply["jobs"]]
+        assert sources.count("executed") <= 1
+        assert after - before <= 1
+
+    def test_status_and_unknown_job(self, service):
+        with ServiceClient(service, client="t-status") as client:
+            reply = client.submit([scenario_job(style=BTBStyle.CONVENTIONAL)])
+            (descr,) = reply["jobs"]
+            client.result(descr["job_id"])
+            status = client.status(descr["job_id"])
+            assert status["state"] == "done"
+            with pytest.raises(ServiceError) as err:
+                client.status("j999999")
+            assert err.value.code == "unknown_job"
+
+    def test_over_budget_rejection_carries_suggestion(self, service):
+        monster = scenario_job(instructions=10**9, warmup_instructions=0)
+        with ServiceClient(service, client="t-greedy") as client:
+            with pytest.raises(ServiceError) as err:
+                client.submit([monster])
+        assert err.value.code == "over_budget"
+        budget = err.value.reply["budget"]
+        assert budget["allowed"] is False
+        assert budget["suggestion"] is not None
+
+    def test_cancel_before_result(self, service):
+        job = scenario_job("shared_services", asid_mode=ASIDMode.PARTITIONED)
+        with ServiceClient(service, client="t-cancel") as client:
+            reply = client.submit([job])
+            (descr,) = reply["jobs"]
+            cancelled = client.cancel(descr["job_id"])
+            assert cancelled["state"] == "cancelled"
+            with pytest.raises(ServiceError) as err:
+                client.result(descr["job_id"], timeout=30)
+            assert err.value.code == "cancelled"
+
+    def test_stats_shape(self, service):
+        with ServiceClient(service, client="t-stats") as client:
+            stats = client.stats()
+        assert {"engine", "cache", "jobs", "service", "budget"} <= set(stats)
+        assert stats["engine"]["executed"] >= 1
+        assert stats["cache"]["entries"] >= 1
+        assert isinstance(stats["budget"]["usage"], dict)
+
+    def test_malformed_line_is_an_error_not_a_disconnect(self, service):
+        import socket
+
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(10)
+            sock.connect(service)
+            sock.sendall(b"this is not json\n")
+            reader = sock.makefile("rb")
+            reply = json.loads(reader.readline())
+            assert reply["ok"] is False and reply["error"] == "protocol"
+            # The connection survives; a well-formed request still works.
+            sock.sendall(protocol.encode({"op": "ping"}))
+            assert json.loads(reader.readline())["ok"] is True
+
+    def test_version_mismatch_is_rejected(self, service):
+        with ServiceClient(service) as client:
+            with pytest.raises(ServiceError) as err:
+                client._call({"op": "ping", "v": 999})
+        assert err.value.code == "version"
+
+
+class TestServiceBackendScoping:
+    def test_worker_env_scoped(self):
+        """_service_worker restores REPRO_BACKEND even when the job fails."""
+        import os
+
+        from repro.common.config import BACKEND_ENV_VAR
+        from repro.service.server import _service_worker
+
+        bad = scenario_job("consolidated_server")
+        object.__setattr__(bad, "scenario", "nonexistent")
+        object.__setattr__(bad, "spec", None)
+        previous = os.environ.get(BACKEND_ENV_VAR)
+        with pytest.raises(Exception):
+            _service_worker(bad, "python", False)
+        assert os.environ.get(BACKEND_ENV_VAR) == previous

@@ -1,0 +1,121 @@
+"""Golden replay through the service path: wire round-trip must be invisible.
+
+Every golden cell can be expressed as a :class:`ScenarioJob`, shipped over
+the NDJSON protocol, executed on the service's pool and rehydrated from the
+returned payload — and the distilled counters must still be byte-identical
+to ``tests/golden/scenario_golden.json``.  Any divergence means the wire
+codec, the cache payload round-trip or the service execution path changed
+simulation semantics.
+
+Tier-1 runs a fixed subset so the suite stays fast; CI's service smoke job
+sets ``REPRO_SERVICE_GOLDEN_FULL=1`` to replay the complete 38+8 grid.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.common.config import ASIDMode
+from repro.experiments.engine import ScenarioJob, _payload_to_scenario
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceConfig, ServiceThread
+from test_golden_scenarios import (
+    GOLDEN_BUDGET_KIB,
+    GOLDEN_INSTRUCTIONS,
+    GOLDEN_WARMUP,
+    cache_cell_key,
+    cache_golden_cells,
+    cell_key,
+    distill_cache_cell,
+    distill_cell,
+    golden_cells,
+    load_fixture,
+)
+
+FULL_REPLAY = os.environ.get("REPRO_SERVICE_GOLDEN_FULL", "").strip() == "1"
+
+#: Tier-1 subset: first/last main cells, one secondary-structure cell, and
+#: two hierarchy cells — every distinct payload schema crosses the wire.
+SUBSET_MAIN = [0, 1, -1, -2]
+SUBSET_CACHE = [0, -1]
+
+
+def main_cell_job(preset: str, style, mode) -> ScenarioJob:
+    return ScenarioJob(
+        scenario=preset,
+        instructions=GOLDEN_INSTRUCTIONS,
+        warmup_instructions=GOLDEN_WARMUP,
+        style=style,
+        asid_mode=mode,
+        budget_kib=GOLDEN_BUDGET_KIB,
+    )
+
+
+def cache_cell_job(preset: str, style, cache_mode) -> ScenarioJob:
+    return ScenarioJob(
+        scenario=preset,
+        instructions=GOLDEN_INSTRUCTIONS,
+        warmup_instructions=GOLDEN_WARMUP,
+        style=style,
+        asid_mode=ASIDMode.TAGGED,
+        budget_kib=GOLDEN_BUDGET_KIB,
+        cache_asid_mode=cache_mode,
+    )
+
+
+def replay_cells():
+    """(key, job, distill) triples for the selected grid slice."""
+    main = golden_cells()
+    cache = cache_golden_cells()
+    if not FULL_REPLAY:
+        main = [main[i] for i in SUBSET_MAIN]
+        cache = [cache[i] for i in SUBSET_CACHE]
+    triples = [
+        (cell_key(*cell), main_cell_job(*cell),
+         lambda result, style=cell[1]: distill_cell(result, style))
+        for cell in main
+    ]
+    triples += [
+        (cache_cell_key(*cell), cache_cell_job(*cell),
+         lambda result: distill_cache_cell(result))
+        for cell in cache
+    ]
+    return triples
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("golden-service")
+    thread = ServiceThread(ServiceConfig(
+        socket_path=str(tmp / "svc.sock"),
+        workers=2,
+        cache_dir=str(tmp / "cache"),
+    ))
+    address = thread.start()
+    try:
+        yield address
+    finally:
+        thread.stop()
+
+
+@pytest.mark.golden
+def test_golden_cells_are_bit_exact_through_the_service(service):
+    fixture = load_fixture()
+    triples = replay_cells()
+    with ServiceClient(service, client="golden-replay") as client:
+        reply = client.submit([job for _, job, _ in triples])
+        drifted = []
+        for (key, _, distill), descr in zip(triples, reply["jobs"]):
+            payload = client.result(descr["job_id"], timeout=600)
+            actual = distill(_payload_to_scenario(payload))
+            if actual != fixture["cells"][key]:
+                drifted.append(key)
+        stats = client.stats()
+    assert not drifted, (
+        f"service-path results drifted from the golden fixture for {drifted}; "
+        "the wire codec or payload round-trip is not semantics-preserving"
+    )
+    # The replay really executed (or cache-resolved) every requested cell.
+    assert stats["engine"]["submitted"] >= len(triples)

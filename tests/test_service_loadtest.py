@@ -1,0 +1,82 @@
+"""The headline proof, as a tier-1 test: N clients x M overlapping sweeps.
+
+Drives :func:`repro.service.loadtest.run_load_test` against an in-process
+service, which asserts the three service invariants internally (each
+distinct cell simulated exactly once, byte-identical payloads across
+clients, over-budget grids rejected with a usable suggestion); the test then
+cross-checks the returned report.  Cell costs are tiny so the whole proof
+runs in seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.loadtest import LoadTestFailure, build_sweep, run_load_test
+from repro.service.server import ServiceConfig, ServiceThread
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("loadtest")
+    thread = ServiceThread(ServiceConfig(
+        socket_path=str(tmp / "svc.sock"),
+        workers=2,
+        cache_dir=str(tmp / "cache"),
+    ))
+    address = thread.start()
+    try:
+        yield address
+    finally:
+        thread.stop()
+
+
+def test_sweeps_overlap_by_construction():
+    first, second = build_sweep(0), build_sweep(1)
+    first_hashes = {job.config_hash() for job in first}
+    second_hashes = {job.config_hash() for job in second}
+    assert first_hashes & second_hashes, "sweeps must share a core grid"
+    assert first_hashes != second_hashes, "sweeps must not be identical"
+
+
+def test_two_clients_two_overlapping_sweeps_execute_each_cell_once(service):
+    report = run_load_test(
+        service, clients=2, sweeps=2, instructions=2_000, warmup=500, timeout=300
+    )
+    assert report["duplicates"] == 0
+    assert report["payload_mismatches"] == 0
+    # Exactly-once: the engine executed one simulation per distinct cell.
+    assert report["executed"] == report["unique_cells"]
+    # The overlap was real: 2 clients x 2 sweeps of a shared core means most
+    # submissions were deduplicated or cache-resolved, not re-run.
+    assert report["dedup_hits"] > 0
+    assert report["over_budget_probe"]["suggestion"] is not None
+
+
+def test_rerun_against_warm_cache_executes_nothing(service):
+    report = run_load_test(
+        service, clients=2, sweeps=2, instructions=2_000, warmup=500, timeout=300
+    )
+    # Same grids as the previous test, same service: every cell is warm.
+    assert report["executed"] == 0
+    assert report["duplicates"] == 0
+
+
+def test_loadtest_rejects_degenerate_parameters(service):
+    with pytest.raises(ValueError):
+        run_load_test(service, clients=1, sweeps=2)
+    with pytest.raises(ValueError):
+        run_load_test(service, clients=2, sweeps=1)
+
+
+def test_loadtest_failure_is_raised_not_swallowed(monkeypatch, service):
+    # Force the byte-identity check to trip by faking divergent payloads.
+    import repro.service.loadtest as lt
+
+    def fake_worker(address, name, sweeps, instructions, warmup, timeout, out):
+        out["payloads"] = {"cell": f"payload-from-{name}"}
+        out["sources"] = []
+
+    monkeypatch.setattr(lt, "_client_worker", fake_worker)
+    with pytest.raises(LoadTestFailure, match="diverged"):
+        lt.run_load_test(service, clients=2, sweeps=2)
