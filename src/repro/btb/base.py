@@ -26,6 +26,7 @@ from typing import Sequence
 
 from repro.common.asid import AddressSpacePolicy
 from repro.common.bitutils import fold_xor
+from repro.common.config import validate_partition_weights
 from repro.common.stats import StatGroup, Stats
 from repro.isa.branch import BranchType
 from repro.isa.instruction import Instruction
@@ -64,12 +65,6 @@ class BTBBase(abc.ABC):
 
     #: Policy domain of the organization's primary (main) array.
     _MAIN_DOMAIN = "main"
-
-    #: Whether :meth:`configure_partitions` falls back to (tagged) sharing
-    #: when the structure has fewer sets than tenants.  Primary arrays are
-    #: strict -- a too-small structure is a configuration error -- while tiny
-    #: companion structures (BTB-XC) share instead, like every secondary.
-    _PARTITION_FALLBACK = False
 
     def __init__(self, stats: Stats | None = None) -> None:
         self._stats_registry = stats if stats is not None else Stats()
@@ -145,14 +140,22 @@ class BTBBase(abc.ABC):
         tenant lands in the same slice (so dead incarnations pollute only
         their own tenant's capacity, never a neighbour's).
 
+        A structure with fewer sets than tenants cannot give everyone a
+        slice; it stays shared (still ASID-tagged) instead, exactly like the
+        small secondaries (BTB-XC, PDede's Region-BTB) always have.  That is
+        what lets partitioned-mode scenarios scale past a structure's set
+        count -- a 1024-tenant consolidation on a 512-set BTB degrades to
+        tagged sharing, reported as such (:meth:`partition_set_counts`
+        returns ``None``), rather than refusing to run.
+
         The structure is invalidated whenever the partition map changes
         (including back to shared): entries installed under a different map
         would be unreachable or, worse, reachable from the wrong slice.
         """
         self._update_hint = None
-        if weights is None or (
-            self._PARTITION_FALLBACK and self._partitionable_sets() < len(weights)
-        ):
+        if weights is not None:
+            validate_partition_weights(weights)
+        if weights is None or self._partitionable_sets() < len(weights):
             if self.asid_policy.clear(self._MAIN_DOMAIN):
                 self.invalidate_all()
             return

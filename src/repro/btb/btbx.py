@@ -82,10 +82,6 @@ class BTBXC(BTBBase):
 
     name = "btbxc"
 
-    # The companion can be as small as a single entry; with fewer entries
-    # than tenants it stays shared (still ASID-colored) instead of erroring.
-    _PARTITION_FALLBACK = True
-
     def __init__(
         self,
         entries: int,

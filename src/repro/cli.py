@@ -73,6 +73,7 @@ EXPERIMENTS: Dict[str, str] = {
     "scenario_sweep": "repro.experiments.scenario_sweep",
     "shared_footprint": "repro.experiments.shared_footprint",
     "cache_interference": "repro.experiments.cache_interference",
+    "tenant_scale": "repro.experiments.tenant_scale",
 }
 
 _SCALES = {"smoke": SMOKE_SCALE, "quick": QUICK_SCALE, "full": FULL_SCALE}
@@ -304,6 +305,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_caches.add_argument("--json", dest="json_path", help="dump the raw result as JSON")
     sweep_caches.add_argument("--csv", dest="csv_path", help="dump flat per-point rows as CSV")
+
+    sweep_tenants = sweep_sub.add_parser(
+        "tenants",
+        help="tenant-count scaling (4..1024+) on seeded generated scenarios: "
+        "aggregate/percentile MPKI and partition-fallback occupancy per "
+        "(tenant count x ASID mode x cache mode)",
+    )
+    _add_engine_arguments(sweep_tenants)
+    sweep_tenants.add_argument(
+        "--tenant-counts",
+        dest="tenant_counts",
+        help="comma-separated tenant counts (default: 4,16,64,256,1024)",
+    )
+    sweep_tenants.add_argument(
+        "--asid-modes",
+        dest="asid_modes",
+        help="comma-separated BTB ASID modes (flush,tagged,partitioned; default: all three)",
+    )
+    sweep_tenants.add_argument(
+        "--cache-modes",
+        dest="cache_modes",
+        help="comma-separated cache hierarchy modes; 'shared' is the legacy "
+        "untagged hierarchy (shared,flush,tagged,partitioned; default: "
+        "shared,partitioned)",
+    )
+    sweep_tenants.add_argument(
+        "--style",
+        help="BTB style the sweep runs on (conventional,rbtb,pdede,btbx,ideal; "
+        "default: btbx)",
+    )
+    sweep_tenants.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="recipe seed; one seed draws one workload population for the whole axis",
+    )
+    sweep_tenants.add_argument(
+        "--isa",
+        choices=["arm64", "x86"],
+        default=None,
+        help="ISA flavour of the generated tenant population (default: arm64)",
+    )
+    sweep_tenants.add_argument(
+        "--quantum",
+        type=_positive_int,
+        default=None,
+        help="scheduling quantum in instructions (default: 256)",
+    )
+    sweep_tenants.add_argument(
+        "--shared-fraction",
+        dest="shared_fraction",
+        type=float,
+        default=None,
+        help="fraction of each tenant's code pages remapped onto the shared "
+        "region (default: 0, no remap)",
+    )
+    sweep_tenants.add_argument(
+        "--budget-kib",
+        dest="budget_kib",
+        type=float,
+        default=None,
+        help="BTB storage budget in KiB (default: the paper's 14.5)",
+    )
+    sweep_tenants.add_argument("--json", dest="json_path", help="dump the raw result as JSON")
+    sweep_tenants.add_argument("--csv", dest="csv_path", help="dump flat per-point rows as CSV")
 
     plot_parser = sub.add_parser(
         "plot", help="render sweep CSV output (scenario/shared/cache sweeps) as figures"
@@ -819,8 +885,74 @@ def run_cache_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentP
     return 0
 
 
+def run_tenant_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Handle ``sweep tenants``."""
+    from repro.common.config import BTBStyle, ISAStyle
+    from repro.experiments import tenant_scale
+    from repro.experiments.config import DEFAULT_BUDGET_KIB
+
+    tenant_counts = (
+        _parse_int_list(args.tenant_counts, "--tenant-counts", parser)
+        if args.tenant_counts
+        else list(tenant_scale.DEFAULT_TENANT_COUNTS)
+    )
+    asid_modes = (
+        _parse_asid_modes(args.asid_modes, parser)
+        if args.asid_modes
+        else list(tenant_scale.SWEEP_ASID_MODES)
+    )
+    if args.cache_modes:
+        cache_modes: List[ASIDMode | None] = []
+        for token in args.cache_modes.split(","):
+            token = token.strip()
+            if token == "shared":
+                cache_modes.append(None)
+            else:
+                cache_modes.extend(_parse_asid_modes(token, parser, flag="--cache-modes"))
+    else:
+        cache_modes = list(tenant_scale.SWEEP_CACHE_MODES)
+    if args.style:
+        styles = _parse_styles(args.style, parser)
+        if len(styles) != 1:
+            parser.error(
+                f"--style expects exactly one BTB style, got {len(styles)}: {args.style!r}"
+            )
+        style = styles[0]
+    else:
+        style = BTBStyle.BTBX
+    if args.seed is not None and args.seed < 0:
+        parser.error(f"--seed must be non-negative, got {args.seed}")
+    if args.shared_fraction is not None and not 0.0 <= args.shared_fraction <= 1.0:
+        parser.error(f"--shared-fraction must be within [0, 1], got {args.shared_fraction}")
+    if args.budget_kib is not None and args.budget_kib <= 0:
+        parser.error(f"--budget-kib must be positive, got {args.budget_kib}")
+    try:
+        engine = make_engine(workers=args.workers, cache_dir=args.cache_dir)
+    except OSError as exc:
+        parser.error(f"cannot use cache directory {args.cache_dir!r}: {exc}")
+    result = tenant_scale.run(
+        resolve_scale(args.scale),
+        budget_kib=args.budget_kib if args.budget_kib is not None else DEFAULT_BUDGET_KIB,
+        tenant_counts=tenant_counts,
+        asid_modes=asid_modes,
+        cache_modes=cache_modes,
+        style=style,
+        seed=args.seed if args.seed is not None else tenant_scale.DEFAULT_SEED,
+        isa=ISAStyle.X86 if args.isa == "x86" else ISAStyle.ARM64,
+        quantum_instructions=(
+            args.quantum if args.quantum is not None else tenant_scale.DEFAULT_QUANTUM
+        ),
+        shared_fraction=args.shared_fraction if args.shared_fraction is not None else 0.0,
+        engine=engine,
+    )
+    log.result(tenant_scale.format_report(result))
+    _write_result_outputs(result, args.json_path, args.csv_path, tenant_scale.write_csv)
+    return 0
+
+
 def run_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
-    """Handle ``sweep scenarios``, ``sweep shared`` and ``sweep caches``."""
+    """Handle ``sweep scenarios``, ``sweep shared``, ``sweep caches`` and
+    ``sweep tenants``."""
     from repro.common.errors import ConfigurationError
     from repro.experiments import scenario_sweep
     from repro.experiments.config import DEFAULT_BUDGET_KIB
@@ -830,6 +962,8 @@ def run_sweep_command(args: argparse.Namespace, parser: argparse.ArgumentParser)
         return run_shared_sweep_command(args, parser)
     if args.sweep_command == "caches":
         return run_cache_sweep_command(args, parser)
+    if args.sweep_command == "tenants":
+        return run_tenant_sweep_command(args, parser)
 
     presets = args.presets
     if presets:

@@ -128,6 +128,14 @@ def partition_set_counts(num_sets: int, weights: "Sequence[int]") -> list[int]:
     largest fractional share (deterministic tie-break on weight, then on the
     earlier tenant), so the counts always sum to exactly ``num_sets``.  Raises
     :class:`ConfigurationError` when the structure has fewer sets than tenants.
+
+    Exact integer arithmetic throughout: each tenant's fractional share is
+    ``spare * weight / total``, carried as the ``divmod`` quotient and
+    remainder instead of a float.  At high tenant counts the float version
+    could round ``int(share)`` past the true floor, driving the leftover
+    negative and handing the remainder sets to the wrong tenants; the integer
+    remainders ``r / total`` order identically to the fractional shares
+    wherever the floats were exact, so small apportionments are unchanged.
     """
     weights = validate_partition_weights(weights)
     tenants = len(weights)
@@ -138,12 +146,16 @@ def partition_set_counts(num_sets: int, weights: "Sequence[int]") -> list[int]:
         )
     spare = num_sets - tenants
     total = sum(weights)
-    shares = [spare * weight / total for weight in weights]
-    counts = [1 + int(share) for share in shares]
+    counts = []
+    remainders = []
+    for weight in weights:
+        quotient, remainder = divmod(spare * weight, total)
+        counts.append(1 + quotient)
+        remainders.append(remainder)
     leftover = num_sets - sum(counts)
     by_remainder = sorted(
         range(tenants),
-        key=lambda i: (shares[i] - int(shares[i]), weights[i], -i),
+        key=lambda i: (remainders[i], weights[i], -i),
         reverse=True,
     )
     for index in by_remainder[:leftover]:

@@ -58,7 +58,12 @@ from repro.traces.trace import Trace
 #: btb_access_counts and the per-scenario Table V energy report); plain-job
 #: access_counts now merge BTB-X's companion traffic (energy_access_counts)
 #: and reset it at the warmup boundary, changing Table V inputs.
-CACHE_FORMAT_VERSION = 5
+#: v6: shared_page_split floors over the fraction's decimal value instead of
+#: its binary float (0.7 of 10 pages is now 7, not 6), shifting shared-
+#: footprint cells at non-binary-exact fractions; binary-exact fractions
+#: (0, 0.25, 0.5, 0.75, 1) and all golden cells are unchanged, but entries
+#: computed with the truncating split must miss rather than be replayed.
+CACHE_FORMAT_VERSION = 6
 
 #: SimulationResult fields carried through the payload (everything but stats).
 _RESULT_FIELDS = (

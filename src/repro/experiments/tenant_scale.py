@@ -1,0 +1,331 @@
+"""Tenant-count scaling study on generated consolidation scenarios.
+
+Where :mod:`~repro.experiments.scenario_sweep` resizes the four-tenant
+presets, this driver asks the consolidation question at server scale: what
+happens to a BTB organization as tenant count grows 4 -> 1024 on one
+machine?  Scenarios come from a seeded :class:`~repro.scenarios.generate.
+ScenarioRecipe` -- every tenant count is the same recipe expanded at a
+different size, so the workload population (and hence the trace set in
+memory) is identical along the whole axis and the curves isolate tenant
+count.
+
+Per (tenant count x BTB ASID mode x cache ASID mode) cell the driver
+reports aggregate MPKI/IPC, nearest-rank percentiles of per-tenant MPKI
+(over the tenants actually scheduled at the cell's scale), and a
+*partition-fallback* summary: which partition-candidate structures accepted
+a per-tenant slice and which fell back to ASID-tagged sharing because they
+have fewer sets than tenants (a 512-set BTB cannot give 1024 tenants a set
+each).  The fallback occupancy -- fraction of candidates that fell back --
+is the headline: it quantifies how much of the machine's capacity isolation
+survives at each consolidation level.
+
+Every cell is an ordinary cacheable :class:`~repro.experiments.engine.
+ScenarioJob` with the generated spec pinned in the job, so pooled workers
+never need a scenario registry and the whole grid memoizes like any other
+experiment.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import ASIDMode, BTBStyle, ISAStyle
+from repro.experiments.config import DEFAULT_BUDGET_KIB, ExperimentScale, QUICK_SCALE
+from repro.experiments.engine import ExperimentEngine, ScenarioJob, get_active_engine
+from repro.experiments.runner import style_label
+from repro.scenarios.generate import ScenarioRecipe, generate_scenario
+
+#: Tenant counts swept by default; 1024 is the headline consolidation point.
+DEFAULT_TENANT_COUNTS: Tuple[int, ...] = (4, 16, 64, 256, 1024)
+
+#: All three BTB context-switch policies.
+SWEEP_ASID_MODES: Tuple[ASIDMode, ...] = (
+    ASIDMode.FLUSH,
+    ASIDMode.TAGGED,
+    ASIDMode.PARTITIONED,
+)
+
+#: Cache hierarchy modes: legacy shared hierarchy and set-partitioned.
+SWEEP_CACHE_MODES: Tuple[Optional[ASIDMode], ...] = (None, ASIDMode.PARTITIONED)
+
+#: Default recipe seed; one seed = one population = one comparable axis.
+DEFAULT_SEED = 2023
+
+#: Default scheduling quantum.  Small enough that hundreds of tenants get a
+#: turn within a smoke-scale instruction budget.
+DEFAULT_QUANTUM = 256
+
+#: Structures that take a per-tenant slice under ``ASIDMode.PARTITIONED``,
+#: per organization (the denominators of the fallback occupancy).
+BTB_PARTITION_CANDIDATES: Dict[BTBStyle, Tuple[str, ...]] = {
+    BTBStyle.CONVENTIONAL: ("main",),
+    BTBStyle.BTBX: ("main", "companion"),
+    BTBStyle.REDUCED: ("main", "page"),
+    BTBStyle.PDEDE: ("main", "page", "region"),
+    BTBStyle.IDEAL: (),
+}
+
+#: Cache levels that take a per-tenant slice under a partitioned hierarchy.
+CACHE_PARTITION_CANDIDATES: Tuple[str, ...] = ("l1i", "l1d", "l2", "llc")
+
+#: Per-tenant MPKI percentiles reported per cell.
+PERCENTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p90", 0.90),
+    ("p99", 0.99),
+)
+
+
+def recipe_for(
+    tenants: int,
+    seed: int = DEFAULT_SEED,
+    isa: ISAStyle = ISAStyle.ARM64,
+    quantum_instructions: int = DEFAULT_QUANTUM,
+    shared_fraction: float = 0.0,
+) -> ScenarioRecipe:
+    """The sweep's recipe at one tenant count.
+
+    Only ``tenants`` (and the derived name) varies along the axis; the seed
+    and every statistical knob stay fixed, so each size draws the identical
+    workload population and the axis compares like with like.
+    """
+    return ScenarioRecipe(
+        name=f"gen_tenants_{seed}_t{tenants}",
+        tenants=tenants,
+        seed=seed,
+        isa=isa,
+        quantum_instructions=quantum_instructions,
+        shared_fraction=shared_fraction,
+    )
+
+
+def _nearest_rank(sorted_values: List[float], fraction: float) -> Optional[float]:
+    if not sorted_values:
+        return None
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def _fallback_summary(
+    style: BTBStyle,
+    asid_mode: ASIDMode,
+    cache_mode: Optional[ASIDMode],
+    scenario,
+) -> Dict[str, object]:
+    """Which partition candidates took a slice, which fell back to sharing."""
+    candidates: List[str] = []
+    partitioned: List[str] = []
+    if asid_mode is ASIDMode.PARTITIONED:
+        candidates += list(BTB_PARTITION_CANDIDATES[style])
+        if scenario.partition_sets is not None:
+            partitioned.append("main")
+        partitioned += sorted(scenario.secondary_partition_sets or {})
+    if cache_mode is ASIDMode.PARTITIONED:
+        candidates += [f"cache.{level}" for level in CACHE_PARTITION_CANDIDATES]
+        partitioned += [f"cache.{level}" for level in sorted(scenario.cache_partition_sets or {})]
+    fallback = [name for name in candidates if name not in partitioned]
+    return {
+        "candidates": candidates,
+        "partitioned": partitioned,
+        "fallback": fallback,
+        "fallback_occupancy": (len(fallback) / len(candidates)) if candidates else 0.0,
+    }
+
+
+def _config_key(asid_mode: ASIDMode, cache_mode: Optional[ASIDMode]) -> str:
+    cache = "shared" if cache_mode is None else cache_mode.value
+    return f"{asid_mode.value}/cache-{cache}"
+
+
+def run(
+    scale: ExperimentScale = QUICK_SCALE,
+    budget_kib: float = DEFAULT_BUDGET_KIB,
+    tenant_counts: Sequence[int] = DEFAULT_TENANT_COUNTS,
+    asid_modes: Sequence[ASIDMode] = SWEEP_ASID_MODES,
+    cache_modes: Sequence[Optional[ASIDMode]] = SWEEP_CACHE_MODES,
+    style: BTBStyle = BTBStyle.BTBX,
+    seed: int = DEFAULT_SEED,
+    isa: ISAStyle = ISAStyle.ARM64,
+    quantum_instructions: int = DEFAULT_QUANTUM,
+    shared_fraction: float = 0.0,
+    engine: ExperimentEngine | None = None,
+) -> Dict[str, object]:
+    """Sweep tenant count x ASID mode x cache mode on generated scenarios.
+
+    Returns ``{"axis": [...tenant counts...], "curves": {"<mode>/cache-<mode>":
+    {...aligned lists...}}}`` plus run metadata.  A curve carries
+    ``aggregate_mpki`` / ``aggregate_ipc`` / ``context_switches``, the
+    per-tenant MPKI percentiles (``mpki_p50``/``p90``/``p99``/``mpki_max``
+    over scheduled tenants, with ``scheduled_tenants`` recording the
+    denominator), and one ``partition`` fallback summary per point.
+    """
+    engine = engine or get_active_engine()
+    tenant_counts = list(dict.fromkeys(tenant_counts))
+    asid_modes = list(dict.fromkeys(asid_modes))
+    cache_modes = list(dict.fromkeys(cache_modes))
+
+    specs = {
+        count: generate_scenario(
+            recipe_for(
+                count,
+                seed=seed,
+                isa=isa,
+                quantum_instructions=quantum_instructions,
+                shared_fraction=shared_fraction,
+            )
+        )
+        for count in tenant_counts
+    }
+    cells: List[Tuple[int, ASIDMode, Optional[ASIDMode]]] = []
+    jobs: List[ScenarioJob] = []
+    for count in tenant_counts:
+        for asid_mode in asid_modes:
+            for cache_mode in cache_modes:
+                cells.append((count, asid_mode, cache_mode))
+                jobs.append(
+                    ScenarioJob(
+                        scenario=specs[count].name,
+                        instructions=scale.instructions,
+                        warmup_instructions=scale.warmup_instructions,
+                        style=style,
+                        asid_mode=asid_mode,
+                        fdip_enabled=True,
+                        budget_kib=budget_kib,
+                        cache_asid_mode=cache_mode,
+                        spec=specs[count],
+                    )
+                )
+    outcomes = engine.run_jobs(jobs)
+
+    curves: Dict[str, Dict[str, List[object]]] = {}
+    for (count, asid_mode, cache_mode), outcome in zip(cells, outcomes):
+        scenario = outcome.scenario
+        curve = curves.setdefault(
+            _config_key(asid_mode, cache_mode),
+            {
+                "aggregate_mpki": [],
+                "aggregate_ipc": [],
+                "context_switches": [],
+                "scheduled_tenants": [],
+                "mpki_p50": [],
+                "mpki_p90": [],
+                "mpki_p99": [],
+                "mpki_max": [],
+                "partition": [],
+            },
+        )
+        per_tenant = sorted(
+            result.btb_mpki for result in scenario.per_tenant.values()
+        )
+        curve["aggregate_mpki"].append(scenario.aggregate.btb_mpki)
+        curve["aggregate_ipc"].append(scenario.aggregate.ipc)
+        curve["context_switches"].append(scenario.context_switches)
+        curve["scheduled_tenants"].append(len(per_tenant))
+        for label, fraction in PERCENTILES:
+            curve[f"mpki_{label}"].append(_nearest_rank(per_tenant, fraction))
+        curve["mpki_max"].append(per_tenant[-1] if per_tenant else None)
+        curve["partition"].append(_fallback_summary(style, asid_mode, cache_mode, scenario))
+    return {
+        "experiment": "tenant_scale",
+        "scale": scale.name,
+        "budget_kib": budget_kib,
+        "instructions": scale.instructions,
+        "style": style_label(style),
+        "seed": seed,
+        "isa": isa.value,
+        "quantum_instructions": quantum_instructions,
+        "shared_fraction": float(shared_fraction),
+        "asid_modes": [mode.value for mode in asid_modes],
+        "cache_modes": ["shared" if mode is None else mode.value for mode in cache_modes],
+        "axis": tenant_counts,
+        "scenarios": {count: specs[count].name for count in tenant_counts},
+        "curves": curves,
+    }
+
+
+# -- output -------------------------------------------------------------------
+
+#: Column order of the flat CSV form (one row per curve point).
+CSV_FIELDS = (
+    "tenant_count",
+    "asid_mode",
+    "cache_mode",
+    "btb_mpki",
+    "ipc",
+    "context_switches",
+    "scheduled_tenants",
+    "mpki_p50",
+    "mpki_p90",
+    "mpki_p99",
+    "mpki_max",
+    "partitioned",
+    "fallback",
+    "fallback_occupancy",
+)
+
+
+def csv_rows(result: Dict[str, object]) -> List[Dict[str, object]]:
+    """Flatten a tenant-scale result into plot-ready CSV rows."""
+    rows: List[Dict[str, object]] = []
+    for config, curve in result["curves"].items():
+        asid_mode, cache = config.split("/cache-", 1)
+        for position, count in enumerate(result["axis"]):
+            partition = curve["partition"][position]
+            rows.append(
+                {
+                    "tenant_count": count,
+                    "asid_mode": asid_mode,
+                    "cache_mode": cache,
+                    "btb_mpki": curve["aggregate_mpki"][position],
+                    "ipc": curve["aggregate_ipc"][position],
+                    "context_switches": curve["context_switches"][position],
+                    "scheduled_tenants": curve["scheduled_tenants"][position],
+                    "mpki_p50": curve["mpki_p50"][position],
+                    "mpki_p90": curve["mpki_p90"][position],
+                    "mpki_p99": curve["mpki_p99"][position],
+                    "mpki_max": curve["mpki_max"][position],
+                    "partitioned": ";".join(partition["partitioned"]),
+                    "fallback": ";".join(partition["fallback"]),
+                    "fallback_occupancy": partition["fallback_occupancy"],
+                }
+            )
+    return rows
+
+
+def write_csv(result: Dict[str, object], path: str) -> None:
+    """Write the flattened sweep to ``path`` as CSV."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(CSV_FIELDS))
+        writer.writeheader()
+        writer.writerows(csv_rows(result))
+
+
+def format_report(result: Dict[str, object]) -> str:
+    """Text rendering: one MPKI curve per configuration plus fallback notes."""
+    axis = result["axis"]
+    lines = [
+        f"Tenant scaling on {result['style']} at {result['budget_kib']} KB, "
+        f"{result['instructions']} instructions per cell "
+        f"(seed {result['seed']}, quantum {result['quantum_instructions']}, "
+        f"tenants: {', '.join(str(v) for v in axis)})",
+    ]
+    for config, curve in result["curves"].items():
+        series = " ".join(f"{value:8.2f}" for value in curve["aggregate_mpki"])
+        lines.append(f"  {config:<28} {series}")
+        tails = " ".join(
+            "   (n/a)" if value is None else f"{value:8.2f}" for value in curve["mpki_p99"]
+        )
+        lines.append(f"    {'p99 per-tenant':<26} {tails}")
+        notes = []
+        for position, count in enumerate(axis):
+            partition = curve["partition"][position]
+            if partition["fallback"]:
+                notes.append(
+                    f"t={count}: {', '.join(partition['fallback'])} shared "
+                    f"({partition['fallback_occupancy']:.0%} of candidates)"
+                )
+        if notes:
+            lines.append(f"    fallback: {'; '.join(notes)}")
+    return "\n".join(lines)

@@ -9,6 +9,8 @@ This package opens that axis:
 * :mod:`repro.scenarios.compose` -- streaming :class:`TraceComposer` that
   interleaves per-tenant traces into one scheduled ``(asid, tenant,
   instruction)`` stream without materializing the merge;
+* :mod:`repro.scenarios.generate` -- seeded :class:`ScenarioRecipe` expansion
+  into large (4..1024+ tenant) scenarios over generated workload names;
 * :mod:`repro.scenarios.presets` -- the built-in scenario registry
   (``solo_baseline``, ``consolidated_server``, ``microservice_churn``,
   ``shared_services``, ``noisy_neighbor``) plus :func:`register_scenario`;
@@ -23,6 +25,7 @@ separates cross-tenant pollution from cold-start misses.
 """
 
 from repro.scenarios.compose import TraceComposer, remap_tenant_trace, tenant_code_pages
+from repro.scenarios.generate import ScenarioRecipe, generate_scenario
 from repro.scenarios.presets import (
     PRESET_NAMES,
     get_scenario,
@@ -33,8 +36,10 @@ from repro.scenarios.run import execute_scenario, resolve_scenario
 from repro.scenarios.spec import ScenarioSpec, TenantSpec
 
 __all__ = [
+    "ScenarioRecipe",
     "ScenarioSpec",
     "TenantSpec",
+    "generate_scenario",
     "TraceComposer",
     "remap_tenant_trace",
     "tenant_code_pages",

@@ -52,6 +52,7 @@ streams stay deterministic across processes and worker counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Dict, Iterator, List, Mapping, Tuple
 
 from repro.common.errors import ConfigurationError
@@ -117,8 +118,15 @@ def tenant_code_pages(trace: Trace) -> list[int]:
 
 
 def shared_page_split(page_count: int, shared_fraction: float) -> int:
-    """Number of pages of a ``page_count``-page footprint that are shared."""
-    return int(page_count * shared_fraction)
+    """Number of pages of a ``page_count``-page footprint that are shared.
+
+    The floor of ``page_count * shared_fraction`` over the fraction's
+    *intended* decimal value: ``Fraction(str(f))`` recovers the shortest
+    decimal that reprs to the float, so ``0.7`` of 10 pages is 7, not the 6
+    that binary ``0.7 = 0.69999…`` truncates to.  Fractions exact in binary
+    (0.5, 0.25, …) are unchanged, which keeps the pinned goldens byte-stable.
+    """
+    return int(page_count * Fraction(str(shared_fraction)))
 
 
 def remap_tenant_trace(
@@ -193,6 +201,12 @@ class TraceComposer:
             raise ConfigurationError(
                 f"scenario {spec.name!r} mixes ISAs {sorted(i.value for i in isas)}; "
                 "all tenants must share one ISA"
+            )
+        empty = sorted({t.workload for t in spec.tenants if len(traces[t.workload]) == 0})
+        if empty:
+            raise ConfigurationError(
+                f"scenario {spec.name!r} has empty traces for workloads {empty}; "
+                "every tenant needs at least one instruction to schedule"
             )
         self.spec = spec
         self.isa = next(iter(isas))
@@ -300,9 +314,6 @@ class TraceComposer:
         spec = self.spec
         tenants = spec.tenants
         traces = self._tenant_traces
-        for trace in traces:
-            if len(trace) == 0:
-                raise ValueError(f"cannot iterate over empty trace {trace.name!r}")
         positions = [0] * len(tenants)
         quanta = self.turn_lengths()
         cold = spec.switch_semantics == "cold"

@@ -163,18 +163,33 @@ class TraceCursor:
         self.consumed = 0
 
     def take(self, count: int) -> Iterator[Instruction]:
-        """Yield the next ``count`` instructions, wrapping at the trace end."""
+        """Yield the next ``count`` instructions, wrapping at the trace end.
+
+        State is committed in one piece when the generator finishes --
+        whether it ran to completion, was closed early, or raised -- so
+        ``position``/``laps``/``consumed`` always agree on how far the
+        cursor actually advanced.  A consumer that abandons a ``take()``
+        mid-way therefore leaves the cursor resumable at exactly the next
+        unread instruction, never with a lap counted ahead of the position.
+        """
         instructions = self._instructions
         length = self._length
         position = self.position
-        for _ in range(count):
-            yield instructions[position]
-            position += 1
-            if position == length:
-                position = 0
-                self.laps += 1
-        self.position = position
-        self.consumed += count
+        laps = 0
+        taken = 0
+        try:
+            for _ in range(count):
+                instruction = instructions[position]
+                position += 1
+                if position == length:
+                    position = 0
+                    laps += 1
+                taken += 1
+                yield instruction
+        finally:
+            self.position = position
+            self.laps += laps
+            self.consumed += taken
 
 
 @dataclass

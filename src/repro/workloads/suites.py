@@ -40,6 +40,18 @@ X86_WORKLOAD_NAMES: tuple[str, ...] = (
 
 SUITE_NAMES: tuple[str, ...] = ("ipc1_client", "ipc1_server", "cvp1_server", "x86_server")
 
+#: Prefix of generated workload names (see :mod:`repro.scenarios.generate`).
+GENERATED_PREFIX = "gen_"
+
+#: Class tokens of generated names -> (spec builder, ISA).  The ``x`` prefix
+#: marks the x86-compiled variant of a class, mirroring the Figure 13 apps.
+_GENERATED_CLASSES = {
+    "server": (server_spec, ISAStyle.ARM64),
+    "client": (client_spec, ISAStyle.ARM64),
+    "xserver": (server_spec, ISAStyle.X86),
+    "xclient": (client_spec, ISAStyle.X86),
+}
+
 
 def _server_footprint_scale(ordinal: int) -> float:
     """Footprint scale for the n-th server workload.
@@ -92,12 +104,64 @@ def workload_names(suite: str) -> Sequence[str]:
     raise WorkloadError(f"unknown suite {suite!r}; expected one of {SUITE_NAMES}")
 
 
+def generated_workload_name(workload_class: str, seed: int, footprint_scale: float) -> str:
+    """Canonical name of a generated workload: ``gen_<class>_<seed>_<milliscale>``.
+
+    The name is self-describing -- :func:`workload_spec_by_name` rebuilds the
+    identical spec from the string alone -- so pooled engine workers and the
+    sharded result cache resolve generated workloads with no registration
+    step and no cache-format change.  ``footprint_scale`` is carried in
+    integer thousandths, keeping the name (and hence every cache identity
+    derived from it) free of float formatting.
+    """
+    if workload_class not in _GENERATED_CLASSES:
+        raise WorkloadError(
+            f"unknown generated workload class {workload_class!r}; "
+            f"expected one of {tuple(_GENERATED_CLASSES)}"
+        )
+    if isinstance(seed, bool) or not isinstance(seed, int) or seed < 0:
+        raise WorkloadError(f"generated workload seed must be a non-negative int, got {seed!r}")
+    milli = int(round(footprint_scale * 1000))
+    if milli <= 0:
+        raise WorkloadError(
+            f"generated workload footprint scale {footprint_scale!r} rounds below 0.001"
+        )
+    return f"{GENERATED_PREFIX}{workload_class}_{seed}_{milli}"
+
+
+def _generated_spec(name: str) -> WorkloadSpec | None:
+    """Parse a ``gen_`` name into its spec; ``None`` for non-generated names."""
+    if not name.startswith(GENERATED_PREFIX):
+        return None
+    parts = name.split("_")
+    if (
+        len(parts) != 4
+        or parts[1] not in _GENERATED_CLASSES
+        or not parts[2].isdigit()
+        or not parts[3].isdigit()
+        or int(parts[3]) == 0
+    ):
+        raise WorkloadError(
+            f"malformed generated workload name {name!r}; expected "
+            f"gen_<class>_<seed>_<milliscale> with class in {tuple(_GENERATED_CLASSES)}"
+        )
+    builder, isa = _GENERATED_CLASSES[parts[1]]
+    return builder(name, seed=int(parts[2]), footprint_scale=int(parts[3]) / 1000, isa=isa)
+
+
 def workload_spec_by_name(name: str) -> WorkloadSpec:
-    """Return the spec of a named workload (e.g. ``server_032``)."""
-    try:
-        return _SPECS[name]
-    except KeyError as exc:
-        raise WorkloadError(f"unknown workload {name!r}") from exc
+    """Return the spec of a named workload (e.g. ``server_032``).
+
+    Names starting with ``gen_`` are parsed as generated workloads -- the
+    spec is a pure function of the name, so any process can resolve it.
+    """
+    spec = _SPECS.get(name)
+    if spec is not None:
+        return spec
+    generated = _generated_spec(name)
+    if generated is not None:
+        return generated
+    raise WorkloadError(f"unknown workload {name!r}")
 
 
 def all_workload_names() -> List[str]:

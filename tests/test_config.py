@@ -157,6 +157,88 @@ class TestPartitionMaps:
         with pytest.raises(ConfigurationError):
             partition_set_counts(2, (1, 1, 1))
 
+    def test_thousand_tenants_with_adversarial_weights_apportion_exactly(self):
+        """Regression: the apportionment must stay exact at consolidation scale.
+
+        The previous implementation computed fractional shares in floating
+        point; with 1000 tenants and weights spanning fifteen orders of
+        magnitude the products overflow the 53-bit mantissa, so nothing about
+        the result was guaranteed.  The integer rewrite is checked here
+        against an exact ``Fraction``-based largest-remainder reference.
+        """
+        from fractions import Fraction
+        import random
+
+        rng = random.Random(0xBADC0DE)
+        tenants = 1_000
+        weights = tuple(
+            rng.choice((1, 3, 997, 10**6, 10**15 + rng.randrange(10**12)))
+            for _ in range(tenants)
+        )
+        for num_sets in (tenants, tenants + 1, 4_096, 65_536):
+            counts = partition_set_counts(num_sets, weights)
+            assert sum(counts) == num_sets
+            assert min(counts) >= 1
+            assert counts == partition_set_counts(num_sets, weights)
+
+            # Exact reference: floor of the proportional share plus the
+            # leftover sets handed to the largest exact remainders.
+            spare = num_sets - tenants
+            total = sum(weights)
+            reference = [1 + spare * w // total for w in weights]
+            leftover = num_sets - sum(reference)
+            order = sorted(
+                range(tenants),
+                key=lambda i: (Fraction(spare * weights[i] % total, total), weights[i], -i),
+                reverse=True,
+            )
+            for index in order[:leftover]:
+                reference[index] += 1
+            assert counts == reference
+
+    def test_matches_prior_float_apportionment_on_small_grids(self):
+        """Differential golden-safety proof for the integer apportionment.
+
+        Every partitioned golden cell apportions a handful of tenants over a
+        BTB-sized set count with small weights, where the old float
+        arithmetic happened to be exact.  Re-implement the old algorithm
+        and assert byte-identical counts across a grid that covers every
+        weight pattern the preset scenarios and the golden suite use, so the
+        rewrite provably cannot move a single golden cell.
+        """
+
+        def float_counts(num_sets, weights):
+            tenants = len(weights)
+            spare = num_sets - tenants
+            total = sum(weights)
+            shares = [spare * weight / total for weight in weights]
+            counts = [1 + int(share) for share in shares]
+            leftover = num_sets - sum(counts)
+            by_remainder = sorted(
+                range(tenants),
+                key=lambda i: (shares[i] - int(shares[i]), weights[i], -i),
+                reverse=True,
+            )
+            for index in by_remainder[:leftover]:
+                counts[index] += 1
+            return counts
+
+        weight_patterns = [
+            (1,), (1, 1), (1, 1, 1), (1, 1, 1, 1), (4, 1, 1), (3, 2, 2),
+            (42, 11, 11), (1, 2, 3, 4, 5), (7, 5, 3, 2, 1, 1, 1, 1),
+        ]
+        set_counts = [8, 16, 22, 32, 64, 96, 128, 341, 512, 1024, 2048]
+        checked = 0
+        for weights in weight_patterns:
+            for num_sets in set_counts:
+                if num_sets < len(weights):
+                    continue
+                assert partition_set_counts(num_sets, weights) == float_counts(
+                    num_sets, weights
+                ), f"divergence at num_sets={num_sets} weights={weights}"
+                checked += 1
+        assert checked >= 90
+
 
 class TestSimulationConfig:
     def test_negative_warmup_rejected(self):

@@ -1,0 +1,318 @@
+"""Generated scenarios: recipes, ``gen_`` workload names, determinism, fallback.
+
+The recipe expander's whole contract is that a generated scenario behaves
+exactly like a preset one everywhere downstream: workload names resolve in
+any process, the expanded spec is a pure function of the recipe, composed
+streams are bit-identical across independent trace stores and engine worker
+counts, and four-digit tenant counts stay memory-bounded because tenants
+sharing a workload share one in-memory :class:`Trace`.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.btb.storage import make_btb_for_budget
+from repro.common.config import ASIDMode, BTBStyle, ISAStyle
+from repro.common.errors import ConfigurationError, WorkloadError
+from repro.experiments.engine import ExperimentEngine, ScenarioJob, execute_job
+from repro.scenarios.compose import TraceComposer
+from repro.scenarios.generate import (
+    MAX_POPULATION,
+    ScenarioRecipe,
+    generate_scenario,
+)
+from repro.scenarios.run import execute_scenario
+from repro.traces.store import TraceStore
+from repro.workloads.spec import WorkloadClass
+from repro.workloads.suites import generated_workload_name, workload_spec_by_name
+
+
+class TestGeneratedWorkloadNames:
+    def test_name_round_trips_to_the_same_spec(self):
+        name = generated_workload_name("server", 123, 1.5)
+        assert name == "gen_server_123_1500"
+        spec = workload_spec_by_name(name)
+        assert spec.name == name
+        assert spec.seed == 123
+        # Scale lands on the footprint knob: 500 base functions per module.
+        assert spec.functions_per_module == 750
+        assert spec.workload_class is WorkloadClass.SERVER
+        assert spec.isa is ISAStyle.ARM64
+
+    def test_class_tokens_select_class_and_isa(self):
+        cases = {
+            "server": (WorkloadClass.SERVER, ISAStyle.ARM64),
+            "client": (WorkloadClass.CLIENT, ISAStyle.ARM64),
+            "xserver": (WorkloadClass.SERVER, ISAStyle.X86),
+            "xclient": (WorkloadClass.CLIENT, ISAStyle.X86),
+        }
+        for token, (workload_class, isa) in cases.items():
+            spec = workload_spec_by_name(generated_workload_name(token, 7, 1.0))
+            assert spec.workload_class is workload_class, token
+            assert spec.isa is isa, token
+
+    def test_scale_is_carried_in_integer_thousandths(self):
+        name = generated_workload_name("client", 0, 0.123)
+        assert name.endswith("_123")
+        # 80 base client functions scaled by 0.123 rounds to 10.
+        assert workload_spec_by_name(name).functions_per_module == 10
+
+    def test_rejects_bad_constructor_arguments(self):
+        with pytest.raises(WorkloadError, match="class"):
+            generated_workload_name("database", 1, 1.0)
+        with pytest.raises(WorkloadError, match="seed"):
+            generated_workload_name("server", -1, 1.0)
+        with pytest.raises(WorkloadError, match="seed"):
+            generated_workload_name("server", True, 1.0)
+        with pytest.raises(WorkloadError, match="scale"):
+            generated_workload_name("server", 1, 0.0001)
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "gen_server_12",  # missing the scale field
+            "gen_server_1_100_extra",  # too many fields
+            "gen_database_1_100",  # unknown class token
+            "gen_server_x_100",  # non-numeric seed
+            "gen_server_1_1.5",  # float scale (must be milli-integer)
+            "gen_server_1_0",  # zero scale
+            "gen_server_1_-5",  # negative scale
+        ],
+    )
+    def test_malformed_generated_names_raise(self, name):
+        with pytest.raises(WorkloadError, match="malformed"):
+            workload_spec_by_name(name)
+
+    def test_unknown_plain_names_still_raise(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            workload_spec_by_name("no_such_workload")
+
+
+class TestRecipeValidation:
+    def recipe(self, **overrides):
+        fields = dict(name="r", tenants=4)
+        fields.update(overrides)
+        return ScenarioRecipe(**fields)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"name": ""},
+            {"tenants": 0},
+            {"tenants": -3},
+            {"seed": -1},
+            {"seed": True},
+            {"seed": 1.5},
+            {"server_fraction": 1.5},
+            {"server_fraction": -0.1},
+            {"shared_fraction": 2.0},
+            {"isa": "arm64"},
+            {"workload_population": 0},
+            {"workload_population": MAX_POPULATION + 1},
+            {"scale_min": 0.0},
+            {"scale_min": 2.0, "scale_max": 1.0},
+            {"weight_skew": -0.5},
+            {"max_weight": 0},
+            {"quantum_instructions": 0},
+            {"policy": "lottery"},
+            {"switch_semantics": "lukewarm"},
+        ],
+    )
+    def test_bad_fields_are_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            self.recipe(**overrides)
+
+    def test_config_dict_is_json_plain(self):
+        import json
+
+        config = self.recipe(seed=9, isa=ISAStyle.X86, weight_skew=1.5).config_dict()
+        assert json.loads(json.dumps(config)) == config
+        assert config["isa"] == "x86"
+        assert config["tenants"] == 4
+
+
+class TestGenerateScenario:
+    def test_expansion_is_deterministic(self):
+        recipe = ScenarioRecipe(name="det", tenants=12, seed=42, workload_population=4)
+        first = generate_scenario(recipe)
+        second = generate_scenario(recipe)
+        assert first == second
+        assert len(first.tenants) == 12
+        assert len(set(first.workloads)) <= 4
+        for workload in first.workloads:
+            workload_spec_by_name(workload)  # every drawn name resolves
+
+    def test_tenant_prefix_is_stable_across_tenant_counts(self):
+        # The rng draws the population first and then one tenant at a time,
+        # so the first K tenants of a seed are the same at any tenant count —
+        # which makes the tenant-count axis of a sweep comparable.
+        small = generate_scenario(ScenarioRecipe(name="p", tenants=6, seed=7))
+        large = generate_scenario(ScenarioRecipe(name="p", tenants=48, seed=7))
+        assert large.tenants[:6] == small.tenants
+
+    def test_x86_recipes_draw_x86_workloads(self):
+        spec = generate_scenario(
+            ScenarioRecipe(name="x", tenants=5, seed=3, isa=ISAStyle.X86)
+        )
+        for workload in spec.workloads:
+            assert workload_spec_by_name(workload).isa is ISAStyle.X86
+
+    def test_zero_skew_gives_unit_weights(self):
+        spec = generate_scenario(ScenarioRecipe(name="flat", tenants=32, seed=5))
+        assert {tenant.weight for tenant in spec.tenants} == {1}
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        tenants=st.integers(min_value=1, max_value=48),
+        seed=st.integers(min_value=0, max_value=2**16),
+        population=st.integers(min_value=1, max_value=8),
+        server_fraction=st.floats(min_value=0.0, max_value=1.0),
+        weight_skew=st.floats(min_value=0.0, max_value=3.0),
+        max_weight=st.integers(min_value=1, max_value=8),
+    )
+    def test_same_recipe_always_expands_to_the_identical_spec(
+        self, tenants, seed, population, server_fraction, weight_skew, max_weight
+    ):
+        recipe = ScenarioRecipe(
+            name="prop",
+            tenants=tenants,
+            seed=seed,
+            workload_population=population,
+            server_fraction=server_fraction,
+            weight_skew=weight_skew,
+            max_weight=max_weight,
+        )
+        spec = generate_scenario(recipe)
+        assert spec == generate_scenario(recipe)
+        assert len(spec.tenants) == tenants
+        assert len(set(spec.workloads)) <= population
+        for tenant in spec.tenants:
+            assert 1 <= tenant.weight <= max_weight
+            workload_spec_by_name(tenant.workload)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**10))
+    def test_composed_stream_prefix_identical_across_trace_stores(self, seed):
+        # Worker processes regenerate traces in their own stores; the composed
+        # (asid, tenant, instruction) stream must not depend on which store
+        # built them.  Instruction is a frozen dataclass, so equality is deep.
+        spec = generate_scenario(
+            ScenarioRecipe(
+                name="stores",
+                tenants=5,
+                seed=seed,
+                workload_population=3,
+                quantum_instructions=64,
+            )
+        )
+        streams = []
+        for _ in range(2):
+            store = TraceStore()
+            traces = {w: store.get(w, 512) for w in set(spec.workloads)}
+            streams.append(list(TraceComposer(spec, traces).stream(512)))
+        assert streams[0] == streams[1]
+
+
+def thousand_tenant_recipe() -> ScenarioRecipe:
+    return ScenarioRecipe(
+        name="gen_tenants_kilo",
+        tenants=1024,
+        seed=11,
+        workload_population=8,
+        quantum_instructions=256,
+    )
+
+
+class TestThousandTenants:
+    INSTRUCTIONS = 2_048
+
+    def test_tenants_sharing_a_workload_share_one_trace_object(self):
+        # This identity is the memory bound: 1024 tenants cost at most
+        # `workload_population` traces, each wrapped by per-tenant cursors.
+        spec = generate_scenario(thousand_tenant_recipe())
+        store = TraceStore()
+        traces = {w: store.get(w, self.INSTRUCTIONS) for w in set(spec.workloads)}
+        composer = TraceComposer(spec, traces)
+        identities = {id(composer.tenant_trace(i)) for i in range(len(spec.tenants))}
+        assert len(identities) <= 8
+        by_workload = {}
+        for index, tenant in enumerate(spec.tenants):
+            first = by_workload.setdefault(tenant.workload, index)
+            assert composer.tenant_trace(index) is composer.tenant_trace(first)
+
+    def test_payloads_bit_identical_across_engine_worker_counts(self):
+        spec = generate_scenario(thousand_tenant_recipe())
+        jobs = [
+            ScenarioJob(
+                scenario=spec.name,
+                instructions=self.INSTRUCTIONS,
+                warmup_instructions=0,
+                style=BTBStyle.BTBX,
+                asid_mode=mode,
+                budget_kib=14.5,
+                spec=spec,
+            )
+            for mode in (ASIDMode.TAGGED, ASIDMode.PARTITIONED)
+        ]
+        serial_payloads = [execute_job(job) for job in jobs]
+        pooled = ExperimentEngine(workers=2)
+        outcomes = pooled.run_jobs(jobs)
+        pooled_payloads = [pooled.lookup(job) for job in jobs]
+        assert serial_payloads == pooled_payloads
+        # 1024 tenants overwhelm every partitionable structure at this budget
+        # (512-set main, 64-entry companion): the partitioned cell must have
+        # fallen back to ASID-tagged sharing and report it.
+        partitioned = outcomes[1].scenario
+        assert partitioned.partition_sets is None
+        assert not partitioned.secondary_partition_sets
+
+
+class TestPartitionFallbackBoundary:
+    """Fallback engages exactly when a structure has fewer sets than tenants."""
+
+    INSTRUCTIONS = 1_024
+
+    @pytest.fixture(scope="class")
+    def store(self):
+        return TraceStore()
+
+    def run_partitioned(self, tenants, store):
+        spec = generate_scenario(
+            ScenarioRecipe(
+                name=f"fb_{tenants}",
+                tenants=tenants,
+                seed=11,
+                workload_population=4,
+                quantum_instructions=64,
+            )
+        )
+        return execute_scenario(
+            spec,
+            style=BTBStyle.BTBX,
+            asid_mode=ASIDMode.PARTITIONED,
+            instructions=self.INSTRUCTIONS,
+            trace_store=store,
+        )
+
+    @pytest.mark.parametrize("tenants", [64, 65, 512, 513])
+    def test_fallback_tracks_structure_size(self, tenants, store):
+        btb = make_btb_for_budget(BTBStyle.BTBX, 14.5)
+        main_sets = btb.num_sets
+        companion_sets = btb.companion.num_sets
+        assert (main_sets, companion_sets) == (512, 64)
+
+        result = self.run_partitioned(tenants, store)
+        if tenants <= main_sets:
+            assert result.partition_sets is not None
+            counts = list(result.partition_sets.values())
+            assert sum(counts) == main_sets
+            assert min(counts) >= 1
+        else:
+            assert result.partition_sets is None
+        secondary = result.secondary_partition_sets or {}
+        if tenants <= companion_sets:
+            assert sum(secondary["companion"].values()) == companion_sets
+        else:
+            assert "companion" not in secondary

@@ -27,7 +27,8 @@ import sys
 
 import pytest
 
-from repro.common.config import ASIDMode, BTBStyle
+from repro.common.config import ASIDMode, BTBStyle, ISAStyle
+from repro.scenarios.generate import ScenarioRecipe, generate_scenario
 from repro.scenarios.presets import PRESET_NAMES
 from repro.scenarios.run import execute_scenario
 
@@ -62,6 +63,32 @@ CACHE_EXTRA_CELLS = (
     ("shared_services", BTBStyle.CONVENTIONAL, ASIDMode.TAGGED),
 )
 
+#: Generated-scenario cells: seeded recipes expanded at collection time (a
+#: spec is a pure function of its recipe), pinning the generator's draw
+#: sequence and the ``gen_``-workload name resolution path bit-exactly.
+GENERATED_RECIPES = (
+    ScenarioRecipe(
+        name="gen_mix", tenants=6, seed=101, workload_population=3,
+        quantum_instructions=1_024,
+    ),
+    ScenarioRecipe(
+        name="gen_skew", tenants=5, seed=202, workload_population=3,
+        weight_skew=1.5, max_weight=4, quantum_instructions=1_024,
+        policy="weighted",
+    ),
+    ScenarioRecipe(
+        name="gen_x86", tenants=4, seed=303, workload_population=2,
+        isa=ISAStyle.X86, quantum_instructions=1_024,
+    ),
+)
+GENERATED_SPECS = {recipe.name: generate_scenario(recipe) for recipe in GENERATED_RECIPES}
+GENERATED_CELLS = (
+    ("gen_mix", BTBStyle.BTBX, ASIDMode.TAGGED),
+    ("gen_mix", BTBStyle.BTBX, ASIDMode.PARTITIONED),
+    ("gen_skew", BTBStyle.CONVENTIONAL, ASIDMode.PARTITIONED),
+    ("gen_x86", BTBStyle.BTBX, ASIDMode.FLUSH),
+)
+
 #: Aggregate counters pinned bit-exactly (ints and one exact float).
 AGGREGATE_FIELDS = (
     "instructions",
@@ -94,7 +121,13 @@ def golden_cells() -> list[tuple[str, BTBStyle, ASIDMode]]:
         for style in SECONDARY_STYLES
         for mode in SECONDARY_ASID_MODES
     ]
+    cells += list(GENERATED_CELLS)
     return cells
+
+
+def resolve_golden_scenario(preset: str):
+    """Golden cells address presets by name; generated cells resolve here."""
+    return GENERATED_SPECS.get(preset, preset)
 
 
 def cache_golden_cells() -> list[tuple[str, BTBStyle, ASIDMode]]:
@@ -132,7 +165,7 @@ def compute_cell(
     ``backend="numpy"`` against the same fixture.
     """
     result = execute_scenario(
-        preset,
+        resolve_golden_scenario(preset),
         style=style,
         asid_mode=mode,
         budget_kib=GOLDEN_BUDGET_KIB,

@@ -38,7 +38,7 @@ from repro.scenarios import (
 )
 from repro.scenarios.presets import PRESET_NAMES
 from repro.traces.store import default_store
-from repro.traces.trace import TraceCursor
+from repro.traces.trace import Trace, TraceCursor
 
 
 @pytest.fixture(autouse=True)
@@ -142,6 +142,41 @@ class TestTraceCursor:
             small_client_trace[i].pc for i in range(10)
         ]
 
+    def test_abandoned_take_leaves_cursor_consistent(self, small_client_trace):
+        """Regression: a ``take()`` dropped mid-way must commit exactly what
+        it yielded -- position, laps, and consumed all agreeing -- so the
+        cursor resumes at the next unread instruction."""
+        cursor = TraceCursor(small_client_trace)
+        length = len(small_client_trace)
+        partial = cursor.take(length + 10)
+        first = [next(partial) for _ in range(length + 3)]
+        partial.close()  # abandon the take after wrapping once
+        assert cursor.position == 3
+        assert cursor.laps == 1
+        assert cursor.consumed == length + 3
+        assert [i.pc for i in first[length:]] == [
+            small_client_trace[i].pc for i in range(3)
+        ]
+        # The next take starts at exactly the next unread instruction.
+        resumed = list(cursor.take(2))
+        assert [i.pc for i in resumed] == [
+            small_client_trace[3].pc,
+            small_client_trace[4].pc,
+        ]
+        assert cursor.consumed == length + 5
+        assert cursor.laps == 1
+
+    def test_take_abandoned_by_exception_still_commits(self, small_client_trace):
+        cursor = TraceCursor(small_client_trace)
+        taking = cursor.take(100)
+        for _ in range(7):
+            next(taking)
+        with pytest.raises(RuntimeError):
+            taking.throw(RuntimeError("consumer died"))
+        assert cursor.position == 7
+        assert cursor.consumed == 7
+        assert cursor.laps == 0
+
 
 class TestTraceComposer:
     def _traces(self, spec, instructions=6_000):
@@ -217,6 +252,14 @@ class TestTraceComposer:
         spec = _two_tenant_spec()
         with pytest.raises(ConfigurationError):
             TraceComposer(spec, {"server_001": small_server_trace})
+
+    def test_empty_trace_rejected_at_construction(self, small_server_trace):
+        """An empty tenant trace is a configuration error, caught once in the
+        composer constructor so both streaming paths share the check."""
+        spec = _two_tenant_spec()
+        empty = Trace("server_009", [], isa=small_server_trace.isa)
+        with pytest.raises(ConfigurationError, match="server_009"):
+            TraceComposer(spec, {"server_001": small_server_trace, "server_009": empty})
 
 
 class TestASIDStateManagement:
@@ -337,10 +380,24 @@ class TestPartitionedCapacity:
         btb.configure_partitions(None)
         assert not any(btb.lookup(b.pc).hit for b in branches)
 
-    def test_partitioning_smaller_than_tenant_count_rejected(self):
+    def test_partitioning_smaller_than_tenant_count_falls_back_to_sharing(self):
         btb = ConventionalBTB(16, associativity=8)  # 2 sets
+        btb.configure_partitions((1, 1, 1))
+        assert btb.partition_set_counts() is None
+
+    def test_fallback_still_validates_weights_and_invalidates(self):
+        btb = ConventionalBTB(256, associativity=8)  # 32 sets
         with pytest.raises(ConfigurationError):
-            btb.configure_partitions((1, 1, 1))
+            btb.configure_partitions((1, 0) + (1,) * 40)
+        btb.configure_partitions((1, 1))
+        branch = Instruction.branch(0x500000, BranchType.UNCONDITIONAL, True, 0x500400)
+        btb.update(branch)
+        assert btb.lookup(branch.pc).hit
+        # Falling back from a partitioned map must invalidate slice-indexed
+        # entries, exactly like returning to shared explicitly does.
+        btb.configure_partitions((1,) * 64)
+        assert btb.partition_set_counts() is None
+        assert not btb.lookup(branch.pc).hit
 
     def test_bad_partition_weights_rejected(self):
         btb = ConventionalBTB(256, associativity=8)

@@ -8,7 +8,7 @@ codec, the cache payload round-trip or the service execution path changed
 simulation semantics.
 
 Tier-1 runs a fixed subset so the suite stays fast; CI's service smoke job
-sets ``REPRO_SERVICE_GOLDEN_FULL=1`` to replay the complete 38+8 grid.
+sets ``REPRO_SERVICE_GOLDEN_FULL=1`` to replay the complete 42+8 grid.
 """
 
 from __future__ import annotations
@@ -22,6 +22,7 @@ from repro.experiments.engine import ScenarioJob, _payload_to_scenario
 from repro.service.client import ServiceClient
 from repro.service.server import ServiceConfig, ServiceThread
 from test_golden_scenarios import (
+    GENERATED_SPECS,
     GOLDEN_BUDGET_KIB,
     GOLDEN_INSTRUCTIONS,
     GOLDEN_WARMUP,
@@ -43,6 +44,8 @@ SUBSET_CACHE = [0, -1]
 
 
 def main_cell_job(preset: str, style, mode) -> ScenarioJob:
+    # Generated cells are not in the preset registry; their specs are pinned
+    # onto the job (None for presets, which resolve by name at construction).
     return ScenarioJob(
         scenario=preset,
         instructions=GOLDEN_INSTRUCTIONS,
@@ -50,6 +53,7 @@ def main_cell_job(preset: str, style, mode) -> ScenarioJob:
         style=style,
         asid_mode=mode,
         budget_kib=GOLDEN_BUDGET_KIB,
+        spec=GENERATED_SPECS.get(preset),
     )
 
 

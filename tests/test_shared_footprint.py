@@ -77,6 +77,27 @@ def _region_of(page: int, tenant_index: int) -> str:
     return "foreign"
 
 
+class TestSharedPageSplit:
+    def test_decimal_fractions_split_without_truncation(self):
+        """Regression: ``int(10 * 0.7)`` is 6 because 0.7 is not a binary
+        float; the split must honour the decimal the user actually wrote."""
+        assert shared_page_split(10, 0.7) == 7
+        assert shared_page_split(100, 0.29) == 29
+        assert shared_page_split(1000, 0.001) == 1
+        # Still a floor, never a round-up past the true product.
+        assert shared_page_split(3, 0.1) == 0
+        assert shared_page_split(7, 0.5) == 3
+
+    def test_binary_exact_fractions_match_the_old_truncation(self):
+        """Golden safety: the pinned shared-footprint cells use 0.5 and the
+        sweep grid uses quarters -- all binary-exact fractions where the old
+        ``int(count * fraction)`` was already correct.  Byte-identical here
+        means the rewrite cannot move a golden cell."""
+        for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+            for count in range(257):
+                assert shared_page_split(count, fraction) == int(count * fraction)
+
+
 class TestRemapPageProperties:
     @settings(max_examples=15, deadline=None)
     @given(
