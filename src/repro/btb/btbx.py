@@ -205,6 +205,16 @@ class BTBX(BTBBase):
         # probe of an unmaterialized set is a miss with nothing to scan.
         self._sets: List[List[_Entry] | None] = [None] * self.num_sets
         self._lru: List[LRUState | None] = [None] * self.num_sets
+        # Residency shadow (numpy ``(valid, tag)`` per set x way), built
+        # lazily by the first batch_plan and kept write-through from then on;
+        # the scalar backend never builds it, so it costs that path nothing.
+        self._shadow_valid = None
+        self._shadow_tags = None
+        # Per-set residency generation: bumped on every ``(valid, tag)``
+        # mutation (allocation, reallocation-invalidation, invalidation) and
+        # NOT on refreshes or LRU movement.  Batch plans snapshot it to
+        # certify preresolved probes at lookup time.
+        self._set_gen = [0] * self.num_sets
         # Per-way hit/allocation counters (kept as plain lists for speed; they
         # are exposed through way_hit_counts()/way_allocation_counts()).
         self._way_hits = [0] * associativity
@@ -425,6 +435,9 @@ class BTBX(BTBBase):
                 # The target moved out of this way's reach (indirect branch):
                 # drop the stale entry and re-allocate below.
                 entry.valid = False
+                self._set_gen[index] += 1
+                if self._shadow_valid is not None:
+                    self._shadow_valid[index, way] = False
                 self.stats.inc("reallocations")
                 break
 
@@ -440,6 +453,10 @@ class BTBX(BTBBase):
         entry.offset_payload = payload
         entry.offset_width = required
         self._lru[index].touch(victim)
+        self._set_gen[index] += 1
+        if self._shadow_tags is not None:
+            self._shadow_valid[index, victim] = True
+            self._shadow_tags[index, victim] = tag
         self.record_write("main")
         self.stats.inc("allocations")
         self._way_allocations[victim] += 1
@@ -469,23 +486,34 @@ class BTBX(BTBBase):
         """Clear every entry, including the companion (tests/warmup control)."""
         self._sets = [None] * self.num_sets
         self._lru = [None] * self.num_sets
+        self._set_gen = [gen + 1 for gen in self._set_gen]
+        if self._shadow_valid is not None:
+            self._shadow_valid[:] = False
         if self.companion is not None:
             self.companion.invalidate_all()
 
     # -- batched backend ---------------------------------------------------
 
-    def _resident_lookup_keys(self) -> List[int]:
-        """``(set << tag_bits) | tag`` of every valid main entry (miss filter)."""
-        keys: List[int] = []
-        tag_bits = self.tag_bits
-        for index, entries in enumerate(self._sets):
-            if entries is None:
-                continue
-            base = index << tag_bits
-            for entry in entries:
-                if entry.valid:
-                    keys.append(base | entry.tag)
-        return keys
+    def _ensure_shadow(self):
+        """Build (once) and return the numpy ``(valid, tags)`` residency shadow.
+
+        Mirrors exactly the ``(entry.valid, entry.tag)`` pairs of the main
+        ways; allocation, reallocation-invalidation and
+        :meth:`invalidate_all` write through after this first full scan.
+        """
+        if self._shadow_tags is None:
+            from repro.traces.batch import np
+
+            self._shadow_valid = np.zeros((self.num_sets, self.associativity), dtype=bool)
+            self._shadow_tags = np.zeros((self.num_sets, self.associativity), dtype=np.uint64)
+            for index, entries in enumerate(self._sets):
+                if entries is None:
+                    continue
+                for way, entry in enumerate(entries):
+                    if entry.valid:
+                        self._shadow_valid[index, way] = True
+                        self._shadow_tags[index, way] = entry.tag
+        return self._shadow_valid, self._shadow_tags
 
     def batch_plan(self, pcs, taken_branch_pcs):
         """Chunk plan over main ways *and* the companion.
@@ -495,22 +523,47 @@ class BTBX(BTBBase):
         in both (overflow branches install in the companion, the rest in the
         main ways -- blocking both merely shrinks the fast set, never breaks
         exactness).  See :meth:`repro.btb.base.BTBBase.batch_plan`.
+
+        On top of that, the plan *preresolves* the main ways of every probe
+        against the residency shadow, guarded at lookup time by the set's
+        residency generation (same argument as
+        :meth:`ConventionalBTB.batch_plan`): a known hit way skips the scan,
+        a known main miss degrades to the companion's one-entry direct-mapped
+        probe, performed live so companion mutations mid-chunk (overflow
+        installs) need no static analysis at all.
         """
         from repro.traces.batch import np
 
         index, tag = batch_locate(self, pcs, self.num_sets)
-        shift = np.uint64(self.tag_bits)
-        keys = (index << shift) | tag
-        blocked = np.asarray(self._resident_lookup_keys(), dtype=np.uint64)
+        valid, tags = self._ensure_shadow()
+        match = valid[index] & (tags[index] == tag[:, None])
+        hit_any = match.any(axis=1)
+        resolved = np.where(hit_any, match.argmax(axis=1).astype(np.int64), np.int64(-1))
         has_taken = len(taken_branch_pcs) > 0
         if has_taken:
             tb_index, tb_tag = batch_locate(self, taken_branch_pcs, self.num_sets)
-            blocked = np.concatenate([blocked, (tb_index << shift) | tb_tag])
-        guaranteed_miss = ~np.isin(keys, blocked)
+            shift = np.uint64(self.tag_bits)
+            keys = (index << shift) | tag
+            installed = (tb_index << shift) | tb_tag
+            guaranteed_miss = ~hit_any & ~np.isin(keys, installed)
+        else:
+            guaranteed_miss = ~hit_any
+        gen = np.asarray(self._set_gen, dtype=np.int64)[index]
+        resolved_list = resolved.tolist()
+        gen_list = gen.tolist()
 
         companion = self.companion
         if companion is None:
-            return _BTBXBatchPlan(self, index.tolist(), tag.tolist(), None, None, guaranteed_miss)
+            return _BTBXBatchPlan(
+                self,
+                index.tolist(),
+                tag.tolist(),
+                None,
+                None,
+                resolved_list,
+                gen_list,
+                guaranteed_miss,
+            )
         c_index, c_tag = batch_locate(companion, pcs, companion.num_entries)
         c_shift = np.uint64(companion.tag_bits)
         c_keys = (c_index << c_shift) | c_tag
@@ -520,7 +573,14 @@ class BTBX(BTBBase):
             c_blocked = np.concatenate([c_blocked, (tb_c_index << c_shift) | tb_c_tag])
         guaranteed_miss &= ~np.isin(c_keys, c_blocked)
         return _BTBXBatchPlan(
-            self, index.tolist(), tag.tolist(), c_index.tolist(), c_tag.tolist(), guaranteed_miss
+            self,
+            index.tolist(),
+            tag.tolist(),
+            c_index.tolist(),
+            c_tag.tolist(),
+            resolved_list,
+            gen_list,
+            guaranteed_miss,
         )
 
     def note_skipped_miss_lookups(self, count: int) -> None:
@@ -534,30 +594,79 @@ class BTBX(BTBBase):
 class _BTBXBatchPlan:
     """Per-chunk lookup plan of a :class:`BTBX` (main plus companion)."""
 
-    __slots__ = ("_btb", "_index", "_tag", "_c_index", "_c_tag", "guaranteed_miss")
+    __slots__ = (
+        "_btb", "_index", "_tag", "_c_index", "_c_tag", "_resolved", "_gen", "guaranteed_miss",
+    )
 
-    def __init__(self, btb: BTBX, index, tag, c_index, c_tag, guaranteed_miss) -> None:
+    def __init__(
+        self, btb: BTBX, index, tag, c_index, c_tag, resolved, gen, guaranteed_miss
+    ) -> None:
         self._btb = btb
         self._index = index
         self._tag = tag
         self._c_index = c_index
         self._c_tag = c_tag
+        #: Per-position preresolution of the main ways against the plan-time
+        #: shadow: ``-1`` certain main miss (only the companion is probed,
+        #: live), ``>= 0`` the main hit way.  Valid while the set's residency
+        #: generation still equals the plan-time snapshot.
+        self._resolved = resolved
+        self._gen = gen
         self.guaranteed_miss = guaranteed_miss
 
     def lookup(self, position: int, pc: int) -> BTBLookupResult:
-        """Probe with the chunk-vectorized locations of ``position``.
+        """Probe with the chunk-vectorized resolution of ``position``.
 
-        The main-array location doubles as the update hint: a taken branch's
-        commit-time :meth:`BTBX.update` follows immediately, for the same pc
-        in the same ASID/partition state, so it can reuse the lookup's index
-        and tag (``_locate_for_update``) instead of re-hashing.
+        Preresolved positions skip the main way scan but replay its every
+        side effect -- read/hit/miss counters, per-way hit counts, the hit
+        way's LRU touch, the companion fallthrough on a main miss -- so the
+        result and all architectural state match the scalar probe bit for
+        bit.  A position whose set changed residency since plan time
+        (generation mismatch) replays through the ordinary scalar probe.
+        Either way the main-array location doubles as the update hint
+        (``_locate_for_update``) for a taken branch's commit-time
+        :meth:`BTBX.update`.
         """
         btb = self._btb
         index = self._index[position]
         tag = self._tag[position]
         btb._update_hint = (pc, index, tag)
-        if self._c_index is None:
-            return btb.lookup_prelocated(pc, index, tag, None, None)
-        return btb.lookup_prelocated(
-            pc, index, tag, self._c_index[position], self._c_tag[position]
-        )
+        if btb._set_gen[index] != self._gen[position]:
+            if self._c_index is None:
+                return btb.lookup_prelocated(pc, index, tag, None, None)
+            return btb.lookup_prelocated(
+                pc, index, tag, self._c_index[position], self._c_tag[position]
+            )
+        way = self._resolved[position]
+        btb.reads["main"] = btb.reads.get("main", 0) + 1
+        if way >= 0:
+            entry = btb._sets[index][way]
+            btb._lru[index].touch(way)
+            btb.stats.inc("hits")
+            btb._way_hits[way] += 1
+            if entry.branch_type.target_from_ras:
+                return BTBLookupResult(
+                    hit=True,
+                    branch_type=entry.branch_type,
+                    target=None,
+                    target_from_ras=True,
+                    structure=f"way{way}",
+                )
+            return BTBLookupResult(
+                hit=True,
+                branch_type=entry.branch_type,
+                target=btb._recover_target(pc, entry),
+                structure=f"way{way}",
+            )
+        # way == -1: certain main miss -- only the companion can hit.
+        companion = btb.companion
+        if companion is not None:
+            result = companion.lookup_prelocated(
+                pc, self._c_index[position], self._c_tag[position]
+            )
+            if result.hit:
+                btb.stats.inc("hits")
+                btb.stats.inc("hits.companion")
+                return result
+        btb.stats.inc("misses")
+        return BTBLookupResult.miss()

@@ -119,7 +119,7 @@ class AddressSpacePolicy:
     supplies the mechanism so the decision is one line.
     """
 
-    __slots__ = ("active_asid", "_domains", "_alloc_distinct", "_alloc_tagged")
+    __slots__ = ("active_asid", "_domains", "_alloc_distinct", "_alloc_tagged", "_alloc_hot")
 
     def __init__(self) -> None:
         #: Address-space identifier of the currently scheduled tenant.  Only
@@ -134,13 +134,30 @@ class AddressSpacePolicy:
         # two is the storage ASID tagging duplicates when tenants share code
         # (the same branch/page/line living once per address space).
         self._alloc_distinct: Dict[str, set] = {}
-        self._alloc_tagged: Dict[str, set] = {}
+        # Per structure, the allocated key sets split by ASID (summed lengths
+        # give the tag-distinct count without materializing (asid, key) pairs).
+        self._alloc_tagged: Dict[str, Dict[int, set]] = {}
+        # Hot-path cache: structure -> (distinct set, active ASID's tagged
+        # set), so the per-update bookkeeping is one dict probe and two set
+        # adds.  Invalidated by activate().
+        self._alloc_hot: Dict[str, tuple] = {}
 
     # -- active address space ------------------------------------------------
 
     def activate(self, asid: int) -> None:
         """Switch the address space subsequent operations are attributed to."""
         self.active_asid = asid
+        self._alloc_hot.clear()
+
+    def is_trivial(self, domain: str) -> bool:
+        """True when every policy operation over ``domain`` is the identity.
+
+        Holds for ASID 0 (identity color) with ``domain`` unpartitioned --
+        the single-tenant and legacy cases.  Hot structures cache this to
+        skip the per-probe policy calls; they must re-query it after every
+        :meth:`activate`, :meth:`configure` or :meth:`clear`.
+        """
+        return not self.active_asid and self._domains.get(domain) is None
 
     def colored(self, value: int) -> int:
         """``value`` with the active ASID mixed into the bits a tag hash folds.
@@ -280,8 +297,14 @@ class AddressSpacePolicy:
         layouts cannot perturb them.  Pure bookkeeping: never affects
         lookup/update behaviour.
         """
-        self._alloc_distinct.setdefault(structure, set()).add(key)
-        self._alloc_tagged.setdefault(structure, set()).add((self.active_asid, key))
+        pair = self._alloc_hot.get(structure)
+        if pair is None:
+            distinct = self._alloc_distinct.setdefault(structure, set())
+            by_asid = self._alloc_tagged.setdefault(structure, {})
+            pair = (distinct, by_asid.setdefault(self.active_asid, set()))
+            self._alloc_hot[structure] = pair
+        pair[0].add(key)
+        pair[1].add(key)
 
     def duplication_counts(self) -> Dict[str, Dict[str, int]]:
         """Distinct vs tag-distinct allocations per structure.
@@ -298,11 +321,13 @@ class AddressSpacePolicy:
         """
         counts: Dict[str, Dict[str, int]] = {}
         for structure, distinct in self._alloc_distinct.items():
-            tagged = self._alloc_tagged[structure]
+            tag_distinct = sum(
+                len(keys) for keys in self._alloc_tagged[structure].values()
+            )
             counts[structure] = {
                 "distinct": len(distinct),
-                "tag_distinct": len(tagged),
-                "duplicated": len(tagged) - len(distinct),
+                "tag_distinct": tag_distinct,
+                "duplicated": tag_distinct - len(distinct),
             }
         return counts
 

@@ -36,8 +36,13 @@ class LRUState:
         return self._num_ways
 
     def touch(self, way: int) -> None:
-        """Mark ``way`` as most recently used."""
-        self._check_way(way)
+        """Mark ``way`` as most recently used.
+
+        The hottest call in every set-associative structure, so the bounds
+        check rides on the list store itself: a too-large way still faults
+        with ``IndexError``, and internal callers only ever produce ways from
+        scans or :meth:`victim` (never negative).
+        """
         self._clock += 1
         self._stamps[way] = self._clock
 

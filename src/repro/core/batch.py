@@ -36,6 +36,7 @@ same fetches, in the same order.
 
 from __future__ import annotations
 
+from itertools import repeat
 from typing import Iterable
 
 from repro.common.errors import SimulationError
@@ -43,11 +44,16 @@ from repro.common.stats import Stats
 from repro.core.metrics import ScenarioResult, SimulationResult
 from repro.core.timing import TimingModel
 from repro.frontend.bpu import PredictionOutcome
+from repro.isa.branch import BranchType
+from repro.predictor.batch import plan_commits
 from repro.scenarios.compose import ScheduledChunk
 from repro.traces.batch import np, trace_arrays
 from repro.traces.trace import Trace
 
 _U64_MASK = 0xFFFFFFFFFFFFFFFF
+
+#: ``TraceArrays.branch_type`` code for conditional branches (enum order).
+_CONDITIONAL_CODE = tuple(BranchType).index(BranchType.CONDITIONAL)
 
 
 def run_batched(
@@ -154,6 +160,8 @@ class _BatchEngine:
         self.chunks_scalar = 0
         self.instructions_fast = 0
         self.instructions_slow = 0
+        self.commits_vectorized = 0
+        self.commits_scalar = 0
 
     def emit_metrics(self) -> None:
         """Publish the per-chunk fast/slow split to the active recorder."""
@@ -166,6 +174,8 @@ class _BatchEngine:
         recorder.count("batch.chunks_scalar", self.chunks_scalar)
         recorder.count("batch.instructions_fast", self.instructions_fast)
         recorder.count("batch.instructions_slow", self.instructions_slow)
+        recorder.count("batch.commits_vectorized", self.commits_vectorized)
+        recorder.count("batch.commits_scalar", self.commits_scalar)
 
     # -- boundaries --------------------------------------------------------
 
@@ -219,21 +229,43 @@ class _BatchEngine:
         arrays = trace_arrays(chunk.trace)
         pcs = arrays.pc[start:stop]
         is_branch = arrays.is_branch[start:stop]
+        taken = arrays.taken[start:stop]
         blocks = pcs & self._line_mask_u64
         new_block = np.empty(n, dtype=bool)
         if n > 1:
             new_block[1:] = blocks[1:] != blocks[:-1]
         new_block[0] = self.previous_block is None or int(blocks[0]) != self.previous_block
 
-        taken_branch_pcs = np.unique(pcs[is_branch & arrays.taken[start:stop]])
+        # The direction predictor's state evolves only at conditional-branch
+        # commits with architectural outcomes, so the whole piece's histories
+        # and table indices are precomputable: build the commit plan (after
+        # the chunk context -- a FLUSH-mode switch resets the predictor).
+        cond_mask = arrays.branch_type[start:stop] == _CONDITIONAL_CODE
+        cond_count = int(np.count_nonzero(cond_mask))
+        dplan = None
+        if cond_count:
+            cond_positions = np.flatnonzero(cond_mask)
+            dplan = plan_commits(
+                self.bpu.direction_predictor, pcs[cond_positions], taken[cond_positions]
+            )
+        if dplan is None:
+            self.commits_scalar += cond_count
+        else:
+            self.commits_vectorized += cond_count
+
+        taken_branch_pcs = np.unique(pcs[is_branch & taken])
         plan = self.btb.batch_plan(pcs, taken_branch_pcs)
         if plan is None:
             self.chunks_scalar += 1
             self.instructions_slow += n
-            self._run_scalar(chunk.trace, start, stop, new_block)
+            self._run_scalar(chunk.trace, start, stop, new_block, is_branch, taken, cond_mask, dplan)
         else:
             self.chunks_planned += 1
-            self._run_planned(plan, chunk.trace, start, stop, pcs, new_block, is_branch)
+            self._run_planned(
+                plan, chunk.trace, start, stop, pcs, new_block, is_branch, taken, cond_mask, dplan
+            )
+        if dplan is not None:
+            dplan.finish()
         self.previous_block = int(blocks[n - 1])
         self.position += n
 
@@ -269,8 +301,16 @@ class _BatchEngine:
 
     # -- instruction walks -------------------------------------------------
 
-    def _run_scalar(self, trace: Trace, start: int, stop: int, new_block) -> None:
-        """Exact scalar fallback for organizations without a batch plan."""
+    def _run_scalar(
+        self, trace: Trace, start: int, stop: int, new_block, is_branch, taken, cond_mask, dplan
+    ) -> None:
+        """Exact scalar fallback for organizations without a batch plan.
+
+        Even here the direction predictor runs on the commit plan when one
+        exists: conditional commits are a pure function of the trace, not of
+        the BTB organization, so chunks that replay scalarly for BTB reasons
+        still take the vectorized commit path.
+        """
         instructions = trace.instructions
         bpu = self.bpu
         fdip = self.fdip
@@ -279,9 +319,17 @@ class _BatchEngine:
         measuring = self.measuring
         account = self.current_account
         new_block_list = new_block.tolist()
+        is_branch_list = is_branch.tolist()
+        taken_list = taken.tolist()
+        cond_list = cond_mask.tolist() if dplan is not None else None
+        dk = -1
         for i in range(stop - start):
             instruction = instructions[start + i]
-            prediction = bpu.process(instruction)
+            if cond_list is not None and cond_list[i]:
+                dk += 1
+                prediction = bpu.process(instruction, dplan, dk)
+            else:
+                prediction = bpu.process(instruction)
             is_new_block = new_block_list[i]
             stall_cycles = 0.0
             miss = False
@@ -300,76 +348,212 @@ class _BatchEngine:
                 fdip.on_stream_break()
             if measuring:
                 self._account_instruction(
-                    account, instruction, prediction,
-                    is_new_block, miss, covered, beyond_l2, stall_cycles,
+                    account, prediction, is_new_block, miss, covered, beyond_l2,
+                    stall_cycles, is_branch_list[i], taken_list[i],
                 )
 
-    def _run_planned(self, plan, trace: Trace, start: int, stop: int, pcs, new_block, is_branch) -> None:
+    def _run_planned(
+        self, plan, trace: Trace, start: int, stop: int, pcs, new_block,
+        is_branch, taken, cond_mask, dplan,
+    ) -> None:
         """The planned walk: bulk-compensated fast runs, pre-located slow path."""
         n = stop - start
-        fast = plan.guaranteed_miss & ~is_branch
+        guaranteed_miss = plan.guaranteed_miss
+        fast = guaranteed_miss & ~is_branch
         pcs_list = pcs.tolist()
-        new_block_list = new_block.tolist()
         nb_positions = np.flatnonzero(new_block).tolist()
         fetch_results = self.hierarchy.fetch_batch([pcs_list[i] for i in nb_positions])
         nb_ptr = 0
         instructions = trace.instructions
         bpu = self.bpu
+        classify = bpu._classify
+        commit = bpu._commit
+        predictor = bpu.direction_predictor
         fdip = self.fdip
         observe = fdip.observe_predicted_address
+        cover = fdip.cover_demand_miss
         measuring = self.measuring
         account = self.current_account
         plan_lookup = plan.lookup
-        process_resolved = bpu.process_resolved
-        slow_positions = np.flatnonzero(~fast).tolist()
+        slow = np.flatnonzero(~fast)
+        slow_positions = slow.tolist()
+        # Per-slow-position columns, gathered once so the walk below reads
+        # one zipped tuple per instruction instead of indexing six
+        # piece-wide lists.
+        slow_pc = pcs[slow].tolist()
+        slow_nb = new_block[slow].tolist()
+        slow_br = is_branch[slow].tolist()
+        slow_tk = taken[slow].tolist()
+        # A guaranteed-miss *not-taken* branch is provably conditional (the
+        # ISA validates always-taken classes as taken) and resolves CORRECT
+        # with no stream break, no RAS movement and no BTB training -- its
+        # whole scalar footprint is the direction-predictor commit plus the
+        # proven-miss probe counters, so it skips classify/commit entirely.
+        # Taken guaranteed misses keep the full path (decode-resteer logic,
+        # miss stats, RAS and BTB allocation all fire there).
+        slow_bf = (guaranteed_miss & is_branch & ~taken)[slow].tolist()
+        use_plan = dplan is not None
+        slow_cond = cond_mask[slow].tolist() if use_plan else repeat(False)
+        dk = -1
 
-        # Bulk compensation for every fast instruction of the piece, hoisted
-        # out of the per-run walk: the skipped-probe counters and the retired
-        # base throughput are plain commutative sums, only read (or reset) at
-        # piece boundaries, so one call each covers all runs.
         fast_total = n - len(slow_positions)
         self.instructions_fast += fast_total
         self.instructions_slow += len(slow_positions)
-        if fast_total:
-            self.btb.note_skipped_miss_lookups(fast_total)
-            if measuring:
-                account.timing.retire_instructions(fast_total)
+        # Skipped proven-miss probes (fast runs + fast branches) are replayed
+        # in one bulk call at the end of the piece: the probe counters are
+        # plain commutative sums, only read (or reset) at piece boundaries.
+        skipped_probes = fast_total
+
+        # Measured-phase accumulators, applied once at the end of the piece.
+        # Every timing hook is a commutative sum of integer-valued terms, so
+        # batching is bit-exact; only the PDede extra-cycle gate reads live
+        # FTQ occupancy and stays inline.
+        retired = 0
+        stall_sum = 0.0
+        flushes = 0
+        resteers = 0
+        btb_extra = 0
+        btb_miss_taken = 0
+        branches = 0
+        taken_branches = 0
+        l1i_acc = 0
+        l1i_miss = 0
+        l2_acc = 0
+        l2_miss = 0
+        covered_cnt = 0
+        ftq = self.ftq
+        width2 = 2 * self.core.fetch_width
+        FLUSH = PredictionOutcome.EXECUTE_FLUSH
+        RESTEER = PredictionOutcome.DECODE_RESTEER
+
+        observe_run = fdip.observe_predicted_block_run
+        total_blocks = len(nb_positions)
 
         cursor = 0
-        for i in slow_positions:
+        for i, pc, is_bf, is_new_block, is_br, is_tk, is_cond in zip(
+            slow_positions, slow_pc, slow_bf, slow_nb, slow_br, slow_tk, slow_cond
+        ):
             if i > cursor:
-                nb_ptr = self._fast_run(
-                    pcs_list, cursor, i, nb_positions, nb_ptr, fetch_results, measuring, account
-                )
+                # A gap with no new-block head inside it has exactly one
+                # effect: the run's PCs enter the FTQ (one dedup'd block
+                # observation).  Skipping the _fast_run frame for this
+                # dominant case is pure overhead removal.
+                if nb_ptr < total_blocks and nb_positions[nb_ptr] < i:
+                    nb_ptr = self._fast_run(
+                        pcs_list, cursor, i, nb_positions, nb_ptr, fetch_results,
+                        measuring, account,
+                    )
+                else:
+                    observe_run(pcs_list[cursor:i])
+            cursor = i + 1
+            if is_bf:
+                skipped_probes += 1
+                if use_plan:
+                    dk += 1
+                    dplan.record_outcome(False, False)
+                    dplan.update(dk)
+                else:
+                    predictor.record_outcome(False, False)
+                    predictor.update(pc, False)
+                if is_new_block:
+                    result = fetch_results[nb_ptr]
+                    nb_ptr += 1
+                    if result.l1i_hit:
+                        l1i_acc += 1
+                    else:
+                        coverage = cover(result.latency)
+                        stall_sum += coverage.residual_latency
+                        l1i_acc += 1
+                        l1i_miss += 1
+                        l2_acc += 1
+                        if result.level != "L2":
+                            l2_miss += 1
+                        if coverage.coverage == "full":
+                            covered_cnt += 1
+                observe(pc)
+                retired += 1
+                branches += 1
+                continue
             instruction = instructions[start + i]
-            prediction = process_resolved(instruction, plan_lookup(i, instruction.pc))
-            is_new_block = new_block_list[i]
-            stall_cycles = 0.0
+            if is_cond:
+                dk += 1
+                lookup = plan_lookup(i, pc)
+                prediction = classify(instruction, lookup, dplan, dk, is_br)
+                commit(instruction, prediction, dplan, dk, is_br)
+            else:
+                lookup = plan_lookup(i, pc)
+                prediction = classify(instruction, lookup, None, -1, is_br)
+                commit(instruction, prediction, None, -1, is_br)
             miss = False
             covered = False
             beyond_l2 = False
+            stall_cycles = 0.0
             if is_new_block:
                 result = fetch_results[nb_ptr]
                 nb_ptr += 1
                 miss = not result.l1i_hit
                 if miss:
                     beyond_l2 = result.level != "L2"
-                    coverage = fdip.cover_demand_miss(result.latency)
+                    coverage = cover(result.latency)
                     stall_cycles = coverage.residual_latency
                     covered = coverage.coverage == "full"
-            observe(instruction.pc)
+            observe(pc)
             if prediction.stream_break:
                 fdip.on_stream_break()
             if measuring:
-                self._account_instruction(
-                    account, instruction, prediction,
-                    is_new_block, miss, covered, beyond_l2, stall_cycles,
-                )
-            cursor = i + 1
+                retired += 1
+                stall_sum += stall_cycles
+                extra = prediction.extra_btb_cycles
+                if extra and ftq.occupancy < width2:
+                    btb_extra += extra
+                outcome = prediction.outcome
+                if outcome is FLUSH:
+                    flushes += 1
+                elif outcome is RESTEER:
+                    resteers += 1
+                if prediction.btb_miss_taken_branch:
+                    btb_miss_taken += 1
+                if is_br:
+                    branches += 1
+                    if is_tk:
+                        taken_branches += 1
+                if is_new_block:
+                    l1i_acc += 1
+                    if miss:
+                        l1i_miss += 1
+                        l2_acc += 1
+                        if beyond_l2:
+                            l2_miss += 1
+                        if covered:
+                            covered_cnt += 1
         if cursor < n:
-            self._fast_run(
-                pcs_list, cursor, n, nb_positions, nb_ptr, fetch_results, measuring, account
-            )
+            if nb_ptr < total_blocks:
+                self._fast_run(
+                    pcs_list, cursor, n, nb_positions, nb_ptr, fetch_results, measuring, account
+                )
+            else:
+                observe_run(pcs_list[cursor:n])
+        if skipped_probes:
+            self.btb.note_skipped_miss_lookups(skipped_probes)
+        if measuring:
+            timing = account.timing
+            timing.retire_instructions(fast_total + retired)
+            timing.icache_stall(stall_sum)
+            if flushes:
+                timing.execute_flush(flushes)
+                account.execute_flushes += flushes
+            if resteers:
+                timing.decode_resteer(resteers)
+                account.decode_resteers += resteers
+            timing.btb_extra_cycle(btb_extra)
+            account.btb_misses_taken += btb_miss_taken
+            account.branches += branches
+            account.taken_branches += taken_branches
+            account.l1i_accesses += l1i_acc
+            account.l1i_misses += l1i_miss
+            account.l2_accesses += l2_acc
+            account.l2_misses += l2_miss
+            account.l1i_misses_covered += covered_cnt
 
     def _fast_run(
         self, pcs_list, i0: int, i1: int, nb_positions, nb_ptr: int,
@@ -393,11 +577,16 @@ class _BatchEngine:
         run's retired instructions are compensated once per piece by
         :meth:`_run_planned`, not here.)
         """
-        timing = account.timing if measuring else None
         fdip = self.fdip
         observe_run = fdip.observe_predicted_block_run
+        cover = fdip.cover_demand_miss
         total_blocks = len(nb_positions)
         segment = i0
+        blocks = 0
+        misses = 0
+        beyond_l2 = 0
+        covered_cnt = 0
+        stall_sum = 0.0
         while nb_ptr < total_blocks:
             head = nb_positions[nb_ptr]
             if head >= i1:
@@ -406,32 +595,40 @@ class _BatchEngine:
                 observe_run(pcs_list[segment:head])
             result = fetch_results[nb_ptr]
             nb_ptr += 1
-            miss = not result.l1i_hit
-            stall_cycles = 0.0
-            covered = False
-            if miss:
-                coverage = fdip.cover_demand_miss(result.latency)
-                stall_cycles = coverage.residual_latency
-                covered = coverage.coverage == "full"
-            if timing is not None:
-                timing.icache_stall(stall_cycles)
-                account.l1i_accesses += 1
-                if miss:
-                    account.l1i_misses += 1
-                    account.l2_accesses += 1
-                    if result.level != "L2":
-                        account.l2_misses += 1
-                    if covered:
-                        account.l1i_misses_covered += 1
+            if not result.l1i_hit:
+                coverage = cover(result.latency)
+                stall_sum += coverage.residual_latency
+                misses += 1
+                if result.level != "L2":
+                    beyond_l2 += 1
+                if coverage.coverage == "full":
+                    covered_cnt += 1
+            blocks += 1
             segment = head
         observe_run(pcs_list[segment:i1])
+        # One accounting flush per run: every term is a commutative sum, so
+        # batching the per-block adds is bit-exact.
+        if measuring and blocks:
+            account.timing.icache_stall(stall_sum)
+            account.l1i_accesses += blocks
+            if misses:
+                account.l1i_misses += misses
+                account.l2_accesses += misses
+                account.l2_misses += beyond_l2
+                account.l1i_misses_covered += covered_cnt
         return nb_ptr
 
     def _account_instruction(
-        self, account, instruction, prediction,
+        self, account, prediction,
         new_block: bool, miss: bool, covered: bool, beyond_l2: bool, stall_cycles: float,
+        is_branch: bool, taken: bool,
     ) -> None:
-        """Measured-phase accounting, identical to the scalar loops' blocks."""
+        """Measured-phase accounting, identical to the scalar loops' blocks.
+
+        ``is_branch``/``taken`` come from the piece's SoA view (identical to
+        the instruction's attributes, and far cheaper than the per-object
+        property walk this method used to pay twice per instruction).
+        """
         timing = account.timing
         timing.retire_instructions(1)
         timing.icache_stall(stall_cycles)
@@ -445,9 +642,9 @@ class _BatchEngine:
             account.decode_resteers += 1
         if prediction.btb_miss_taken_branch:
             account.btb_misses_taken += 1
-        if instruction.is_branch:
+        if is_branch:
             account.branches += 1
-            if instruction.taken:
+            if taken:
                 account.taken_branches += 1
         if new_block:
             account.l1i_accesses += 1

@@ -64,13 +64,13 @@ class TimingModel:
         """Account for ``count`` retired instructions of base throughput."""
         self._instructions += count
 
-    def execute_flush(self) -> None:
-        """Charge a full pipeline flush detected at the execute stage."""
-        self.breakdown.flush_cycles += self.core.execute_flush_penalty
+    def execute_flush(self, count: int = 1) -> None:
+        """Charge ``count`` full pipeline flushes detected at the execute stage."""
+        self.breakdown.flush_cycles += self.core.execute_flush_penalty * count
 
-    def decode_resteer(self) -> None:
-        """Charge a decode-stage resteer (Section VI-A's cheap recovery)."""
-        self.breakdown.resteer_cycles += self.core.decode_resteer_penalty
+    def decode_resteer(self, count: int = 1) -> None:
+        """Charge ``count`` decode-stage resteers (Section VI-A's cheap recovery)."""
+        self.breakdown.resteer_cycles += self.core.decode_resteer_penalty * count
 
     def icache_stall(self, cycles: float) -> None:
         """Charge fetch-stall cycles for an uncovered (part of an) L1-I miss."""

@@ -53,6 +53,10 @@ _PHASE_SPANS = {
     "trace.build": "decode_s",
     "trace.decode": "decode_s",
     "scenario.compose": "compose_s",
+    # Pipelined SoA decode, emitted from the producer thread *during* the
+    # simulate window; it is compose work, so the phase split files it there
+    # (phases may sum past wall_s exactly when the pipeline overlaps).
+    "scenario.compose.decode": "compose_s",
     "scenario.simulate": "simulate_s",
 }
 
@@ -112,15 +116,35 @@ def warm_traces(scale: ExperimentScale, store: TraceStore | None = None) -> int:
 
     Returns the number of distinct workloads warmed.  Trace generation is
     deterministic and identical across backends, so excluding it from the
-    timed region removes the largest backend-independent term.
+    timed region removes the largest backend-independent term.  Shared-code
+    tenant remaps are warmed the same way: the composer memoizes them on the
+    source traces (:func:`repro.scenarios.compose.cached_remap`), so warming
+    them here keeps the legs symmetric -- whichever backend runs first would
+    otherwise pay every cache fill.
     """
+    from repro.scenarios.compose import TraceComposer
+
     store = store or default_store()
+    specs = [get_scenario(name) for name in scenario_names()]
     workloads = set()
-    for name in scenario_names():
-        for tenant in get_scenario(name).tenants:
+    for spec in specs:
+        for tenant in spec.tenants:
             workloads.add(tenant.workload)
     for workload in sorted(workloads):
         store.get(workload, scale.instructions)
+    for spec in specs:
+        variants = [
+            scenario_sweep.tenant_count_variant(spec, count)
+            for count in range(1, len(spec.tenants) + 1)
+        ]
+        for variant in variants:
+            if variant.shared_fraction <= 0.0:
+                continue
+            traces = {
+                tenant.workload: store.get(tenant.workload, scale.instructions)
+                for tenant in variant.tenants
+            }
+            TraceComposer(variant, traces)
     return len(workloads)
 
 
@@ -276,12 +300,28 @@ def compare(
         base_ips = float(base_backends[backend]["ips"])
         ratio = fresh_ips / base_ips if base_ips else 0.0
         failed = ratio < (1.0 - threshold)
-        comparisons[backend] = {
+        row: Dict[str, object] = {
             "baseline_ips": base_ips,
             "fresh_ips": fresh_ips,
             "ratio": round(ratio, 3),
             "regressed": failed,
         }
+        # Informational per-phase deltas (format-v2 records carry a
+        # decode/compose/simulate split per leg).  Never gates: phases
+        # overlap under the pipelined composer and sum past wall_s, so only
+        # the throughput ratio above is a fair regression signal.
+        fresh_phases = fresh_backends[backend].get("phases")
+        base_phases = base_backends[backend].get("phases")
+        if fresh_phases and base_phases:
+            row["phase_deltas"] = {
+                field: round(
+                    float(fresh_phases.get(field, 0.0))
+                    - float(base_phases.get(field, 0.0)),
+                    3,
+                )
+                for field in sorted(set(fresh_phases) | set(base_phases))
+            }
+        comparisons[backend] = row
         if failed:
             regressed.append(backend)
     return {
@@ -333,6 +373,13 @@ def format_comparison(verdict: Dict[str, object]) -> str:
             f"  {backend:<7}: {row['baseline_ips']:>12,.0f} -> {row['fresh_ips']:>12,.0f} "
             f"({row['ratio']:.2f}x)  {state}"
         )
+        deltas = row.get("phase_deltas")
+        if deltas:
+            rendered = ", ".join(
+                f"{name.removesuffix('_s')} {value:+.3f}s"
+                for name, value in deltas.items()
+            )
+            lines.append(f"           phases (informational): {rendered}")
     for backend in verdict["skipped_backends"]:
         lines.append(f"  {backend:<7}: present in only one record (not gated)")
     if verdict["regressed"]:

@@ -124,7 +124,7 @@ class BranchPredictionUnit:
 
     # -- prediction -----------------------------------------------------------
 
-    def process(self, instruction: Instruction) -> FrontEndPrediction:
+    def process(self, instruction: Instruction, dplan=None, dk: int = -1) -> FrontEndPrediction:
         """Predict the instruction's control flow and resolve it against truth.
 
         The architectural outcome carried by ``instruction`` is only used to
@@ -132,24 +132,48 @@ class BranchPredictionUnit:
         to train the predictors at commit -- the prediction itself relies
         exclusively on the BTB, the direction predictor and the RAS.
         """
-        return self.process_resolved(instruction, self.btb.lookup(instruction.pc))
+        return self.process_resolved(instruction, self.btb.lookup(instruction.pc), dplan, dk)
 
     def process_resolved(
-        self, instruction: Instruction, lookup: BTBLookupResult
+        self,
+        instruction: Instruction,
+        lookup: BTBLookupResult,
+        dplan=None,
+        dk: int = -1,
+        is_branch: bool | None = None,
     ) -> FrontEndPrediction:
         """Classify and commit ``instruction`` against an already-performed lookup.
 
         Split out of :meth:`process` for the batched backend, which probes the
         BTB itself with pre-vectorized set indices and tags and must then run
         the identical classification/commit pipeline.
+
+        ``dplan``/``dk`` carry the batched backend's direction-predictor
+        commit plan (:mod:`repro.predictor.batch`): when ``dk >= 0`` the
+        instruction is the plan's ``dk``-th conditional-branch commit and its
+        direction prediction and training apply through the plan's
+        precomputed indices -- bit-exact twins of the scalar calls.  The
+        scalar loops never pass them, so their path is unchanged.
+
+        ``is_branch``, when given, is the caller's already-known
+        ``instruction.is_branch`` (the batched backend holds it as a chunk
+        SoA column), skipping two property hops per instruction.
         """
-        prediction = self._classify(instruction, lookup)
-        self._commit(instruction, prediction)
+        if is_branch is None:
+            is_branch = instruction.is_branch
+        prediction = self._classify(instruction, lookup, dplan, dk, is_branch)
+        self._commit(instruction, prediction, dplan, dk, is_branch)
         return prediction
 
-    def _classify(self, instruction: Instruction, lookup: BTBLookupResult) -> FrontEndPrediction:
+    def _classify(
+        self,
+        instruction: Instruction,
+        lookup: BTBLookupResult,
+        dplan,
+        dk: int,
+        is_branch: bool,
+    ) -> FrontEndPrediction:
         pc = instruction.pc
-        is_branch = instruction.is_branch
         actually_taken = instruction.taken
 
         if not lookup.hit:
@@ -166,9 +190,8 @@ class BranchPredictionUnit:
                 stream_break = True
                 if instruction.branch_type in (BranchType.UNCONDITIONAL, BranchType.CALL):
                     outcome = PredictionOutcome.DECODE_RESTEER
-                elif (
-                    instruction.branch_type is BranchType.CONDITIONAL
-                    and self.direction_predictor.predict(pc)
+                elif instruction.branch_type is BranchType.CONDITIONAL and (
+                    dplan.predict(dk) if dk >= 0 else self.direction_predictor.predict(pc)
                 ):
                     outcome = PredictionOutcome.DECODE_RESTEER
                 else:
@@ -188,7 +211,10 @@ class BranchPredictionUnit:
         # BTB hit: the front end knows the branch type and (usually) its target.
         identified_type = lookup.branch_type or instruction.branch_type
         if identified_type.is_conditional:
-            predicted_taken = self.direction_predictor.predict(pc)
+            # dk >= 0 marks the plan's dk-th conditional-branch commit; a
+            # false hit that merely *identifies* as conditional (dk == -1)
+            # reads the live tables through the scalar call.
+            predicted_taken = dplan.predict(dk) if dk >= 0 else self.direction_predictor.predict(pc)
         else:
             predicted_taken = True
 
@@ -248,15 +274,26 @@ class BranchPredictionUnit:
 
     # -- commit-time updates ------------------------------------------------------
 
-    def _commit(self, instruction: Instruction, prediction: FrontEndPrediction) -> None:
+    def _commit(
+        self,
+        instruction: Instruction,
+        prediction: FrontEndPrediction,
+        dplan,
+        dk: int,
+        is_branch: bool,
+    ) -> None:
         """Commit-time training: predictors, RAS and BTB updates."""
-        if not instruction.is_branch:
+        if not is_branch:
             return
         branch_type = instruction.branch_type
         if branch_type.is_conditional:
             predicted = prediction.predicted_taken if prediction.identified_branch else False
-            self.direction_predictor.record_outcome(predicted, instruction.taken)
-            self.direction_predictor.update(instruction.pc, instruction.taken)
+            if dk >= 0:
+                dplan.record_outcome(predicted, instruction.taken)
+                dplan.update(dk)
+            else:
+                self.direction_predictor.record_outcome(predicted, instruction.taken)
+                self.direction_predictor.update(instruction.pc, instruction.taken)
         # Architectural RAS maintenance: calls push, returns pop.
         if branch_type.is_call:
             self.ras.push(instruction.fall_through)

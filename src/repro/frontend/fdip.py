@@ -57,6 +57,15 @@ class FDIPPrefetcher:
         self.enabled = config.fdip.enabled
         self._fetch_width = max(config.core.fetch_width, 1)
         self._last_prefetched_block: int | None = None
+        # The observe paths run once per predicted address (the simulator's
+        # innermost loop); the line mask and the L1-I are immutable for the
+        # hierarchy's lifetime, so both are hoisted out of them here.
+        self._line_mask = ~(hierarchy.line_size() - 1)
+        self._l1i = hierarchy.l1i
+        # The FTQ's deque is stable for its lifetime (flush clears in place),
+        # so the block-run path can append through it directly -- the spill
+        # count ftq.extend reports is unused here and maxlen already trims.
+        self._ftq_entries = ftq._entries
 
     # -- BPU side ---------------------------------------------------------------
 
@@ -70,11 +79,11 @@ class FDIPPrefetcher:
         self.ftq.push(address)
         if not self.enabled:
             return
-        block = address & ~(self.hierarchy.line_size() - 1)
+        block = address & self._line_mask
         if block == self._last_prefetched_block:
             return
         self._last_prefetched_block = block
-        if not self.hierarchy.l1i.contains(block):
+        if not self._l1i.contains(block):
             self.stats.inc("prefetches_issued")
 
     def observe_predicted_block_run(self, addresses) -> None:
@@ -86,14 +95,14 @@ class FDIPPrefetcher:
         the first address).  The batched backend uses this for runs of
         sequential non-branch instructions, which never leave their block.
         """
-        self.ftq.extend(addresses)
+        self._ftq_entries.extend(addresses)
         if not self.enabled or not addresses:
             return
-        block = addresses[0] & ~(self.hierarchy.line_size() - 1)
+        block = addresses[0] & self._line_mask
         if block == self._last_prefetched_block:
             return
         self._last_prefetched_block = block
-        if not self.hierarchy.l1i.contains(block):
+        if not self._l1i.contains(block):
             self.stats.inc("prefetches_issued")
 
     def on_stream_break(self) -> None:

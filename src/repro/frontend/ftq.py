@@ -26,7 +26,9 @@ class FetchTargetQueue:
         self.capacity = capacity
         registry = stats if stats is not None else Stats()
         self.stats = registry.group("ftq")
-        self._entries: Deque[int] = deque()
+        # maxlen lets the deque itself discard spilled entries at C speed;
+        # push/extend only have to *report* the spill, not perform it.
+        self._entries: Deque[int] = deque(maxlen=capacity)
 
     def push(self, address: int) -> Optional[int]:
         """Push a predicted instruction address.
@@ -36,10 +38,10 @@ class FetchTargetQueue:
         (This is the simulator's inner loop, so no per-push statistics are
         recorded; flushes are counted because they are rare and meaningful.)
         """
-        self._entries.append(address)
-        if len(self._entries) > self.capacity:
-            return self._entries.popleft()
-        return None
+        entries = self._entries
+        spilled = entries[0] if len(entries) == self.capacity else None
+        entries.append(address)
+        return spilled
 
     def extend(self, addresses) -> int:
         """Bulk-push predicted addresses; returns how many oldest ones spilled.
@@ -50,14 +52,9 @@ class FetchTargetQueue:
         of sequential fetch addresses in one call.
         """
         entries = self._entries
+        overflow = len(entries) + len(addresses) - self.capacity
         entries.extend(addresses)
-        overflow = len(entries) - self.capacity
-        if overflow <= 0:
-            return 0
-        popleft = entries.popleft
-        for _ in range(overflow):
-            popleft()
-        return overflow
+        return overflow if overflow > 0 else 0
 
     def pop(self) -> Optional[int]:
         """Pop the oldest predicted address (fetch engine consumption)."""

@@ -80,6 +80,13 @@ class SetAssociativeCache:
         # decision can depend on one.
         self._sets: List[List[_Line] | None] = [None] * self.num_sets
         self._lru: List[LRUState | None] = [None] * self.num_sets
+        # Resident-line directory: colored tag -> way.  A colored tag is the
+        # full block number (XORed with a color far above the address bits),
+        # so it pins a unique set under any fixed policy configuration --
+        # tag -> way is therefore a complete, unambiguous index of residency,
+        # and probes become one dict lookup instead of a way scan.  Kept
+        # write-through by fill/eviction/invalidation.
+        self._where: Dict[int, int] = {}
         # MSHR occupancy is tracked as a set of outstanding miss block
         # addresses; the functional model clears it when fills complete.
         self._outstanding: Dict[int, int] = {}
@@ -91,6 +98,10 @@ class SetAssociativeCache:
         }
         #: ASID mechanics (tag coloring + set partitioning) for this level.
         self.asid_policy = AddressSpacePolicy()
+        # Identity-policy fast path for the per-probe index/tag computation;
+        # refreshed at every point the policy can change (ASID switches,
+        # partition map changes).
+        self._policy_trivial = True
 
     # -- address helpers ----------------------------------------------------
 
@@ -100,6 +111,8 @@ class SetAssociativeCache:
 
     def _index_tag(self, addr: int) -> tuple[int, int]:
         block = addr >> self._offset_bits
+        if self._policy_trivial:
+            return block % self.num_sets, block
         index = self.asid_policy.modulo_index("sets", block, self.num_sets)
         return index, self.asid_policy.colored(block)
 
@@ -108,6 +121,7 @@ class SetAssociativeCache:
     def set_active_asid(self, asid: int) -> None:
         """Switch the address space new lines are tagged with (retention modes)."""
         self.asid_policy.activate(asid)
+        self._policy_trivial = self.asid_policy.is_trivial("sets")
 
     def configure_partitions(self, weights: Sequence[int] | None) -> None:
         """Split this level's sets among tenants (``None`` to share).
@@ -121,8 +135,10 @@ class SetAssociativeCache:
         if weights is None:
             if self.asid_policy.clear("sets"):
                 self.invalidate_all()
+            self._policy_trivial = self.asid_policy.is_trivial("sets")
             return
         self.asid_policy.configure("sets", self.num_sets, weights, fallback_to_shared=True)
+        self._policy_trivial = self.asid_policy.is_trivial("sets")
         self.invalidate_all()
 
     def partition_set_counts(self) -> List[int] | None:
@@ -132,19 +148,24 @@ class SetAssociativeCache:
     # -- state queries ------------------------------------------------------
 
     def _materialize(self, index: int) -> List[_Line]:
-        """Allocate the lines (and LRU state) of set ``index`` on first fill."""
-        lines = [_Line() for _ in range(self.associativity)]
+        """Allocate set ``index`` (empty) and its LRU state on first fill.
+
+        Lines are appended by :meth:`fill` as ways are first used: a line is
+        only ever invalid before its first fill and lines are never
+        individually invalidated (:meth:`invalidate_all` drops whole sets),
+        so the valid ways are always exactly the list prefix -- "first
+        invalid way" victim selection is simply the list's length.
+        """
+        lines: List[_Line] = []
         self._sets[index] = lines
         self._lru[index] = LRUState(self.associativity)
         return lines
 
     def contains(self, addr: int) -> bool:
         """True when the block holding ``addr`` is resident (no LRU update)."""
-        index, tag = self._index_tag(addr)
-        lines = self._sets[index]
-        if lines is None:
-            return False
-        return any(line.valid and line.tag == tag for line in lines)
+        block = addr >> self._offset_bits
+        tag = block if self._policy_trivial else self.asid_policy.colored(block)
+        return tag in self._where
 
     @property
     def hit_latency(self) -> int:
@@ -172,18 +193,17 @@ class SetAssociativeCache:
         kind = "prefetch" if is_prefetch else ("write" if is_write else "read")
         accesses_key, hits_key, misses_key = self._kind_keys[kind]
         self.stats.inc(accesses_key)
-        lines = self._sets[index]
-        if lines is not None:
-            for way, line in enumerate(lines):
-                if line.valid and line.tag == tag:
-                    self._lru[index].touch(way)
-                    if is_write:
-                        line.dirty = True
-                    if line.prefetched and not is_prefetch:
-                        self.stats.inc("useful_prefetches")
-                        line.prefetched = False
-                    self.stats.inc(hits_key)
-                    return _HIT_RESULT
+        way = self._where.get(tag)
+        if way is not None:
+            line = self._sets[index][way]
+            self._lru[index].touch(way)
+            if is_write:
+                line.dirty = True
+            if line.prefetched and not is_prefetch:
+                self.stats.inc("useful_prefetches")
+                line.prefetched = False
+            self.stats.inc(hits_key)
+            return _HIT_RESULT
         self.stats.inc(misses_key)
         return _MISS_RESULT
 
@@ -193,22 +213,27 @@ class SetAssociativeCache:
         lines = self._sets[index]
         if lines is None:
             lines = self._materialize(index)
-        for way, line in enumerate(lines):
-            if line.valid and line.tag == tag:
-                # Already present (e.g. demand fill racing a prefetch).
-                self._lru[index].touch(way)
-                line.dirty = line.dirty or dirty
-                return None
-        victim_way = next((w for w, line in enumerate(lines) if not line.valid), None)
+        present = self._where.get(tag)
+        if present is not None:
+            # Already present (e.g. demand fill racing a prefetch).
+            line = lines[present]
+            self._lru[index].touch(present)
+            line.dirty = line.dirty or dirty
+            return None
         evicted: Optional[int] = None
-        if victim_way is None:
+        if len(lines) < self.associativity:
+            victim_way = len(lines)
+            lines.append(_Line())
+        else:
             victim_way = self._lru[index].victim()
             victim = lines[victim_way]
             evicted = victim.block << self._offset_bits
+            del self._where[victim.tag]
             if victim.dirty:
                 self.stats.inc("writebacks")
             self.stats.inc("evictions")
         line = lines[victim_way]
+        self._where[tag] = victim_way
         line.valid = True
         line.tag = tag
         line.block = addr >> self._offset_bits
@@ -237,6 +262,7 @@ class SetAssociativeCache:
             if lines is not None:
                 self._sets[index] = None
                 self._lru[index] = None
+        self._where.clear()
         self._outstanding.clear()
 
     def occupancy(self) -> int:

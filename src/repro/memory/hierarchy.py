@@ -48,13 +48,32 @@ from repro.common.stats import Stats
 from repro.memory.cache import SetAssociativeCache
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FetchResult:
     """Outcome of a demand fetch or prefetch."""
 
     latency: int
     level: str
     l1i_hit: bool
+
+
+#: Shared results for the zero-latency outcomes; fetch() runs once per cache
+#: block of the instruction stream and hits dominate, so the per-call
+#: allocation is worth dodging (the dataclass is frozen, making the sharing
+#: invisible).
+_L1I_HIT = FetchResult(latency=0, level="L1I", l1i_hit=True)
+_L1D_HIT = FetchResult(latency=0, level="L1D", l1i_hit=False)
+_PREFETCH_REDUNDANT = FetchResult(latency=0, level="L1I", l1i_hit=True)
+_PREFETCH_DROPPED = FetchResult(latency=0, level="dropped", l1i_hit=False)
+
+#: Per-supplier fill counter names, precomputed so the miss paths don't build
+#: f-strings per fill.
+_IFETCH_FILL_KEYS = {"L2": "ifetch.fills.l2", "LLC": "ifetch.fills.llc", "DRAM": "ifetch.fills.dram"}
+_PREFETCH_FILL_KEYS = {
+    "L2": "prefetch.fills.l2",
+    "LLC": "prefetch.fills.llc",
+    "DRAM": "prefetch.fills.dram",
+}
 
 
 class MemoryHierarchy:
@@ -146,11 +165,11 @@ class MemoryHierarchy:
         """Demand instruction fetch of the block containing ``addr``."""
         self.stats.inc("ifetch.accesses")
         if self.l1i.access(addr).hit:
-            return FetchResult(latency=0, level="L1I", l1i_hit=True)
+            return _L1I_HIT
         self.stats.inc("ifetch.l1i_misses")
         latency, level = self._miss_latency(addr, is_prefetch=False)
         self.l1i.fill(addr)
-        self.stats.inc(f"ifetch.fills.{level.lower()}")
+        self.stats.inc(_IFETCH_FILL_KEYS[level])
         return FetchResult(latency=latency, level=level, l1i_hit=False)
 
     def fetch_batch(self, addresses: Sequence[int]) -> List[FetchResult]:
@@ -169,14 +188,14 @@ class MemoryHierarchy:
         self.stats.inc("prefetch.issued")
         if self.l1i.contains(addr):
             self.stats.inc("prefetch.redundant")
-            return FetchResult(latency=0, level="L1I", l1i_hit=True)
+            return _PREFETCH_REDUNDANT
         if not self.l1i.note_outstanding(addr):
             # All MSHRs busy: the prefetch is dropped.
             self.stats.inc("prefetch.dropped")
-            return FetchResult(latency=0, level="dropped", l1i_hit=False)
+            return _PREFETCH_DROPPED
         latency, level = self._miss_latency(addr, is_prefetch=True)
         self.l1i.fill(addr, prefetched=True)
-        self.stats.inc(f"prefetch.fills.{level.lower()}")
+        self.stats.inc(_PREFETCH_FILL_KEYS[level])
         return FetchResult(latency=latency, level=level, l1i_hit=False)
 
     # -- data side (provided for completeness) ---------------------------------
@@ -185,7 +204,7 @@ class MemoryHierarchy:
         """Demand data access through L1-D -> L2 -> LLC -> memory."""
         self.stats.inc("dfetch.accesses")
         if self.l1d.access(addr, is_write=is_write).hit:
-            return FetchResult(latency=0, level="L1D", l1i_hit=False)
+            return _L1D_HIT
         latency, level = self._miss_latency(addr, is_prefetch=False)
         self.l1d.fill(addr, dirty=is_write)
         return FetchResult(latency=latency, level=level, l1i_hit=False)

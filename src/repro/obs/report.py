@@ -117,6 +117,57 @@ def aggregate(events: List[Dict[str, Any]]) -> Dict[str, Any]:
             service["wait_p95_s"] = round(percentile(waits, 0.95), 6)
         report["service"] = service
 
+    # Batched-backend split: how much of the stream ran on the vectorized
+    # paths (bulk-compensated fast runs, planned commits) versus the scalar
+    # fallbacks.  Emitted once per batched run by _BatchEngine.emit_metrics.
+    commits_vectorized = counters.get("batch.commits_vectorized", 0)
+    commits_scalar = counters.get("batch.commits_scalar", 0)
+    fast = counters.get("batch.instructions_fast", 0)
+    slow = counters.get("batch.instructions_slow", 0)
+    if commits_vectorized + commits_scalar or fast + slow:
+        batch: Dict[str, Any] = {
+            "commits_vectorized": commits_vectorized,
+            "commits_scalar": commits_scalar,
+            "instructions_fast": fast,
+            "instructions_slow": slow,
+            "chunks_planned": counters.get("batch.chunks_planned", 0),
+            "chunks_scalar": counters.get("batch.chunks_scalar", 0),
+        }
+        if commits_vectorized + commits_scalar:
+            batch["commit_vectorized_fraction"] = round(
+                commits_vectorized / (commits_vectorized + commits_scalar), 4
+            )
+        if fast + slow:
+            batch["instructions_fast_fraction"] = round(fast / (fast + slow), 4)
+        report["batch"] = batch
+
+    # Pipelined-compose overlap: SoA decode spans emitted by the producer
+    # thread while the consumer sat inside a scenario.simulate window.  A
+    # nonzero overlap is the observable proof that compose work ran
+    # concurrently with simulation.
+    decode_spans = [s for s in spans if s["name"] == "scenario.compose.decode"]
+    simulate_windows = [
+        (float(s.get("ts", 0.0)), float(s.get("ts", 0.0)) + float(s.get("dur", 0.0)))
+        for s in spans
+        if s["name"] == "scenario.simulate"
+    ]
+    if decode_spans:
+        overlap = 0.0
+        for span in decode_spans:
+            t0 = float(span.get("ts", 0.0))
+            t1 = t0 + float(span.get("dur", 0.0))
+            for w0, w1 in simulate_windows:
+                lo, hi = max(t0, w0), min(t1, w1)
+                if hi > lo:
+                    overlap += hi - lo
+        report["pipeline"] = {
+            "decode_spans": len(decode_spans),
+            "decode_total_s": round(
+                sum(float(s.get("dur", 0.0)) for s in decode_spans), 6
+            ),
+            "overlap_s": round(overlap, 6),
+        }
+
     # Instructions/sec per driver from run-all's driver.* spans.
     drivers: Dict[str, Any] = {}
     for span in spans:
@@ -193,6 +244,38 @@ def format_report(report: Dict[str, Any]) -> str:
             f" {service['cells_executed']} cells executed,"
             f" {service['dedup_hits']} dedup hits,"
             f" {service['rejected']} rejected{wait}"
+        )
+
+    batch = report.get("batch")
+    if batch:
+        lines.append("")
+        commit_total = batch["commits_vectorized"] + batch["commits_scalar"]
+        commit_part = (
+            f" ({batch['commit_vectorized_fraction']:.1%} vectorized)"
+            if commit_total
+            else ""
+        )
+        lines.append(
+            f"batch commits: {batch['commits_vectorized']} vectorized,"
+            f" {batch['commits_scalar']} scalar{commit_part}"
+        )
+        stream_total = batch["instructions_fast"] + batch["instructions_slow"]
+        if stream_total:
+            lines.append(
+                f"batch stream : {batch['instructions_fast']} fast,"
+                f" {batch['instructions_slow']} slow"
+                f" ({batch['instructions_fast_fraction']:.1%} fast),"
+                f" chunks {batch['chunks_planned']} planned"
+                f" / {batch['chunks_scalar']} scalar"
+            )
+
+    pipeline = report.get("pipeline")
+    if pipeline:
+        lines.append("")
+        lines.append(
+            f"pipeline    : {pipeline['decode_spans']} decode spans,"
+            f" {pipeline['decode_total_s']:.3f}s decoded,"
+            f" {pipeline['overlap_s']:.3f}s overlapping simulate"
         )
 
     drivers = report.get("drivers")

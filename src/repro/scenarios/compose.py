@@ -129,6 +129,40 @@ def shared_page_split(page_count: int, shared_fraction: float) -> int:
     return int(page_count * Fraction(str(shared_fraction)))
 
 
+#: Per-source-trace bound on memoized remaps (see :func:`cached_remap`): big
+#: enough for every (tenant index, fraction, slot) combination a sweep grid
+#: replays against one source, small enough that thousand-tenant scenarios
+#: (which use thousands of distinct tenant indices) stay bounded in memory.
+_REMAP_CACHE_LIMIT = 16
+
+
+def cached_remap(
+    trace: Trace, tenant_index: int, shared_fraction: float, shared_slot: int = 0
+) -> Trace:
+    """Memoizing wrapper around :func:`remap_tenant_trace`.
+
+    The remap is a pure function of its arguments, so the result is cached on
+    the *source* trace object: sweep grids replay the same few (tenant index,
+    fraction, slot) combinations against one stored trace across many cells,
+    and rebuilding the full instruction list dominated the composer's cost.
+    The cache is insertion-order bounded so scenarios with many tenants (every
+    tenant index is a distinct key) cannot pin unbounded remapped copies.
+    """
+    key = (tenant_index, str(shared_fraction), shared_slot)
+    cache: Dict[tuple, Trace] | None = getattr(trace, "_remap_cache", None)
+    if cache is None:
+        cache = {}
+        trace._remap_cache = cache  # type: ignore[attr-defined]
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    remapped = remap_tenant_trace(trace, tenant_index, shared_fraction, shared_slot)
+    if len(cache) >= _REMAP_CACHE_LIMIT:
+        cache.pop(next(iter(cache)))
+    cache[key] = remapped
+    return remapped
+
+
 def remap_tenant_trace(
     trace: Trace, tenant_index: int, shared_fraction: float, shared_slot: int = 0
 ) -> Trace:
@@ -221,7 +255,7 @@ class TraceComposer:
             for tenant in spec.tenants:
                 slots.setdefault(tenant.workload, len(slots))
             self._tenant_traces: List[Trace] = [
-                remap_tenant_trace(
+                cached_remap(
                     self._traces[tenant.workload],
                     index,
                     spec.shared_fraction,

@@ -1,0 +1,141 @@
+"""Pipelined chunk composition: decode chunk N+1 while chunk N simulates.
+
+The batched engine consumes a scenario as a stream of
+:class:`~repro.scenarios.compose.ScheduledChunk` slices and, before walking a
+chunk, needs its trace's structure-of-arrays view
+(:func:`repro.traces.batch.trace_arrays`).  That decode is pure, per-trace
+and cached on the trace object -- which makes it safe to run *ahead* of the
+simulation on a second thread: while the engine simulates chunk N, a bounded
+producer advances the composer's schedule and decodes the traces chunk N+1
+onward will need.  The consumer still sees the chunks in exactly the schedule
+order (single producer, FIFO queue), so the simulated stream is untouched;
+only the wall-clock placement of the decode work moves.
+
+Overlap is observable: every decode that actually builds arrays is wrapped in
+a ``scenario.compose.decode`` span emitted from the producer thread, so a
+recorded trace shows those spans inside the consumer's ``scenario.simulate``
+window (``obs report`` and the CI bench job assert exactly that).
+
+Lifecycle rules, pinned by ``tests/test_scenario_pipeline.py``:
+
+* a producer-side exception (composer or decode) is re-raised to the consumer
+  at the point of iteration, after the producer thread has exited;
+* :meth:`ChunkPipeline.close` always joins the producer thread, even when it
+  is blocked on a full queue mid-schedule -- a failed or cancelled job never
+  leaks a thread;
+* exhausting the iterator joins the thread on its own, so the happy path
+  needs no explicit close (``execute_scenario`` still closes in a
+  ``finally`` for the failure paths).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterable, Iterator
+
+from repro.obs import get_recorder
+from repro.scenarios.compose import ScheduledChunk
+from repro.traces.batch import trace_arrays
+
+#: Chunks buffered ahead of the consumer.  Small on purpose: the payload per
+#: entry is a trace *slice descriptor* (the decoded arrays live on the trace
+#: object), so depth only bounds how far the schedule runs ahead, and a
+#: shallow queue keeps close() responsive.
+PIPELINE_DEPTH = 4
+
+#: Queue poll interval; bounds how long close()/iteration lag a state change.
+_POLL_S = 0.05
+
+_SENTINEL = object()
+
+
+class ChunkPipeline:
+    """Bounded producer thread feeding a scenario's chunk schedule.
+
+    Iterating the pipeline yields exactly the chunks of ``chunks`` in order.
+    The producer eagerly decodes each chunk's trace into its SoA view before
+    enqueueing it, so by the time the consumer reaches a chunk its
+    ``trace_arrays`` call is (usually) a cache hit.
+    """
+
+    def __init__(self, chunks: Iterable[ScheduledChunk], depth: int = PIPELINE_DEPTH) -> None:
+        if depth < 1:
+            raise ValueError("pipeline depth must be at least 1")
+        self._source = chunks
+        self._queue: queue.Queue = queue.Queue(maxsize=depth)
+        self._closed = threading.Event()
+        self._error: BaseException | None = None
+        self._recorder = get_recorder()
+        self._thread = threading.Thread(
+            target=self._produce, name="chunk-pipeline", daemon=True
+        )
+        self._thread.start()
+
+    # -- producer ----------------------------------------------------------
+
+    def _produce(self) -> None:
+        try:
+            for chunk in self._source:
+                if self._closed.is_set():
+                    return
+                trace = chunk.trace
+                if getattr(trace, "_batch_arrays", None) is None:
+                    with self._recorder.span(
+                        "scenario.compose.decode",
+                        tenant=chunk.tenant,
+                        instructions=len(trace),
+                    ):
+                        trace_arrays(trace)
+                if not self._put(chunk):
+                    return
+        except BaseException as exc:  # re-raised on the consumer side
+            self._error = exc
+        finally:
+            self._put(_SENTINEL)
+
+    def _put(self, item) -> bool:
+        """Enqueue ``item``, giving up (False) once the pipeline is closed."""
+        while not self._closed.is_set():
+            try:
+                self._queue.put(item, timeout=_POLL_S)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    # -- consumer ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[ScheduledChunk]:
+        return self
+
+    def __next__(self) -> ScheduledChunk:
+        while True:
+            if self._closed.is_set():
+                raise StopIteration
+            try:
+                item = self._queue.get(timeout=_POLL_S)
+            except queue.Empty:
+                continue
+            if item is _SENTINEL:
+                self._thread.join()
+                if self._error is not None:
+                    raise self._error
+                raise StopIteration
+            return item
+
+    def close(self) -> None:
+        """Stop the producer and join its thread (idempotent).
+
+        Safe at any point: a producer blocked on the bounded queue observes
+        the closed flag at its next put timeout, and draining the queue here
+        shortens that wait.  After close() the iterator only raises
+        ``StopIteration``.
+        """
+        self._closed.set()
+        while self._thread.is_alive():
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                pass
+            self._thread.join(timeout=_POLL_S)

@@ -1,0 +1,119 @@
+"""Lifecycle and exactness tests for the pipelined chunk composer.
+
+The pipeline moves the SoA decode of scheduled chunks onto a producer thread;
+these tests pin the three contracts that make that safe: chunk order is the
+schedule order (bit-exactness of the simulated stream), producer failures
+surface at the consumer with the thread joined, and close() joins the thread
+from any state -- including a producer blocked on the bounded queue, which is
+what a cancelled or failed sweep job looks like.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.common.config import ASIDMode, BTBStyle
+from repro.scenarios import pipeline as pipeline_module
+from repro.scenarios.compose import TraceComposer
+from repro.scenarios.pipeline import ChunkPipeline
+from repro.scenarios.run import execute_scenario
+from repro.scenarios.spec import ScenarioSpec, TenantSpec
+from repro.traces.store import TraceStore
+
+
+def _composer(instructions: int = 4_000) -> TraceComposer:
+    spec = ScenarioSpec(
+        name="pipeline-test",
+        tenants=(
+            TenantSpec(name="a", workload="server_001"),
+            TenantSpec(name="b", workload="client_001"),
+        ),
+        quantum_instructions=500,
+    )
+    store = TraceStore(max_traces=8)
+    traces = {w: store.get(w, instructions) for w in set(spec.workloads)}
+    return TraceComposer(spec, traces)
+
+
+def _drain_threads(before: set[int], timeout: float = 5.0) -> None:
+    """Wait for any pipeline threads not in ``before`` to exit."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        alive = [
+            t
+            for t in threading.enumerate()
+            if t.ident not in before and t.name == "chunk-pipeline"
+        ]
+        if not alive:
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"chunk-pipeline threads leaked: {alive}")
+
+
+class TestChunkPipeline:
+    def test_preserves_schedule_exactly(self):
+        composer = _composer()
+        expected = list(composer.stream_batches(6_000))
+        produced = list(ChunkPipeline(_composer().stream_batches(6_000)))
+        assert [(c.asid, c.tenant, c.start, c.stop) for c in produced] == [
+            (c.asid, c.tenant, c.start, c.stop) for c in expected
+        ]
+
+    def test_exhaustion_joins_thread(self):
+        before = {t.ident for t in threading.enumerate()}
+        pipeline = ChunkPipeline(_composer().stream_batches(2_000))
+        list(pipeline)
+        assert not pipeline._thread.is_alive()
+        _drain_threads(before)
+
+    def test_decode_exception_propagates_and_joins(self, monkeypatch):
+        """An injected decode failure reaches the consumer; no thread leaks."""
+
+        def explode(trace):
+            raise RuntimeError("injected decode failure")
+
+        monkeypatch.setattr(pipeline_module, "trace_arrays", explode)
+        pipeline = ChunkPipeline(_composer().stream_batches(2_000))
+        with pytest.raises(RuntimeError, match="injected decode failure"):
+            list(pipeline)
+        assert not pipeline._thread.is_alive()
+        pipeline.close()  # idempotent after failure
+
+    def test_close_unblocks_full_queue(self):
+        """close() joins a producer stalled on the bounded queue (cancellation)."""
+        pipeline = ChunkPipeline(_composer().stream_batches(50_000), depth=1)
+        deadline = time.monotonic() + 5.0
+        while pipeline._queue.empty() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        pipeline.close()
+        assert not pipeline._thread.is_alive()
+        # After close the iterator terminates instead of blocking.
+        assert list(pipeline) == []
+
+    def test_close_before_consuming_anything(self):
+        pipeline = ChunkPipeline(_composer().stream_batches(10_000))
+        pipeline.close()
+        assert not pipeline._thread.is_alive()
+
+    def test_execute_scenario_joins_on_failure(self, monkeypatch):
+        """A failing numpy scenario run leaves no producer thread behind."""
+        before = {t.ident for t in threading.enumerate()}
+
+        def explode(trace):
+            raise RuntimeError("injected decode failure")
+
+        monkeypatch.setattr(pipeline_module, "trace_arrays", explode)
+        with pytest.raises(RuntimeError, match="injected decode failure"):
+            execute_scenario(
+                "consolidated_server",
+                style=BTBStyle.CONVENTIONAL,
+                asid_mode=ASIDMode.FLUSH,
+                instructions=2_000,
+                backend="numpy",
+            )
+        _drain_threads(before)
